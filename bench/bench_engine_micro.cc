@@ -1,0 +1,128 @@
+// Engine micro-benchmarks (google-benchmark): the storage/executor
+// primitives everything above is built on — B+ tree inserts/lookups, heap
+// scans, hash vs index-nested-loop joins, and the analytical cost estimator
+// itself (which LAA/GAA call thousands of times per migration point).
+#include <benchmark/benchmark.h>
+
+#include "core/rewriter.h"
+#include "core/virtual_catalog.h"
+#include "engine/cost_model.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "tests/engine/engine_test_util.h"
+#include "tpcw/datagen.h"
+#include "tpcw/queries.h"
+#include "tpcw/schema.h"
+
+namespace pse {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    InMemoryDiskManager dm;
+    BufferPool pool(&dm, 4096);
+    auto tree = BPlusTree::Create(&pool);
+    state.ResumeTiming();
+    for (int64_t k = 0; k < state.range(0); ++k) {
+      benchmark::DoNotOptimize(tree->Insert(k, Rid{static_cast<PageId>(k % 1000), 0}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreePointLookup(benchmark::State& state) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 4096);
+  auto tree = BPlusTree::Create(&pool);
+  const int64_t n = state.range(0);
+  for (int64_t k = 0; k < n; ++k) {
+    (void)tree->Insert(k, Rid{static_cast<PageId>(k % 1000), 0});
+  }
+  int64_t key = 0;
+  std::vector<Rid> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(tree->ScanEqual(key, &out));
+    key = (key + 7919) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreePointLookup)->Arg(10000)->Arg(100000);
+
+void BM_HeapScan(benchmark::State& state) {
+  auto db = testutil::MakeBookstore(4096);
+  // Widen the dataset: more sales rows.
+  for (int64_t s = 300; s < state.range(0); ++s) {
+    (void)db->Insert("sale", {Value::Int(s), Value::Int(s % 100), Value::Int(1)});
+  }
+  auto t = db->GetTable("sale");
+  for (auto _ : state) {
+    uint64_t rows = 0;
+    for (auto it = (*t)->heap->Begin(); !it.AtEnd();) {
+      ++rows;
+      (void)it.Next();
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeapScan)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_HashJoinExec(benchmark::State& state) {
+  auto db = testutil::MakeBookstore(4096);
+  BoundQuery q;
+  q.tables.push_back(TableAccess("sale", {"sale_id", "book_id"}));
+  q.tables.push_back(TableAccess("book", {"book_id", "title"}));
+  q.joins.push_back(EquiJoin{0, 1, "book_id", "book_id"});
+  q.select_items.emplace_back(Col("sale.sale_id"), AggFunc::kNone, "id");
+  DatabaseCatalogView view(db.get());
+  auto plan = PlanQuery(q, view);
+  for (auto _ : state) {
+    auto rows = ExecutePlan(**plan, db.get());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_HashJoinExec);
+
+void BM_TpcwQueryRewrite(benchmark::State& state) {
+  auto schema = BuildTpcwSchema();
+  auto workload = BuildTpcwWorkload(*schema);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = (*workload)[i % workload->size()].query;
+    auto bound = RewriteQuery(q, schema->object);
+    benchmark::DoNotOptimize(bound);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpcwQueryRewrite);
+
+void BM_CostEstimateQuery(benchmark::State& state) {
+  // The estimator is the inner loop of LAA (2^m calls) and GAA — its speed
+  // bounds the whole planning layer.
+  auto schema = BuildTpcwSchema();
+  auto data = GenerateTpcwData(*schema, ScaleTiny(), 7);
+  LogicalStats stats = data->ComputeStats();
+  auto workload = BuildTpcwWorkload(*schema);
+  VirtualSchemaCatalog catalog(&schema->object, &stats);
+  CostModel model(&catalog);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = (*workload)[i % workload->size()].query;
+    auto bound = RewriteQuery(q, schema->object);
+    auto plan = PlanQuery(*bound, catalog);
+    auto est = model.Estimate(**plan);
+    benchmark::DoNotOptimize(est);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CostEstimateQuery);
+
+}  // namespace
+}  // namespace pse
+
+BENCHMARK_MAIN();

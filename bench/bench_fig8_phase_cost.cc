@@ -1,0 +1,59 @@
+// Reproduces Fig 8(a)-(d): Phase-Cost of Opt-Schema / Pro-Schema (LAA) /
+// Obj-Schema under the irregular-frequency workload, for {5, 3} migration
+// points x {100MB, 1GB} databases.
+//
+// Usage: bench_fig8_phase_cost [--points=3|5] [--scale=100mb|1gb]
+// Without flags, all four paper configurations run. Set PSE_FULL_SCALE=1
+// for the paper's raw data sizes (defaults are a 1:20 scale-down; costs are
+// page counts and scale linearly, so the figure *shapes* are unchanged).
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+namespace pse {
+namespace {
+
+void RunOne(const std::string& scale_name, size_t points, char figure) {
+  bench::TpcwInstance inst = bench::MakeInstance(scale_name);
+  auto freqs = IrregularFrequencies(points);
+  SimulationConfig config = bench::DefaultConfig(PlannerKind::kLaa);
+
+  std::printf("=== Fig 8(%c): Phase-Cost, LAA, %zu migration points, %s, irregular ===\n",
+              figure, points, inst.scale.label.c_str());
+  Stopwatch timer;
+  MigrationSimulation sim(&inst.schema->source, &inst.schema->object, &inst.queries, freqs,
+                          inst.data.get(), config);
+  auto opt = sim.Run(Situation::kOptSchema);
+  auto pro = sim.Run(Situation::kProSchema);
+  auto obj = sim.Run(Situation::kObjSchema);
+  if (!opt.ok() || !pro.ok() || !obj.ok()) {
+    std::fprintf(stderr, "simulation failed: %s %s %s\n", opt.status().ToString().c_str(),
+                 pro.status().ToString().c_str(), obj.status().ToString().c_str());
+    std::exit(1);
+  }
+  bench::PrintPhaseCostTable(*opt, *pro, *obj);
+  std::printf("(wall time %.1fs, LAA schemas estimated: %zu)\n\n", timer.ElapsedSeconds(),
+              sim.last_planner_evaluations());
+}
+
+}  // namespace
+}  // namespace pse
+
+int main(int argc, char** argv) {
+  std::string scale;
+  size_t points = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--points=", 9) == 0) points = std::stoul(argv[i] + 9);
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = argv[i] + 8;
+  }
+  if (points != 0 && !scale.empty()) {
+    char figure = points == 5 ? (scale == "1gb" ? 'b' : 'a') : (scale == "1gb" ? 'd' : 'c');
+    pse::RunOne(scale, points, figure);
+    return 0;
+  }
+  pse::RunOne("100mb", 5, 'a');
+  pse::RunOne("1gb", 5, 'b');
+  pse::RunOne("100mb", 3, 'c');
+  pse::RunOne("1gb", 3, 'd');
+  return 0;
+}

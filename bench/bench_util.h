@@ -1,0 +1,73 @@
+// Shared plumbing for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/simulation.h"
+#include "tpcw/datagen.h"
+#include "tpcw/queries.h"
+#include "tpcw/schema.h"
+#include "tpcw/workloads.h"
+
+namespace pse {
+namespace bench {
+
+/// Everything one experiment instance needs.
+struct TpcwInstance {
+  std::unique_ptr<TpcwSchema> schema;
+  std::unique_ptr<LogicalDatabase> data;
+  std::vector<WorkloadQuery> queries;
+  TpcwScale scale;
+};
+
+inline TpcwInstance MakeInstance(const std::string& scale_name, uint64_t seed = 42) {
+  TpcwInstance inst;
+  inst.schema = BuildTpcwSchema();
+  inst.scale = ResolveScale(scale_name);
+  inst.data = GenerateTpcwData(*inst.schema, inst.scale, seed);
+  auto workload = BuildTpcwWorkload(*inst.schema);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload build failed: %s\n", workload.status().ToString().c_str());
+    std::exit(1);
+  }
+  inst.queries = std::move(*workload);
+  return inst;
+}
+
+inline SimulationConfig DefaultConfig(PlannerKind planner) {
+  SimulationConfig config;
+  config.planner = planner;
+  config.buffer_pool_pages = 1024;  // deliberately smaller than the data
+  config.gaa.ga.population_size = 32;
+  config.gaa.ga.generations = 40;
+  config.gaa.ga.stall_generations = 12;
+  return config;
+}
+
+/// Prints the per-phase comparison table used by Fig 8(a)-(d).
+inline void PrintPhaseCostTable(const SituationReport& opt, const SituationReport& pro,
+                                const SituationReport& obj) {
+  std::printf("%-8s %14s %14s %14s %9s %9s\n", "Phase", "Opt-Schema", "Pro-Schema",
+              "Obj-Schema", "Pro/Opt", "Obj/Pro");
+  for (size_t p = 0; p < opt.phases.size(); ++p) {
+    double o = opt.phases[p].query_cost;
+    double pr = pro.phases[p].query_cost;
+    double ob = obj.phases[p].query_cost;
+    std::printf("P%zu-P%zu   %14.0f %14.0f %14.0f %9.2f %9.2f\n", p, p + 1, o, pr, ob,
+                o > 0 ? pr / o : 0.0, pr > 0 ? ob / pr : 0.0);
+  }
+  double o = opt.OverallCost(), pr = pro.OverallCost(), ob = obj.OverallCost();
+  std::printf("%-8s %14.0f %14.0f %14.0f %9.2f %9.2f\n", "Overall", o, pr, ob,
+              o > 0 ? pr / o : 0.0, pr > 0 ? ob / pr : 0.0);
+  std::printf("Pro-Schema migration I/O: %.0f pages (incl. final completion %.0f)\n",
+              pro.TotalMigrationIo(), pro.final_migration_io);
+  std::printf("Gain of Pro over Obj (the paper's 'existing system'): %.0f%%\n",
+              pr > 0 ? (ob / pr - 1.0) * 100.0 : 0.0);
+}
+
+}  // namespace bench
+}  // namespace pse

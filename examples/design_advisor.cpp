@@ -1,0 +1,91 @@
+// Workload-driven physical design (the paper's Section VI future work):
+// given a workload mix, ask the advisor for the best schema reachable by
+// the basic operators, then plan the migration to it with GAA.
+//
+// Usage: design_advisor [phase (0-4, default 4: the new-version-heavy mix)]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/mapping.h"
+#include "core/schema_advisor.h"
+
+using namespace pse;
+
+int main(int argc, char** argv) {
+  size_t phase = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  if (phase > 4) phase = 4;
+
+  bench::TpcwInstance inst = bench::MakeInstance("100mb");
+  LogicalStats stats = inst.data->ComputeStats();
+  auto freqs = Fig9IrregularFrequencies();
+
+  std::printf("Designing for the P%zu-P%zu workload mix...\n\n", phase, phase + 1);
+  auto advised = AdviseSchema(inst.schema->source, stats, inst.queries, freqs[phase]);
+  if (!advised.ok()) {
+    std::fprintf(stderr, "%s\n", advised.status().ToString().c_str());
+    return 1;
+  }
+
+  CostOptions pricing;
+  pricing.fallback_schema = &inst.schema->object;
+  auto source_cost =
+      EstimateWorkloadCost(inst.schema->source, stats, inst.queries, freqs[phase], pricing);
+  auto object_cost =
+      EstimateWorkloadCost(inst.schema->object, stats, inst.queries, freqs[phase], pricing);
+  std::printf("estimated phase cost:\n");
+  std::printf("  source schema (normalized TPC-W):   %10.0f\n",
+              source_cost.ok() ? *source_cost : -1.0);
+  std::printf("  object schema (new app's target):   %10.0f\n",
+              object_cost.ok() ? *object_cost : -1.0);
+  std::printf("  advisor's design:                   %10.0f  (%zu improving steps, %zu "
+              "candidates scored)\n\n",
+              advised->final_cost, advised->steps.size(), advised->candidates_evaluated);
+
+  std::printf("recommended design:\n%s\n", advised->schema.ToString().c_str());
+
+  // The recommendation is itself a migration target: derive the operator
+  // set and let GAA schedule it over 3 migration points with the regular
+  // workload trend.
+  auto opset = ComputeOperatorSet(inst.schema->source, advised->schema);
+  if (!opset.ok()) {
+    std::fprintf(stderr, "operator set: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("migration to the recommendation takes %zu basic operators:\n%s\n", opset->size(),
+              opset->ToString(inst.schema->logical).c_str());
+
+  auto trend = RegularFrequencies(3);
+  std::vector<LogicalStats> phase_stats{stats};
+  MigrationContext ctx;
+  ctx.current = &inst.schema->source;
+  ctx.object = &advised->schema;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &trend;
+  ctx.phase_stats = &phase_stats;
+  ctx.queries = &inst.queries;
+  GaaOptions options;
+  options.ga.population_size = 32;
+  options.ga.generations = 40;
+  auto gaa = PlanGaa(ctx, 0, options);
+  if (gaa.ok()) {
+    std::printf("GAA schedule toward the recommendation (predicted cost %.0f):\n",
+                gaa->best_cost);
+    for (size_t off = 0; off <= trend.size(); ++off) {
+      bool any = false;
+      for (size_t i = 0; i < gaa->assignment.size(); ++i) {
+        if (gaa->assignment[i] == static_cast<int>(off)) {
+          if (!any) {
+            std::printf(off < trend.size() ? "  point %zu:\n" : "  completion:\n", off);
+          }
+          any = true;
+          int op = gaa->remaining_ops[i];
+          std::printf("    %s\n",
+                      opset->ops[static_cast<size_t>(op)].ToString(inst.schema->logical).c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}

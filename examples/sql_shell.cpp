@@ -1,0 +1,142 @@
+// Minimal SQL shell over the embedded engine — shows that the substrate
+// under the migration machinery is a usable database on its own.
+//
+// Usage:
+//   sql_shell                    # in-memory, interactive (stdin)
+//   sql_shell "SQL" "SQL" ...    # executes the given statements and exits
+//   sql_shell --db=FILE [...]    # persistent: opens/creates FILE, restores
+//                                # its catalog, checkpoints on exit
+//
+// Statements end with ';' (or end of line in argv mode). EXPLAIN SELECT ...
+// prints the physical plan. ".tables" lists tables, ".quit" exits.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "sql/session.h"
+
+using namespace pse;
+
+namespace {
+
+void PrintResult(const ExecResult& result) {
+  if (!result.columns.empty()) {
+    for (size_t i = 0; i < result.columns.size(); ++i) {
+      std::printf("%s%s", i ? " | " : "", result.columns[i].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : result.rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%s%s", i ? " | " : "", row[i].ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("(%zu rows)\n", result.rows.size());
+  } else {
+    std::printf("OK (%llu rows affected)\n", static_cast<unsigned long long>(result.affected));
+  }
+}
+
+int RunStatement(Session* session, const std::string& stmt) {
+  std::string trimmed(Trim(stmt));
+  if (trimmed.empty()) return 0;
+  if (trimmed == ".tables") {
+    for (const auto& name : session->db()->TableNames()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
+    auto plan = session->Explain(trimmed.substr(8));
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", plan->c_str());
+    return 0;
+  }
+  auto result = session->Execute(trimmed);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<Database> owned;
+  std::string db_path;
+  int first_stmt = 1;
+  if (argc > 1 && StartsWith(argv[1], "--db=")) {
+    db_path = argv[1] + 5;
+    first_stmt = 2;
+    auto opened = Database::Open(db_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s failed: %s\n", db_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    owned = opened.MoveValueUnsafe();
+  } else {
+    owned = std::make_unique<Database>(4096);
+  }
+  Database& db = *owned;
+  Session session(&db);
+
+  // A little starter catalog so the in-memory shell is useful immediately;
+  // persistent databases keep whatever they already contain.
+  if (!db.HasTable("book") && db_path.empty()) {
+    const char* bootstrap[] = {
+        "CREATE TABLE book (b_id BIGINT NOT NULL, title VARCHAR(40), author VARCHAR(20), "
+        "price DOUBLE, PRIMARY KEY (b_id))",
+        "INSERT INTO book VALUES (1, 'A Relational Model of Data', 'Codd', 10.0), "
+        "(2, 'The Design of Postgres', 'Stonebraker', 12.5), "
+        "(3, 'Access Path Selection', 'Selinger', 9.5)",
+        "ANALYZE",
+    };
+    for (const char* stmt : bootstrap) {
+      auto r = session.Execute(stmt);
+      if (!r.ok()) {
+        std::fprintf(stderr, "bootstrap failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  auto finish = [&]() {
+    if (!db_path.empty()) {
+      Status s = db.Checkpoint();
+      if (!s.ok()) std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    }
+  };
+
+  if (argc > first_stmt) {
+    int rc = 0;
+    for (int i = first_stmt; i < argc; ++i) rc |= RunStatement(&session, argv[i]);
+    finish();
+    return rc;
+  }
+
+  std::printf("ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .quit)\n");
+  std::string buffer, line;
+  while (true) {
+    std::printf(buffer.empty() ? "sql> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (!trimmed.empty() && trimmed[0] == '.') {
+      RunStatement(&session, trimmed);
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.size() >= 1 && trimmed.back() == ';') {
+      RunStatement(&session, buffer);
+      buffer.clear();
+    }
+  }
+  finish();
+  return 0;
+}

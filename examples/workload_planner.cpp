@@ -1,0 +1,93 @@
+// Migration planning tool: given a predicted workload trend, runs GAA once
+// up front (the paper's global adaptive model) and prints the full operator
+// -> migration-point schedule with its predicted cost, next to the
+// exhaustive optimum (when small enough) and the one-shot plan.
+//
+// Usage: workload_planner [points (default 4)]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/mapping.h"
+
+using namespace pse;
+
+int main(int argc, char** argv) {
+  size_t points = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  if (points < 2 || points > 8) points = 4;
+
+  bench::TpcwInstance inst = bench::MakeInstance("100mb");
+  auto opset = ComputeOperatorSet(inst.schema->source, inst.schema->object);
+  if (!opset.ok()) {
+    std::fprintf(stderr, "%s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  auto freqs = RegularFrequencies(points);
+  std::vector<LogicalStats> stats{inst.data->ComputeStats()};
+
+  MigrationContext ctx;
+  ctx.current = &inst.schema->source;
+  ctx.object = &inst.schema->object;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &freqs;
+  ctx.phase_stats = &stats;
+  ctx.queries = &inst.queries;
+
+  GaaOptions options;
+  options.ga.population_size = 48;
+  options.ga.generations = 60;
+  options.include_migration_cost = true;
+
+  auto gaa = PlanGaa(ctx, 0, options);
+  if (!gaa.ok()) {
+    std::fprintf(stderr, "%s\n", gaa.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("GAA migration schedule over %zu points (predicted workload trend: regular):\n\n",
+              points);
+  for (size_t off = 0; off <= points; ++off) {
+    if (off < points) {
+      std::printf("migration point %zu:\n", off);
+    } else {
+      std::printf("completion step (after the last phase):\n");
+    }
+    bool any = false;
+    for (size_t i = 0; i < gaa->assignment.size(); ++i) {
+      if (gaa->assignment[i] == static_cast<int>(off)) {
+        int op = gaa->remaining_ops[i];
+        std::printf("  %s\n",
+                    opset->ops[static_cast<size_t>(op)].ToString(inst.schema->logical).c_str());
+        any = true;
+      }
+    }
+    if (!any) std::printf("  (no schema change)\n");
+  }
+  std::printf("\npredicted total cost (query + movement estimates): %.0f  [%zu GA evaluations]\n",
+              gaa->best_cost, gaa->evaluations);
+
+  // One-shot comparison: everything at point 0 (the classical migration).
+  std::vector<int> one_shot(gaa->remaining_ops.size(), 0);
+  auto one_shot_cost = EvaluateAssignment(ctx, 0, gaa->remaining_ops, one_shot, options);
+  if (one_shot_cost.ok()) {
+    std::printf("one-shot (everything at point 0) would cost:   %.0f  (%+.1f%%)\n",
+                *one_shot_cost, (*one_shot_cost / gaa->best_cost - 1.0) * 100.0);
+  }
+  // Defer-everything comparison.
+  std::vector<int> defer_all(gaa->remaining_ops.size(), static_cast<int>(points));
+  auto defer_cost = EvaluateAssignment(ctx, 0, gaa->remaining_ops, defer_all, options);
+  if (defer_cost.ok()) {
+    std::printf("defer-everything-to-completion would cost:     %.0f  (%+.1f%%)\n", *defer_cost,
+                (*defer_cost / gaa->best_cost - 1.0) * 100.0);
+  }
+  if (opset->size() <= 10) {
+    auto exhaustive = PlanExhaustiveGlobal(ctx, 0, options);
+    if (exhaustive.ok()) {
+      std::printf("exhaustive global optimum:                      %.0f  (GAA gap %+.2f%%)\n",
+                  exhaustive->best_cost,
+                  (gaa->best_cost / exhaustive->best_cost - 1.0) * 100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace pse {
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& col_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, col_name)) return i;
+  }
+  return Status::NotFound("column '" + col_name + "' not in table '" + name_ + "'");
+}
+
+bool TableSchema::HasColumn(const std::string& col_name) const {
+  return ColumnIndex(col_name).ok();
+}
+
+uint32_t TableSchema::EstimatedTupleWidth() const {
+  uint32_t w = 0;
+  for (const auto& c : columns_) w += c.EstimatedWidth();
+  uint32_t null_bitmap = static_cast<uint32_t>((columns_.size() + 7) / 8);
+  return w + null_bitmap + 4 /* slot overhead */;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeIdToString(columns_[i].type);
+  }
+  out += ")";
+  if (!key_columns_.empty()) {
+    out += " KEY(" + Join(key_columns_, ", ") + ")";
+  }
+  return out;
+}
+
+std::string TableSchema::ToDdl() const {
+  std::string out = "CREATE TABLE " + name_ + " (";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (i > 0) out += ", ";
+    out += c.name;
+    out += " ";
+    out += TypeIdToString(c.type);
+    if (c.type == TypeId::kVarchar && c.avg_width > 0) {
+      out += "(" + std::to_string(c.avg_width) + ")";
+    }
+    if (!c.nullable) out += " NOT NULL";
+  }
+  if (!key_columns_.empty()) {
+    out += ", PRIMARY KEY (" + Join(key_columns_, ", ") + ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pse

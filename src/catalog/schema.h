@@ -1,0 +1,82 @@
+// Physical table schemas: ordered, typed column lists plus key metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/status.h"
+
+namespace pse {
+
+/// One column of a physical table.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  /// Average payload width for VARCHAR columns (cost model); ignored for
+  /// fixed-width types.
+  uint32_t avg_width = 0;
+  bool nullable = true;
+
+  Column() = default;
+  Column(std::string n, TypeId t, uint32_t w = 0, bool nul = true)
+      : name(std::move(n)), type(t), avg_width(w), nullable(nul) {}
+
+  /// Estimated stored width in bytes (cost model input).
+  uint32_t EstimatedWidth() const {
+    if (type == TypeId::kVarchar) return (avg_width ? avg_width : TypeFixedWidth(type)) + 4;
+    return TypeFixedWidth(type);
+  }
+};
+
+/// \brief Column layout of one table.
+///
+/// Column order is significant (tuples are stored/bound positionally).
+/// `key_columns` names the primary-key prefix used by indexes and by the
+/// migration operators' references.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<Column> columns,
+              std::vector<std::string> key_columns = {})
+      : name_(std::move(table_name)),
+        columns_(std::move(columns)),
+        key_columns_(std::move(key_columns)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  const std::vector<std::string>& key_columns() const { return key_columns_; }
+
+  /// Index of a column by (case-insensitive) name, or error.
+  Result<size_t> ColumnIndex(const std::string& col_name) const;
+  /// True if a column with this name exists.
+  bool HasColumn(const std::string& col_name) const;
+
+  /// Appends a column (used by schema-evolution helpers and tests).
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Estimated width in bytes of one stored tuple (cost model input);
+  /// includes the null bitmap and per-tuple slot overhead.
+  uint32_t EstimatedTupleWidth() const;
+
+  /// "name(col TYPE, ...) KEY(k)" display form.
+  std::string ToString() const;
+
+  /// CREATE TABLE statement reproducing this schema (round-trips through
+  /// the SQL parser).
+  std::string ToDdl() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> key_columns_;
+};
+
+}  // namespace pse

@@ -1,0 +1,37 @@
+// Table/column statistics consumed by the analytical cost estimator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "catalog/value.h"
+
+namespace pse {
+
+/// Per-column statistics gathered by ANALYZE (or synthesized for virtual
+/// schemas by the evolution layer).
+struct ColumnStatistics {
+  uint64_t num_distinct = 0;
+  uint64_t null_count = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+};
+
+/// Per-table statistics.
+struct TableStatistics {
+  uint64_t row_count = 0;
+  uint64_t page_count = 0;
+  /// Average serialized tuple width in bytes.
+  double avg_tuple_width = 0.0;
+  /// Keyed by column name.
+  std::map<std::string, ColumnStatistics> columns;
+
+  const ColumnStatistics* Column(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace pse

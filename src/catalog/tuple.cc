@@ -1,0 +1,163 @@
+#include "catalog/tuple.h"
+
+#include <cstring>
+
+namespace pse {
+
+namespace {
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+}  // namespace
+
+Status TupleCodec::Serialize(const TableSchema& schema, const Row& row, std::string* out) {
+  const size_t n = schema.num_columns();
+  if (row.size() != n) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " + std::to_string(n));
+  }
+  const size_t bitmap_bytes = (n + 7) / 8;
+  size_t bitmap_pos = out->size();
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) {
+      (*out)[bitmap_pos + i / 8] |= static_cast<char>(1u << (i % 8));
+      continue;
+    }
+    switch (schema.column(i).type) {
+      case TypeId::kBoolean:
+        out->push_back(v.AsBool() ? 1 : 0);
+        break;
+      case TypeId::kInt64:
+        PutU64(out, static_cast<uint64_t>(v.AsInt()));
+        break;
+      case TypeId::kDouble: {
+        double d = v.AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        PutU64(out, bits);
+        break;
+      }
+      case TypeId::kVarchar: {
+        const std::string& s = v.AsString();
+        PutU32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TupleCodec::Deserialize(const TableSchema& schema, const char* data, size_t size,
+                               Row* out) {
+  const size_t n = schema.num_columns();
+  const size_t bitmap_bytes = (n + 7) / 8;
+  if (size < bitmap_bytes) return Status::Internal("tuple too short for null bitmap");
+  const char* bitmap = data;
+  size_t pos = bitmap_bytes;
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TypeId t = schema.column(i).type;
+    bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (is_null) {
+      out->push_back(Value::Null(t));
+      continue;
+    }
+    switch (t) {
+      case TypeId::kBoolean: {
+        if (pos + 1 > size) return Status::Internal("tuple truncated (bool)");
+        out->push_back(Value::Bool(data[pos] != 0));
+        pos += 1;
+        break;
+      }
+      case TypeId::kInt64: {
+        if (pos + 8 > size) return Status::Internal("tuple truncated (int)");
+        uint64_t v;
+        std::memcpy(&v, data + pos, 8);
+        out->push_back(Value::Int(static_cast<int64_t>(v)));
+        pos += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        if (pos + 8 > size) return Status::Internal("tuple truncated (double)");
+        uint64_t bits;
+        std::memcpy(&bits, data + pos, 8);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        out->push_back(Value::Double(d));
+        pos += 8;
+        break;
+      }
+      case TypeId::kVarchar: {
+        if (pos + 4 > size) return Status::Internal("tuple truncated (varchar len)");
+        uint32_t len;
+        std::memcpy(&len, data + pos, 4);
+        pos += 4;
+        if (pos + len > size) return Status::Internal("tuple truncated (varchar data)");
+        out->push_back(Value::Varchar(std::string(data + pos, len)));
+        pos += len;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t TupleCodec::SerializedSize(const TableSchema& schema, const Row& row) {
+  const size_t n = schema.num_columns();
+  size_t sz = (n + 7) / 8;
+  for (size_t i = 0; i < n && i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    switch (schema.column(i).type) {
+      case TypeId::kBoolean:
+        sz += 1;
+        break;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        sz += 8;
+        break;
+      case TypeId::kVarchar:
+        sz += 4 + row[i].AsString().size();
+        break;
+    }
+  }
+  return sz;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t RowHash::operator()(const Row& r) const {
+  size_t h = 0x345678;
+  for (const auto& v : r) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pse

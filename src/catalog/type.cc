@@ -1,0 +1,33 @@
+#include "catalog/type.h"
+
+namespace pse {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean:
+      return "BOOLEAN";
+    case TypeId::kInt64:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+uint32_t TypeFixedWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean:
+      return 1;
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kVarchar:
+      return 24;  // default assumption; schemas carry per-column averages
+  }
+  return 8;
+}
+
+}  // namespace pse

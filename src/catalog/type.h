@@ -1,0 +1,25 @@
+// SQL value types supported by the engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pse {
+
+/// Supported column types. Kept deliberately small: the TPC-W workload and
+/// the evolution machinery only need these.
+enum class TypeId : uint8_t {
+  kBoolean = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kVarchar = 3,
+};
+
+/// Name for display/parsing ("BOOLEAN", "BIGINT", "DOUBLE", "VARCHAR").
+const char* TypeIdToString(TypeId t);
+
+/// Average on-page width in bytes, used by the analytical cost model.
+/// Varchar uses the column's declared average length instead (see Column).
+uint32_t TypeFixedWidth(TypeId t);
+
+}  // namespace pse

@@ -1,0 +1,165 @@
+// Status and Result<T>: error handling without exceptions, in the style of
+// Apache Arrow / RocksDB. Core library code returns Status (or Result<T>)
+// instead of throwing; callers are expected to check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pse {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+  kResourceExhausted,
+  kParseError,
+  kBindError,
+  kConstraintViolation,
+};
+
+/// Returns a human-readable name for a status code ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus, when not OK, a message.
+///
+/// An OK status carries no allocation. Statuses are cheap to move and copy
+/// (copying a non-OK status copies the message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// Message text; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Modeled after arrow::Result. Access via ValueOrDie()/operator* only after
+/// checking ok(); MoveValueUnsafe() transfers ownership out.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& { return *value_; }
+  T& ValueOrDie() & { return *value_; }
+  T&& MoveValueUnsafe() { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pse
+
+/// Propagates a non-OK Status to the caller.
+#define PSE_RETURN_NOT_OK(expr)          \
+  do {                                   \
+    ::pse::Status _st = (expr);          \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+#define PSE_CONCAT_IMPL(a, b) a##b
+#define PSE_CONCAT(a, b) PSE_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; assigns the value on success, returns
+/// the error status otherwise.
+#define PSE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto PSE_CONCAT(_res_, __LINE__) = (rexpr);                 \
+  if (!PSE_CONCAT(_res_, __LINE__).ok())                      \
+    return PSE_CONCAT(_res_, __LINE__).status();              \
+  lhs = PSE_CONCAT(_res_, __LINE__).MoveValueUnsafe()

@@ -1,0 +1,40 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pse {
+
+/// Lowercases ASCII characters; non-ASCII bytes pass through.
+std::string ToLower(std::string_view s);
+/// Uppercases ASCII characters.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// SQL LIKE matching with '%' (any run) and '_' (any one char) wildcards.
+/// Case-sensitive, no escape character.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Formats a byte count as "12.3 MiB" style.
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats an integer with thousands separators ("1,234,567").
+std::string FormatCount(uint64_t n);
+
+}  // namespace pse

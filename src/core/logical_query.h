@@ -1,0 +1,66 @@
+// LogicalQuery: a query expressed against logical *attributes*, independent
+// of any physical schema. Old-version and new-version application queries
+// are lifted into this form once (against the schema version they were
+// written for); the rewriter (rewriter.h) then lowers them onto whatever
+// intermediate schema is current — the paper's query rewriting component.
+//
+// Semantics: the query ranges over the rows of its *anchor entity*; every
+// referenced attribute must belong to an entity reachable from the anchor
+// over many-to-one FK chains (so each anchor row determines each attribute
+// value). SQL queries whose FROM/JOIN structure follows FK joins lift
+// exactly onto this model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/logical_schema.h"
+#include "core/physical_schema.h"
+#include "engine/bound_query.h"
+
+namespace pse {
+
+/// One output column (expression over attribute names, optional aggregate).
+struct LogicalSelectItem {
+  ExprPtr expr;  // ColumnRefs are bare attribute names; null for COUNT(*)
+  AggFunc agg = AggFunc::kNone;
+  std::string name;
+
+  LogicalSelectItem() = default;
+  LogicalSelectItem(ExprPtr e, AggFunc a, std::string n)
+      : expr(std::move(e)), agg(a), name(std::move(n)) {}
+  LogicalSelectItem Clone() const {
+    return LogicalSelectItem(expr ? expr->Clone() : nullptr, agg, name);
+  }
+};
+
+/// \brief Physical-schema-independent query.
+struct LogicalQuery {
+  std::string name;  ///< display tag ("O1", "N7", ...)
+  EntityId anchor = kInvalidId;
+  std::vector<LogicalSelectItem> select;
+  std::vector<ExprPtr> filters;   // ColumnRefs are bare attribute names
+  std::vector<ExprPtr> group_by;  // likewise
+  std::vector<OrderKey> order_by;
+  std::optional<int64_t> limit;
+  bool distinct = false;
+
+  LogicalQuery() = default;
+  LogicalQuery(LogicalQuery&&) = default;
+  LogicalQuery& operator=(LogicalQuery&&) = default;
+  LogicalQuery Clone() const;
+  std::string ToString(const LogicalSchema& logical) const;
+};
+
+/// \brief Lifts a SQL SELECT into a LogicalQuery.
+///
+/// The SQL is bound against `reference` (the physical schema version the
+/// query was written for — source for old queries, object for new ones).
+/// Every join must follow an FK/key relationship or connect two fragments
+/// of the same entity on their key; the lifter verifies this and infers the
+/// anchor as the unique entity reaching all referenced entities.
+Result<LogicalQuery> LiftSqlToLogical(const std::string& sql, const PhysicalSchema& reference,
+                                      const std::string& query_name = "");
+
+}  // namespace pse

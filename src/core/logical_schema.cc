@@ -1,0 +1,119 @@
+#include "core/logical_schema.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace pse {
+
+EntityId LogicalSchema::AddEntity(const std::string& name, const std::string& key_attr_name) {
+  EntityId e = entities_.size();
+  entities_.push_back(LogicalEntity{name, kInvalidId, {}});
+  LogicalAttribute key;
+  key.name = key_attr_name;
+  key.type = TypeId::kInt64;
+  key.entity = e;
+  key.is_key = true;
+  AttrId a = attrs_.size();
+  attrs_.push_back(std::move(key));
+  entities_[e].key = a;
+  entities_[e].attributes.push_back(a);
+  return e;
+}
+
+Result<AttrId> LogicalSchema::AddAttribute(EntityId entity, const std::string& name, TypeId type,
+                                           uint32_t avg_width, bool is_new) {
+  if (entity >= entities_.size()) return Status::InvalidArgument("bad entity id");
+  for (const auto& a : attrs_) {
+    if (EqualsIgnoreCase(a.name, name)) {
+      return Status::AlreadyExists("attribute '" + name + "' already exists");
+    }
+  }
+  LogicalAttribute attr;
+  attr.name = name;
+  attr.type = type;
+  attr.avg_width = avg_width;
+  attr.entity = entity;
+  attr.is_new = is_new;
+  AttrId id = attrs_.size();
+  attrs_.push_back(std::move(attr));
+  entities_[entity].attributes.push_back(id);
+  return id;
+}
+
+Result<AttrId> LogicalSchema::AddForeignKey(EntityId entity, const std::string& name,
+                                            EntityId target) {
+  if (target >= entities_.size()) return Status::InvalidArgument("bad target entity");
+  PSE_ASSIGN_OR_RETURN(AttrId id, AddAttribute(entity, name, TypeId::kInt64, 0, false));
+  attrs_[id].references = target;
+  return id;
+}
+
+Result<EntityId> LogicalSchema::EntityByName(const std::string& name) const {
+  for (EntityId e = 0; e < entities_.size(); ++e) {
+    if (EqualsIgnoreCase(entities_[e].name, name)) return e;
+  }
+  return Status::NotFound("entity '" + name + "' not found");
+}
+
+Result<AttrId> LogicalSchema::AttrByName(const std::string& name) const {
+  for (AttrId a = 0; a < attrs_.size(); ++a) {
+    if (EqualsIgnoreCase(attrs_[a].name, name)) return a;
+  }
+  return Status::NotFound("attribute '" + name + "' not found");
+}
+
+bool LogicalSchema::Reaches(EntityId from, EntityId to) const {
+  return FkPath(from, to).ok() || from == to;
+}
+
+Result<std::vector<AttrId>> LogicalSchema::FkPath(EntityId from, EntityId to) const {
+  if (from == to) return std::vector<AttrId>{};
+  // BFS over FK edges; entities are few, so simplicity wins.
+  std::vector<AttrId> via(entities_.size(), kInvalidId);
+  std::vector<EntityId> prev(entities_.size(), kInvalidId);
+  std::vector<bool> seen(entities_.size(), false);
+  std::deque<EntityId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    EntityId cur = frontier.front();
+    frontier.pop_front();
+    // Deterministic order: attribute id order.
+    for (AttrId a : entities_[cur].attributes) {
+      const LogicalAttribute& attr = attrs_[a];
+      if (!attr.references.has_value()) continue;
+      EntityId next = *attr.references;
+      if (seen[next]) continue;
+      seen[next] = true;
+      via[next] = a;
+      prev[next] = cur;
+      if (next == to) {
+        std::vector<AttrId> path;
+        for (EntityId e = to; e != from; e = prev[e]) path.push_back(via[e]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return Status::NotFound("no FK path from " + entities_[from].name + " to " +
+                          entities_[to].name);
+}
+
+Result<EntityId> LogicalSchema::CommonAnchor(const std::vector<EntityId>& entities) const {
+  if (entities.empty()) return Status::InvalidArgument("empty entity set");
+  for (EntityId cand : entities) {
+    bool ok = true;
+    for (EntityId other : entities) {
+      if (!Reaches(cand, other)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return cand;
+  }
+  return Status::NotFound("attribute group has no common anchor entity");
+}
+
+}  // namespace pse

@@ -1,0 +1,108 @@
+// Logical schema: the schema-version-independent description of the data
+// that both the old and new application versions share.
+//
+// Entities (customer, order, item, ...) carry attributes; many-to-one
+// relationships (order -> customer) are modeled as foreign-key attributes.
+// A physical schema (physical_schema.h) is one particular materialization of
+// this logical schema into tables; queries are written against *attributes*
+// and survive any physical reorganization (the paper's query rewriting).
+//
+// Attribute names are globally unique (TPC-W style prefixes: c_name, o_date)
+// so a physical column name identifies its logical attribute in any table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/status.h"
+
+namespace pse {
+
+using EntityId = size_t;
+using AttrId = size_t;
+constexpr size_t kInvalidId = static_cast<size_t>(-1);
+
+/// One logical attribute.
+struct LogicalAttribute {
+  std::string name;  ///< globally unique
+  TypeId type = TypeId::kInt64;
+  uint32_t avg_width = 0;  ///< average width for VARCHAR
+  EntityId entity = kInvalidId;
+  bool is_key = false;
+  /// For foreign-key attributes: the referenced entity.
+  std::optional<EntityId> references;
+  /// True if this attribute exists only in the object schema (it must be
+  /// introduced by a CreateTable operator during migration).
+  bool is_new = false;
+};
+
+/// One logical entity.
+struct LogicalEntity {
+  std::string name;
+  AttrId key = kInvalidId;
+  std::vector<AttrId> attributes;  ///< includes the key and any FKs
+};
+
+/// \brief The attribute/entity/relationship universe.
+class LogicalSchema {
+ public:
+  /// Adds an entity along with its key attribute (BIGINT). Returns entity id.
+  EntityId AddEntity(const std::string& name, const std::string& key_attr_name);
+
+  /// Adds a plain attribute; `is_new` marks object-schema-only attributes.
+  Result<AttrId> AddAttribute(EntityId entity, const std::string& name, TypeId type,
+                              uint32_t avg_width = 0, bool is_new = false);
+
+  /// Adds a many-to-one foreign key attribute `entity -> target` (BIGINT).
+  Result<AttrId> AddForeignKey(EntityId entity, const std::string& name, EntityId target);
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_attributes() const { return attrs_.size(); }
+  const LogicalEntity& entity(EntityId e) const { return entities_[e]; }
+  const LogicalAttribute& attr(AttrId a) const { return attrs_[a]; }
+
+  Result<EntityId> EntityByName(const std::string& name) const;
+  Result<AttrId> AttrByName(const std::string& name) const;
+
+  /// True if `from` reaches `to` through a chain of many-to-one FKs
+  /// (or from == to).
+  bool Reaches(EntityId from, EntityId to) const;
+
+  /// The FK attributes along the (unique shortest) chain from -> to.
+  /// Empty when from == to; NotFound when unreachable. When multiple chains
+  /// exist the lexicographically-first shortest one is returned.
+  Result<std::vector<AttrId>> FkPath(EntityId from, EntityId to) const;
+
+  /// The unique entity among `entities` that reaches all the others, or
+  /// NotFound. This is the natural anchor of an attribute group.
+  Result<EntityId> CommonAnchor(const std::vector<EntityId>& entities) const;
+
+ private:
+  std::vector<LogicalEntity> entities_;
+  std::vector<LogicalAttribute> attrs_;
+};
+
+/// Per-attribute statistics used to synthesize virtual-table statistics.
+struct LogicalAttrStats {
+  uint64_t num_distinct = 0;
+  std::optional<int64_t> min;  ///< for BIGINT attributes
+  std::optional<int64_t> max;
+  double null_fraction = 0.0;
+};
+
+/// Snapshot of "data statistic" (the D in the paper): entity cardinalities
+/// plus per-attribute stats. Changes across migration phases as data grows.
+struct LogicalStats {
+  std::vector<uint64_t> entity_rows;      ///< by EntityId
+  std::vector<LogicalAttrStats> attrs;    ///< by AttrId
+
+  void Resize(const LogicalSchema& schema) {
+    entity_rows.resize(schema.num_entities(), 0);
+    attrs.resize(schema.num_attributes());
+  }
+};
+
+}  // namespace pse

@@ -1,0 +1,378 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace pse {
+
+namespace {
+
+/// One refinement piece: a group of non-key attributes that moves together.
+struct Piece {
+  EntityId anchor = kInvalidId;
+  std::vector<AttrId> attrs;            // non-key attrs
+  int source_table = -1;                // index into source tables, or -1
+  int create_op = -1;                   // index into ops, for created pieces
+  int object_table = -1;                // index into object tables
+  int isolating_split = -1;             // split op index, -1 if none needed
+  bool is_leftover = false;             // last piece of its source table
+};
+
+std::vector<AttrId> NonKeyAttrs(const LogicalSchema& L, const PhysicalTable& t) {
+  std::vector<AttrId> out;
+  for (AttrId a : t.attrs) {
+    if (!L.attr(a).is_key) out.push_back(a);
+  }
+  return out;
+}
+
+/// Splits one raw cell (attrs that share a source table and an object table)
+/// into anchor-consistent pieces: group by FK connectivity inside the cell;
+/// a group's anchor must reach every member entity via FK attrs stored in
+/// the cell, else fall back to one piece per entity.
+std::vector<Piece> RefineCell(const LogicalSchema& L, const std::vector<AttrId>& cell) {
+  // Entities present and FK edges internal to the cell.
+  std::set<EntityId> entities;
+  for (AttrId a : cell) entities.insert(L.attr(a).entity);
+  std::map<EntityId, std::vector<EntityId>> undirected;
+  std::map<EntityId, std::set<EntityId>> direct;  // fk edges src -> dst
+  for (AttrId a : cell) {
+    const LogicalAttribute& attr = L.attr(a);
+    if (attr.references.has_value() && entities.count(*attr.references)) {
+      undirected[attr.entity].push_back(*attr.references);
+      undirected[*attr.references].push_back(attr.entity);
+      direct[attr.entity].insert(*attr.references);
+    }
+  }
+  // Connected components over entities.
+  std::map<EntityId, int> comp;
+  int num_comp = 0;
+  for (EntityId e : entities) {
+    if (comp.count(e)) continue;
+    std::deque<EntityId> frontier{e};
+    comp[e] = num_comp;
+    while (!frontier.empty()) {
+      EntityId cur = frontier.front();
+      frontier.pop_front();
+      for (EntityId next : undirected[cur]) {
+        if (!comp.count(next)) {
+          comp[next] = num_comp;
+          frontier.push_back(next);
+        }
+      }
+    }
+    ++num_comp;
+  }
+  // Per component, pick a root reaching all members via internal fk edges.
+  auto root_of = [&](const std::set<EntityId>& members) -> EntityId {
+    for (EntityId cand : members) {
+      std::set<EntityId> seen{cand};
+      std::deque<EntityId> frontier{cand};
+      while (!frontier.empty()) {
+        EntityId cur = frontier.front();
+        frontier.pop_front();
+        for (EntityId next : direct[cur]) {
+          if (members.count(next) && seen.insert(next).second) frontier.push_back(next);
+        }
+      }
+      if (seen.size() == members.size()) return cand;
+    }
+    return kInvalidId;
+  };
+  std::vector<Piece> out;
+  for (int c = 0; c < num_comp; ++c) {
+    std::set<EntityId> members;
+    for (auto& [e, cc] : comp) {
+      if (cc == c) members.insert(e);
+    }
+    EntityId root = root_of(members);
+    if (root != kInvalidId) {
+      Piece p;
+      p.anchor = root;
+      for (AttrId a : cell) {
+        if (members.count(L.attr(a).entity)) p.attrs.push_back(a);
+      }
+      out.push_back(std::move(p));
+    } else {
+      // Fallback: one piece per entity (always valid standalone).
+      for (EntityId e : members) {
+        Piece p;
+        p.anchor = e;
+        for (AttrId a : cell) {
+          if (L.attr(a).entity == e) p.attrs.push_back(a);
+        }
+        if (!p.attrs.empty()) out.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool OperatorSet::IsClosed(const std::vector<int>& subset,
+                           const std::vector<bool>& already_applied) const {
+  std::vector<bool> in_subset(ops.size(), false);
+  for (int i : subset) in_subset[static_cast<size_t>(i)] = true;
+  for (int i : subset) {
+    for (int d : deps[static_cast<size_t>(i)]) {
+      if (!in_subset[static_cast<size_t>(d)] && !already_applied[static_cast<size_t>(d)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::vector<int>> OperatorSet::TopologicalOrder() const {
+  std::vector<int> indegree(ops.size(), 0);
+  std::vector<std::vector<int>> forward(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (int d : deps[i]) {
+      forward[static_cast<size_t>(d)].push_back(static_cast<int>(i));
+      ++indegree[i];
+    }
+  }
+  std::vector<int> order;
+  std::deque<int> ready;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  while (!ready.empty()) {
+    int cur = ready.front();
+    ready.pop_front();
+    order.push_back(cur);
+    for (int next : forward[static_cast<size_t>(cur)]) {
+      if (--indegree[static_cast<size_t>(next)] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != ops.size()) {
+    return Status::InvalidArgument("operator dependency cycle");
+  }
+  return order;
+}
+
+std::string OperatorSet::ToString(const LogicalSchema& logical) const {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out += "[" + std::to_string(i) + "] " + ops[i].ToString(logical);
+    if (!deps[i].empty()) {
+      out += "  deps:";
+      for (int d : deps[i]) out += " " + std::to_string(d);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<OperatorSet> ComputeOperatorSet(const PhysicalSchema& source,
+                                       const PhysicalSchema& object) {
+  if (source.logical() != object.logical()) {
+    return Status::InvalidArgument("schemas share no logical schema");
+  }
+  const LogicalSchema& L = *source.logical();
+  PSE_RETURN_NOT_OK(source.Validate());
+  PSE_RETURN_NOT_OK(object.Validate());
+
+  OperatorSet result;
+  int next_id = 0;
+  std::map<size_t, std::vector<int>> leftover_splits;  // piece -> split ops
+
+  // --- 1. CreateTable operators for object-only ("new") attributes. ---
+  // Group new attrs by (object table, entity): one create per group, as in
+  // the paper's bookID/abstract example.
+  std::vector<Piece> pieces;
+  for (size_t ot = 0; ot < object.tables().size(); ++ot) {
+    std::map<EntityId, std::vector<AttrId>> groups;
+    for (AttrId a : NonKeyAttrs(L, object.tables()[ot])) {
+      if (!L.attr(a).is_new) continue;
+      if (source.TableOfNonKeyAttr(a).ok()) {
+        return Status::InvalidArgument("attr '" + L.attr(a).name +
+                                       "' marked new but present in source");
+      }
+      groups[L.attr(a).entity].push_back(a);
+    }
+    for (auto& [entity, attrs] : groups) {
+      MigrationOperator op;
+      op.kind = OperatorKind::kCreateTable;
+      op.id = next_id++;
+      op.create_entity = entity;
+      op.create_attrs = attrs;
+      result.ops.push_back(op);
+      result.deps.emplace_back();
+      Piece p;
+      p.anchor = entity;
+      p.attrs = attrs;
+      p.create_op = static_cast<int>(result.ops.size()) - 1;
+      p.object_table = static_cast<int>(ot);
+      pieces.push_back(std::move(p));
+    }
+  }
+
+  // --- 2. Refinement pieces from source tables. ---
+  // Every source non-key attr must land in exactly one object table.
+  for (size_t st = 0; st < source.tables().size(); ++st) {
+    std::map<int, std::vector<AttrId>> cells;  // object table -> attrs
+    for (AttrId a : NonKeyAttrs(L, source.tables()[st])) {
+      auto ot = object.TableOfNonKeyAttr(a);
+      if (!ot.ok()) {
+        return Status::InvalidArgument("attr '" + L.attr(a).name +
+                                       "' in source but not placed in object schema");
+      }
+      cells[static_cast<int>(*ot)].push_back(a);
+    }
+    size_t first_piece = pieces.size();
+    for (auto& [ot, attrs] : cells) {
+      for (Piece& p : RefineCell(L, attrs)) {
+        p.source_table = static_cast<int>(st);
+        p.object_table = ot;
+        pieces.push_back(std::move(p));
+      }
+    }
+    size_t piece_count = pieces.size() - first_piece;
+    if (piece_count > 1) {
+      // --- 3. SplitTable operators: carve off all but one piece. ---
+      // Keep as leftover a piece whose anchor equals the table anchor when
+      // possible (so the remainder table keeps a valid anchor trivially).
+      size_t leftover = first_piece;
+      for (size_t p = first_piece; p < pieces.size(); ++p) {
+        if (pieces[p].anchor == source.tables()[st].anchor) leftover = p;
+      }
+      std::vector<int> splits_of_table;
+      for (size_t p = first_piece; p < pieces.size(); ++p) {
+        if (p == leftover) continue;
+        MigrationOperator op;
+        op.kind = OperatorKind::kSplitTable;
+        op.id = next_id++;
+        op.split_moved = pieces[p].attrs;
+        op.split_moved_anchor = pieces[p].anchor;
+        result.ops.push_back(op);
+        result.deps.emplace_back();
+        pieces[p].isolating_split = static_cast<int>(result.ops.size()) - 1;
+        splits_of_table.push_back(pieces[p].isolating_split);
+      }
+      pieces[leftover].is_leftover = true;
+      // The leftover is isolated only once every sibling has been moved out;
+      // record that as a dependency list on the piece (applied to combines).
+      pieces[leftover].isolating_split = -2;  // marker: depends on all splits
+      // Stash the split list on the leftover via a side map below.
+      // (Handled with leftover_deps.)
+      leftover_splits[leftover] = splits_of_table;
+    }
+  }
+
+  // --- 4. CombineTable operators per object table. ---
+  for (size_t ot = 0; ot < object.tables().size(); ++ot) {
+    std::vector<size_t> members;
+    for (size_t p = 0; p < pieces.size(); ++p) {
+      if (pieces[p].object_table == static_cast<int>(ot)) members.push_back(p);
+    }
+    if (members.size() <= 1) continue;
+    // Deps of "piece p is isolated".
+    auto isolation_deps = [&](size_t p) {
+      std::vector<int> out;
+      if (pieces[p].create_op >= 0) out.push_back(pieces[p].create_op);
+      if (pieces[p].isolating_split >= 0) out.push_back(pieces[p].isolating_split);
+      if (pieces[p].isolating_split == -2) {
+        auto it = leftover_splits.find(p);
+        if (it != leftover_splits.end()) {
+          out.insert(out.end(), it->second.begin(), it->second.end());
+        }
+      }
+      return out;
+    };
+    // Greedy combine order: start from a piece anchored at the object
+    // table's anchor (one must exist for a valid object table whose anchor
+    // has attributes; otherwise take the piece whose anchor reaches all).
+    EntityId target_anchor = object.tables()[ot].anchor;
+    size_t start = members[0];
+    for (size_t m : members) {
+      if (pieces[m].anchor == target_anchor) {
+        start = m;
+        break;
+      }
+    }
+    std::vector<size_t> remaining;
+    for (size_t m : members) {
+      if (m != start) remaining.push_back(m);
+    }
+    // Simulate merge feasibility on attr sets.
+    std::set<AttrId> merged_attrs(pieces[start].attrs.begin(), pieces[start].attrs.end());
+    EntityId merged_anchor = pieces[start].anchor;
+    int prev_combine = -1;
+    std::vector<int> start_deps = isolation_deps(start);
+    while (!remaining.empty()) {
+      bool progressed = false;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        size_t cand = remaining[i];
+        // Combinable? same anchor, or merged reaches cand's anchor with the
+        // chain FKs available in the union, or vice versa.
+        EntityId a = merged_anchor, b = pieces[cand].anchor;
+        EntityId new_anchor;
+        bool ok = false;
+        std::set<AttrId> union_attrs = merged_attrs;
+        union_attrs.insert(pieces[cand].attrs.begin(), pieces[cand].attrs.end());
+        auto chain_ok = [&](EntityId from, EntityId to) {
+          auto path = L.FkPath(from, to);
+          if (!path.ok()) return false;
+          for (AttrId fk : *path) {
+            if (union_attrs.count(fk) == 0) return false;
+          }
+          return true;
+        };
+        if (a == b) {
+          new_anchor = a;
+          ok = true;
+        } else if (chain_ok(a, b)) {
+          new_anchor = a;
+          ok = true;
+        } else if (chain_ok(b, a)) {
+          new_anchor = b;
+          ok = true;
+        }
+        if (!ok) continue;
+        MigrationOperator op;
+        op.kind = OperatorKind::kCombineTable;
+        op.id = next_id++;
+        op.combine_left_rep = pieces[start].attrs[0];
+        op.combine_right_rep = pieces[cand].attrs[0];
+        result.ops.push_back(op);
+        std::vector<int> dep_list = isolation_deps(cand);
+        if (prev_combine >= 0) {
+          dep_list.push_back(prev_combine);
+        } else {
+          dep_list.insert(dep_list.end(), start_deps.begin(), start_deps.end());
+        }
+        std::sort(dep_list.begin(), dep_list.end());
+        dep_list.erase(std::unique(dep_list.begin(), dep_list.end()), dep_list.end());
+        result.deps.push_back(std::move(dep_list));
+        prev_combine = static_cast<int>(result.ops.size()) - 1;
+        merged_attrs = std::move(union_attrs);
+        merged_anchor = new_anchor;
+        remaining.erase(remaining.begin() + static_cast<long>(i));
+        progressed = true;
+        break;
+      }
+      if (!progressed) {
+        return Status::Internal("no feasible combine order for object table '" +
+                                object.tables()[ot].name + "'");
+      }
+    }
+  }
+
+  // --- 5. Sanity: applying everything must yield the object schema. ---
+  PhysicalSchema check = source;
+  PSE_ASSIGN_OR_RETURN(std::vector<int> order, result.TopologicalOrder());
+  for (int i : order) {
+    PSE_RETURN_NOT_OK(ApplyOperator(result.ops[static_cast<size_t>(i)], &check));
+  }
+  if (!check.EquivalentTo(object)) {
+    return Status::Internal("operator set does not reproduce the object schema:\n" +
+                            check.ToString() + "\nvs\n" + object.ToString());
+  }
+  return result;
+}
+
+}  // namespace pse

@@ -1,0 +1,45 @@
+// Operator-set calculation (Section III.B.1): derive, from the schema
+// mapping between the source and object physical schemas, the minimal set of
+// basic operators whose one-time application evolves source into object —
+// plus the dependency DAG the paper leaves implicit (a combine cannot run
+// before the splits/creates that isolate its input fragments).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/operators.h"
+#include "core/physical_schema.h"
+
+namespace pse {
+
+/// The derived operator set with dependencies.
+struct OperatorSet {
+  std::vector<MigrationOperator> ops;
+  /// deps[i] = indexes of operators that must be applied before ops[i].
+  std::vector<std::vector<int>> deps;
+
+  size_t size() const { return ops.size(); }
+
+  /// True if `subset` (indices into ops) together with `already_applied`
+  /// satisfies every dependency of every member.
+  bool IsClosed(const std::vector<int>& subset, const std::vector<bool>& already_applied) const;
+
+  /// Indices in dependency-respecting order (input order preserved
+  /// otherwise). InvalidArgument on a dependency cycle.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  std::string ToString(const LogicalSchema& logical) const;
+};
+
+/// \brief Computes the operator set transforming `source` into `object`.
+///
+/// Both schemas must be valid and share a LogicalSchema. Attributes marked
+/// `is_new` may appear only in `object`; every other non-key attribute must
+/// appear in both. Applying all returned operators (in any dependency-
+/// respecting order) to `source` yields a schema structurally equivalent to
+/// `object` — property-tested in tests/core/mapping_test.cc.
+Result<OperatorSet> ComputeOperatorSet(const PhysicalSchema& source,
+                                       const PhysicalSchema& object);
+
+}  // namespace pse

@@ -1,0 +1,216 @@
+#include "core/migration_executor.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace pse {
+
+namespace {
+
+/// Names in `a` that are not in `b`.
+std::vector<size_t> TablesOnlyIn(const PhysicalSchema& a, const PhysicalSchema& b) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < a.tables().size(); ++i) {
+    if (!b.TableByName(a.tables()[i].name).ok()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<uint64_t> MigrationExecutor::Apply(const MigrationOperator& op, PhysicalSchema* schema) {
+  PhysicalSchema after = *schema;
+  PSE_RETURN_NOT_OK(ApplyOperator(op, &after));
+  uint64_t io_before = db_->TotalIo();
+  switch (op.kind) {
+    case OperatorKind::kCreateTable:
+      PSE_RETURN_NOT_OK(ApplyCreate(op, *schema, after));
+      break;
+    case OperatorKind::kSplitTable:
+      PSE_RETURN_NOT_OK(ApplySplit(*schema, after));
+      break;
+    case OperatorKind::kCombineTable:
+      PSE_RETURN_NOT_OK(ApplyCombine(*schema, after));
+      break;
+  }
+  // Data movement must be durable before the migration point completes, so
+  // the written pages count as physical I/O even when they fit in cache.
+  PSE_RETURN_NOT_OK(db_->pool()->FlushAll());
+  *schema = std::move(after);
+  return db_->TotalIo() - io_before;
+}
+
+Result<uint64_t> MigrationExecutor::ApplyAll(const std::vector<MigrationOperator>& ops,
+                                             PhysicalSchema* schema) {
+  uint64_t total = 0;
+  for (const auto& op : ops) {
+    PSE_ASSIGN_OR_RETURN(uint64_t io, Apply(op, schema));
+    total += io;
+  }
+  return total;
+}
+
+Status MigrationExecutor::ApplyCreate(const MigrationOperator& op, const PhysicalSchema& before,
+                                      const PhysicalSchema& after) {
+  (void)before;
+  std::vector<size_t> added = TablesOnlyIn(after, before);
+  if (added.size() != 1) return Status::Internal("create must add exactly one table");
+  size_t idx = added[0];
+  TableSchema ts = after.ToTableSchema(idx);
+  PSE_RETURN_NOT_OK(db_->CreateTable(ts));
+  PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, after, idx));
+  // Load from the entity-level source of truth (new attribute values are
+  // defined by the predeclared functional dependency key -> attrs, which the
+  // LogicalDatabase realizes).
+  const auto& entity_rows = data_->Rows(op.create_entity);
+  size_t limit = op.create_entity < visible_.size()
+                     ? std::min(visible_[op.create_entity], entity_rows.size())
+                     : entity_rows.size();
+  for (size_t r = 0; r < limit; ++r) {
+    PSE_ASSIGN_OR_RETURN(Row row, data_->BuildTableRow(after, idx, entity_rows[r]));
+    PSE_RETURN_NOT_OK(db_->Insert(ts.name(), row).status());
+  }
+  return db_->Analyze(ts.name());
+}
+
+Status MigrationExecutor::ApplySplit(const PhysicalSchema& before, const PhysicalSchema& after) {
+  std::vector<size_t> removed = TablesOnlyIn(before, after);
+  std::vector<size_t> added = TablesOnlyIn(after, before);
+  if (removed.size() != 1 || added.size() != 2) {
+    return Status::Internal("split must replace one table with two");
+  }
+  const PhysicalTable& old_table = before.tables()[removed[0]];
+  TableSchema old_ts = before.ToTableSchema(removed[0]);
+  PSE_ASSIGN_OR_RETURN(TableInfo * old_info, db_->GetTable(old_table.name));
+
+  for (size_t target : added) {
+    const PhysicalTable& t = after.tables()[target];
+    TableSchema ts = after.ToTableSchema(target);
+    PSE_RETURN_NOT_OK(db_->CreateTable(ts));
+    PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, after, target));
+    // Column mapping: target column -> position in the old table.
+    std::vector<size_t> mapping;
+    for (const Column& c : ts.columns()) {
+      PSE_ASSIGN_OR_RETURN(size_t pos, old_ts.ColumnIndex(c.name));
+      mapping.push_back(pos);
+    }
+    bool dedup = t.anchor != old_table.anchor;
+    // Key column of the target is its first column (anchor key).
+    std::unordered_set<int64_t> seen_keys;
+    for (auto it = old_info->heap->Begin(); !it.AtEnd();) {
+      const Row& src = it.row();
+      Row dst;
+      dst.reserve(mapping.size());
+      for (size_t pos : mapping) dst.push_back(src[pos]);
+      bool insert = true;
+      if (dedup) {
+        if (dst[0].is_null()) {
+          insert = false;  // dangling/unknown parent
+        } else {
+          insert = seen_keys.insert(dst[0].AsInt()).second;
+        }
+      }
+      if (insert) {
+        PSE_RETURN_NOT_OK(db_->Insert(ts.name(), dst).status());
+      }
+      PSE_RETURN_NOT_OK(it.Next());
+    }
+    PSE_RETURN_NOT_OK(db_->Analyze(ts.name()));
+  }
+  return db_->DropTable(old_table.name);
+}
+
+Status MigrationExecutor::ApplyCombine(const PhysicalSchema& before,
+                                       const PhysicalSchema& after) {
+  std::vector<size_t> removed = TablesOnlyIn(before, after);
+  std::vector<size_t> added = TablesOnlyIn(after, before);
+  if (removed.size() != 2 || added.size() != 1) {
+    return Status::Internal("combine must replace two tables with one");
+  }
+  const LogicalSchema& L = *before.logical();
+  const PhysicalTable& result = after.tables()[added[0]];
+  // Left = the side sharing the result anchor (drives the row set).
+  size_t left_i = removed[0], right_i = removed[1];
+  if (before.tables()[right_i].anchor == result.anchor &&
+      before.tables()[left_i].anchor != result.anchor) {
+    std::swap(left_i, right_i);
+  }
+  const PhysicalTable& left = before.tables()[left_i];
+  const PhysicalTable& right = before.tables()[right_i];
+  TableSchema left_ts = before.ToTableSchema(left_i);
+  TableSchema right_ts = before.ToTableSchema(right_i);
+
+  // Join columns.
+  std::string left_join_col, right_join_col;
+  if (left.anchor == right.anchor) {
+    left_join_col = left_ts.key_columns()[0];
+    right_join_col = right_ts.key_columns()[0];
+  } else {
+    PSE_ASSIGN_OR_RETURN(std::vector<AttrId> path, L.FkPath(left.anchor, right.anchor));
+    left_join_col = L.attr(path.back()).name;
+    right_join_col = right_ts.key_columns()[0];
+  }
+  PSE_ASSIGN_OR_RETURN(size_t left_join_pos, left_ts.ColumnIndex(left_join_col));
+  PSE_ASSIGN_OR_RETURN(size_t right_join_pos, right_ts.ColumnIndex(right_join_col));
+
+  TableSchema result_ts = after.ToTableSchema(added[0]);
+  PSE_RETURN_NOT_OK(db_->CreateTable(result_ts));
+  PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, after, added[0]));
+
+  // Column mapping: result column -> (from_left?, position).
+  struct ColSource {
+    bool from_left;
+    size_t pos;
+  };
+  std::vector<ColSource> mapping;
+  for (const Column& c : result_ts.columns()) {
+    auto lp = left_ts.ColumnIndex(c.name);
+    if (lp.ok()) {
+      mapping.push_back({true, *lp});
+      continue;
+    }
+    PSE_ASSIGN_OR_RETURN(size_t rp, right_ts.ColumnIndex(c.name));
+    mapping.push_back({false, rp});
+  }
+
+  // Build hash of the right side by its join key (unique: it is the key).
+  PSE_ASSIGN_OR_RETURN(TableInfo * right_info, db_->GetTable(right.name));
+  std::unordered_map<int64_t, Row> right_rows;
+  for (auto it = right_info->heap->Begin(); !it.AtEnd();) {
+    const Value& k = it.row()[right_join_pos];
+    if (!k.is_null()) right_rows.emplace(k.AsInt(), it.row());
+    PSE_RETURN_NOT_OK(it.Next());
+  }
+
+  // Scan left, emit left-outer-joined rows (anchor rows are preserved even
+  // when the parent is missing — its attributes become NULL).
+  PSE_ASSIGN_OR_RETURN(TableInfo * left_info, db_->GetTable(left.name));
+  for (auto it = left_info->heap->Begin(); !it.AtEnd();) {
+    const Row& lrow = it.row();
+    const Row* rrow = nullptr;
+    const Value& jk = lrow[left_join_pos];
+    if (!jk.is_null()) {
+      auto found = right_rows.find(jk.AsInt());
+      if (found != right_rows.end()) rrow = &found->second;
+    }
+    Row dst;
+    dst.reserve(mapping.size());
+    for (size_t c = 0; c < mapping.size(); ++c) {
+      if (mapping[c].from_left) {
+        dst.push_back(lrow[mapping[c].pos]);
+      } else if (rrow != nullptr) {
+        dst.push_back((*rrow)[mapping[c].pos]);
+      } else {
+        dst.push_back(Value::Null(result_ts.column(c).type));
+      }
+    }
+    PSE_RETURN_NOT_OK(db_->Insert(result_ts.name(), dst).status());
+    PSE_RETURN_NOT_OK(it.Next());
+  }
+  PSE_RETURN_NOT_OK(db_->Analyze(result_ts.name()));
+  PSE_RETURN_NOT_OK(db_->DropTable(left.name));
+  return db_->DropTable(right.name);
+}
+
+}  // namespace pse

@@ -1,0 +1,44 @@
+// MigrationExecutor: performs the physical side of a migration operator —
+// the data movement the paper keeps "at the same level of data movement
+// required by the migration". Structural application (operators.h) decides
+// what the schema looks like; this class creates/loads/drops the actual
+// tables on a Database and reports the I/O consumed.
+#pragma once
+
+#include "core/logical_database.h"
+#include "core/operators.h"
+#include "core/physical_schema.h"
+#include "storage/database.h"
+
+namespace pse {
+
+/// \brief Applies migration operators to a materialized database.
+class MigrationExecutor {
+ public:
+  /// `data` is the entity-level source of truth, used to materialize
+  /// CreateTable fragments (values of new attributes).
+  MigrationExecutor(Database* db, const LogicalDatabase* data) : db_(db), data_(data) {}
+
+  /// Limits CreateTable loads to the first visible[e] rows of each entity
+  /// (data-growth support); empty = everything.
+  void set_visible_rows(std::vector<size_t> visible) { visible_ = std::move(visible); }
+
+  /// Applies `op` physically and updates `schema` to the post-op schema.
+  /// Returns the physical page I/O consumed by the data movement.
+  Result<uint64_t> Apply(const MigrationOperator& op, PhysicalSchema* schema);
+
+  /// Applies several operators (must already be dependency-ordered).
+  Result<uint64_t> ApplyAll(const std::vector<MigrationOperator>& ops, PhysicalSchema* schema);
+
+ private:
+  Status ApplyCreate(const MigrationOperator& op, const PhysicalSchema& before,
+                     const PhysicalSchema& after);
+  Status ApplySplit(const PhysicalSchema& before, const PhysicalSchema& after);
+  Status ApplyCombine(const PhysicalSchema& before, const PhysicalSchema& after);
+
+  Database* db_;
+  const LogicalDatabase* data_;
+  std::vector<size_t> visible_;
+};
+
+}  // namespace pse

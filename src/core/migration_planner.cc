@@ -1,0 +1,367 @@
+#include "core/migration_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/virtual_catalog.h"
+#include "engine/cost_model.h"
+
+namespace pse {
+
+std::vector<int> MigrationContext::RemainingOps() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < opset->size(); ++i) {
+    if (!applied[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+namespace {
+
+/// Applies `subset` (indices into opset->ops) to a copy of ctx.current in a
+/// dependency-respecting order.
+Result<PhysicalSchema> ApplySubset(const MigrationContext& ctx, const std::vector<int>& subset) {
+  PhysicalSchema schema = *ctx.current;
+  // Order by the opset's topological order.
+  PSE_ASSIGN_OR_RETURN(std::vector<int> topo, ctx.opset->TopologicalOrder());
+  std::vector<bool> in_subset(ctx.opset->size(), false);
+  for (int i : subset) in_subset[static_cast<size_t>(i)] = true;
+  for (int i : topo) {
+    if (in_subset[static_cast<size_t>(i)]) {
+      PSE_RETURN_NOT_OK(ApplyOperator(ctx.opset->ops[static_cast<size_t>(i)], &schema));
+    }
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<double> EstimateOperatorIo(const MigrationOperator& op, const PhysicalSchema& before,
+                                  const LogicalStats& stats) {
+  VirtualSchemaCatalog catalog(&before, &stats);
+  const LogicalSchema& L = *before.logical();
+  auto table_pages = [&](size_t table_idx) -> double {
+    const std::string& name = before.tables()[table_idx].name;
+    auto st = catalog.GetStats(name);
+    if (!st.ok()) return 1.0;
+    return CostModel::TablePages(**st);
+  };
+  // Pages of a hypothetical table anchored at `anchor` with `attrs`.
+  auto fragment_pages = [&](EntityId anchor, const std::vector<AttrId>& attrs) -> double {
+    double width = 12.0;  // key + overhead
+    for (AttrId a : attrs) {
+      const LogicalAttribute& attr = L.attr(a);
+      width += attr.type == TypeId::kVarchar ? attr.avg_width + 4.0 : 8.0;
+    }
+    double rows =
+        anchor < stats.entity_rows.size() ? static_cast<double>(stats.entity_rows[anchor]) : 0;
+    return std::max(1.0, std::ceil(rows * width / (8192.0 * 0.85)));
+  };
+  switch (op.kind) {
+    case OperatorKind::kCreateTable: {
+      // Read key values from some carrier + write the new fragment.
+      double write = fragment_pages(op.create_entity, op.create_attrs);
+      return write * 2.0;
+    }
+    case OperatorKind::kSplitTable: {
+      auto ti = before.TableOfNonKeyAttr(op.split_moved[0]);
+      if (!ti.ok()) return 0.0;
+      double src = table_pages(*ti);
+      // Read the source once, write both halves (~ same total bytes).
+      return 2.0 * src;
+    }
+    case OperatorKind::kCombineTable: {
+      auto ai = before.TableOfNonKeyAttr(op.combine_left_rep);
+      auto bi = before.TableOfNonKeyAttr(op.combine_right_rep);
+      if (!ai.ok() || !bi.ok()) return 0.0;
+      double a = table_pages(*ai), b = table_pages(*bi);
+      // Read both, write the (denormalized, possibly larger) result.
+      return a + b + std::max(a, b) * 1.5;
+    }
+  }
+  return 0.0;
+}
+
+Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase,
+                               size_t observed_phase, size_t max_ops) {
+  std::vector<int> remaining = ctx.RemainingOps();
+  const size_t m = remaining.size();
+  if (m > max_ops) {
+    return Status::ResourceExhausted(
+        "LAA is exhaustive (2^m); m=" + std::to_string(m) + " exceeds the guard of " +
+        std::to_string(max_ops) + " — use GAA");
+  }
+  if (current_phase >= ctx.num_phases() || observed_phase >= ctx.num_phases()) {
+    return Status::InvalidArgument("phase out of range");
+  }
+  const std::vector<double>& freqs = (*ctx.phase_freqs)[observed_phase];
+  const LogicalStats& stats = ctx.StatsAt(observed_phase);
+  CostOptions cost_options;
+  cost_options.fallback_schema = ctx.object;
+
+  LaaResult result;
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> best_subset;
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    std::vector<int> subset;
+    for (size_t b = 0; b < m; ++b) {
+      if (mask & (1ull << b)) subset.push_back(remaining[b]);
+    }
+    if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
+    PSE_ASSIGN_OR_RETURN(PhysicalSchema schema, ApplySubset(ctx, subset));
+    PSE_ASSIGN_OR_RETURN(double cost, EstimateWorkloadCost(schema, stats, *ctx.queries, freqs,
+                                                           cost_options));
+    ++result.schemas_evaluated;
+    // Paper's Algorithm 1 uses Min >= TempCost: on ties, the later (here:
+    // larger/more-progressed) subset wins, pushing the migration forward.
+    if (cost <= best) {
+      best = cost;
+      best_subset = subset;
+    }
+  }
+  // Order the winner topologically for application.
+  PSE_ASSIGN_OR_RETURN(std::vector<int> topo, ctx.opset->TopologicalOrder());
+  std::vector<bool> in_subset(ctx.opset->size(), false);
+  for (int i : best_subset) in_subset[static_cast<size_t>(i)] = true;
+  for (int i : topo) {
+    if (in_subset[static_cast<size_t>(i)]) result.ops_to_apply.push_back(i);
+  }
+  result.best_cost = best;
+  return result;
+}
+
+Result<double> EvaluateAssignment(const MigrationContext& ctx, size_t current_phase,
+                                  const std::vector<int>& remaining_ops,
+                                  const std::vector<int>& assignment,
+                                  const GaaOptions& options) {
+  const size_t phases_left = ctx.num_phases() - current_phase;
+  CostOptions cost_options;
+  cost_options.fallback_schema = ctx.object;
+  cost_options.unservable_penalty = options.unservable_penalty;
+
+  if (assignment.size() != remaining_ops.size()) {
+    return Status::InvalidArgument("assignment arity mismatch");
+  }
+  PSE_ASSIGN_OR_RETURN(std::vector<int> topo, ctx.opset->TopologicalOrder());
+  std::vector<int> offset_of(ctx.opset->size(), -1);
+  for (size_t i = 0; i < remaining_ops.size(); ++i) {
+    offset_of[static_cast<size_t>(remaining_ops[i])] = assignment[i];
+  }
+
+  PhysicalSchema schema = *ctx.current;
+  double total = 0;
+  // Offsets run 0..phases_left; the value phases_left means "defer to the
+  // completion step after the last phase" (old users are gone by then, so
+  // deferred operators cost no measured query time). This matches the
+  // paper's gene range of (0, c).
+  for (size_t off = 0; off < phases_left; ++off) {
+    // Apply the ops assigned to this offset, in topological order.
+    for (int i : topo) {
+      if (offset_of[static_cast<size_t>(i)] == static_cast<int>(off)) {
+        if (options.include_migration_cost) {
+          PSE_ASSIGN_OR_RETURN(
+              double io, EstimateOperatorIo(ctx.opset->ops[static_cast<size_t>(i)], schema,
+                                            ctx.StatsAt(current_phase + off)));
+          total += options.migration_io_weight * io;
+        }
+        PSE_RETURN_NOT_OK(ApplyOperator(ctx.opset->ops[static_cast<size_t>(i)], &schema));
+      }
+    }
+    const std::vector<double>& freqs = (*ctx.phase_freqs)[current_phase + off];
+    PSE_ASSIGN_OR_RETURN(double cost,
+                         EstimateWorkloadCost(schema, ctx.StatsAt(current_phase + off),
+                                              *ctx.queries, freqs, cost_options));
+    total += cost;
+  }
+  // Deferred operators (offset == phases_left) run in the completion step;
+  // only their data movement can cost anything.
+  if (options.include_migration_cost) {
+    for (int i : topo) {
+      if (offset_of[static_cast<size_t>(i)] == static_cast<int>(phases_left)) {
+        PSE_ASSIGN_OR_RETURN(
+            double io, EstimateOperatorIo(ctx.opset->ops[static_cast<size_t>(i)], schema,
+                                          ctx.StatsAt(ctx.num_phases() - 1)));
+        total += options.migration_io_weight * io;
+        PSE_RETURN_NOT_OK(ApplyOperator(ctx.opset->ops[static_cast<size_t>(i)], &schema));
+      }
+    }
+  }
+  return total;
+}
+
+namespace {
+
+/// Builds the dependency-clamping repair: offset(dependent) >= offset(prereq)
+/// among remaining ops; prerequisites already applied impose nothing.
+std::function<void(Chromosome*, Rng*)> MakeRepair(const MigrationContext& ctx,
+                                                  const std::vector<int>& remaining_ops) {
+  // Position of each op in the chromosome.
+  std::vector<int> pos(ctx.opset->size(), -1);
+  for (size_t i = 0; i < remaining_ops.size(); ++i) {
+    pos[static_cast<size_t>(remaining_ops[i])] = static_cast<int>(i);
+  }
+  // Pre-compute (dependent_pos, prereq_pos) pairs in topological order so a
+  // single forward pass propagates chains.
+  std::vector<std::pair<int, int>> edges;
+  auto topo = ctx.opset->TopologicalOrder();
+  if (topo.ok()) {
+    for (int i : *topo) {
+      if (pos[static_cast<size_t>(i)] < 0) continue;
+      for (int d : ctx.opset->deps[static_cast<size_t>(i)]) {
+        if (pos[static_cast<size_t>(d)] >= 0) {
+          edges.emplace_back(pos[static_cast<size_t>(i)], pos[static_cast<size_t>(d)]);
+        }
+      }
+    }
+  }
+  return [edges](Chromosome* c, Rng*) {
+    for (const auto& [dep, pre] : edges) {
+      if ((*c)[static_cast<size_t>(dep)] < (*c)[static_cast<size_t>(pre)]) {
+        (*c)[static_cast<size_t>(dep)] = (*c)[static_cast<size_t>(pre)];
+      }
+    }
+  };
+}
+
+}  // namespace
+
+Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
+                          const GaaOptions& options) {
+  if (current_phase >= ctx.num_phases()) {
+    return Status::InvalidArgument("phase out of range");
+  }
+  GaaResult result;
+  result.remaining_ops = ctx.RemainingOps();
+  const size_t m = result.remaining_ops.size();
+  const int phases_left = static_cast<int>(ctx.num_phases() - current_phase);
+  if (m == 0) {
+    result.best_cost = 0;
+    return result;
+  }
+
+  // The GA minimizes cost; fitness = -cost. Repaired chromosomes recur
+  // often, so evaluations are memoized. Evaluation errors (should not
+  // happen for repaired chromosomes) surface as -inf fitness.
+  Status eval_error;
+  std::map<Chromosome, double> fitness_cache;
+  GaProblem problem;
+  problem.random_chromosome = [m, phases_left](Rng* rng) {
+    Chromosome c(m);
+    // Range [0, phases_left]: the top value defers past the last phase.
+    for (auto& g : c) g = static_cast<int>(rng->UniformInt(0, phases_left));
+    return c;
+  };
+  problem.repair = MakeRepair(ctx, result.remaining_ops);
+  if (options.use_order_crossover) {
+    // The paper's Fig 6 recombination is defined for permutations; on
+    // assignment strings (which carry duplicates) it can change the child's
+    // length, so fall back to two-point when that happens. This preserves
+    // the scheme's spirit for the ablation while staying well-defined.
+    problem.crossover = [](const Chromosome& a, const Chromosome& b, Rng* rng) {
+      Chromosome child = OrderCrossover(a, b, rng);
+      if (child.size() != a.size()) child = TwoPointCrossover(a, b, rng);
+      return child;
+    };
+  }
+  if (options.point_mutation_only) {
+    problem.mutate = [phases_left](Chromosome* c, Rng* rng) {
+      PointMutation(c, phases_left, rng);
+    };
+  } else {
+    problem.mutate = [phases_left](Chromosome* c, Rng* rng) {
+      if (rng->Bernoulli(0.5)) {
+        SegmentReversalMutation(c, rng);
+      } else {
+        PointMutation(c, phases_left, rng);
+      }
+    };
+  }
+  problem.fitness = [&](const Chromosome& c) -> double {
+    auto cached = fitness_cache.find(c);
+    if (cached != fitness_cache.end()) return cached->second;
+    Result<double> cost =
+        EvaluateAssignment(ctx, current_phase, result.remaining_ops, c, options);
+    double fitness;
+    if (!cost.ok()) {
+      eval_error = cost.status();
+      fitness = -std::numeric_limits<double>::infinity();
+    } else {
+      fitness = -*cost;
+    }
+    fitness_cache.emplace(c, fitness);
+    return fitness;
+  };
+
+  Rng rng(options.seed + current_phase * 7919);
+  GaResult ga = RunGa(problem, options.ga, &rng);
+  if (!eval_error.ok() && std::isinf(ga.best_fitness)) return eval_error;
+  result.assignment = ga.best;
+  result.best_cost = -ga.best_fitness;
+  result.evaluations = ga.evaluations;
+  return result;
+}
+
+std::vector<int> GaaResult::ApplyNow() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == 0) out.push_back(remaining_ops[i]);
+  }
+  return out;
+}
+
+Result<GaaResult> PlanExhaustiveGlobal(const MigrationContext& ctx, size_t current_phase,
+                                       const GaaOptions& options, size_t max_ops) {
+  GaaResult result;
+  result.remaining_ops = ctx.RemainingOps();
+  const size_t m = result.remaining_ops.size();
+  const int phases_left = static_cast<int>(ctx.num_phases() - current_phase);
+  if (m > max_ops) {
+    return Status::ResourceExhausted("exhaustive global search over c^m assignments; m=" +
+                                     std::to_string(m) + " too large");
+  }
+  if (m == 0) return result;
+  std::vector<int> assignment(m, 0);
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> best_assignment = assignment;
+  // Only dependency-valid assignments are scored.
+  auto valid = [&]() {
+    std::vector<int> offset_of(ctx.opset->size(), -1);
+    for (size_t i = 0; i < m; ++i) {
+      offset_of[static_cast<size_t>(result.remaining_ops[i])] = assignment[i];
+    }
+    for (size_t i = 0; i < m; ++i) {
+      int op = result.remaining_ops[i];
+      for (int d : ctx.opset->deps[static_cast<size_t>(op)]) {
+        int pre_off = offset_of[static_cast<size_t>(d)];
+        if (pre_off < 0) continue;  // already applied earlier
+        if (assignment[i] < pre_off) return false;
+      }
+    }
+    return true;
+  };
+  while (true) {
+    if (valid()) {
+      PSE_ASSIGN_OR_RETURN(
+          double cost,
+          EvaluateAssignment(ctx, current_phase, result.remaining_ops, assignment, options));
+      ++result.evaluations;
+      if (cost < best) {
+        best = cost;
+        best_assignment = assignment;
+      }
+    }
+    // Odometer increment (values 0..phases_left inclusive).
+    size_t pos = 0;
+    while (pos < m) {
+      if (++assignment[pos] <= phases_left) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == m) break;
+  }
+  result.assignment = best_assignment;
+  result.best_cost = best;
+  return result;
+}
+
+}  // namespace pse

@@ -1,0 +1,119 @@
+// LAA and GAA: the paper's two intermediate-schema selection algorithms.
+//
+// LAA (Algorithm 1) exhaustively scores every dependency-closed subset of
+// the remaining operators against the *upcoming* phase's workload and
+// applies the best — O(2^m) schema estimations per migration point.
+//
+// GAA (Section III.C) runs a genetic algorithm over assignment strings
+// (gene g of operator o = "apply o at migration point g") whose evaluation
+// function forward-scans all remaining phases with the predicted workload
+// trend (Algorithm 2), optionally adding the data-movement I/O of each
+// operator at its assigned point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/workload.h"
+#include "ga/genetic.h"
+
+namespace pse {
+
+/// Shared planning inputs at one migration point.
+struct MigrationContext {
+  const PhysicalSchema* current = nullptr;  ///< schema before this point
+  const PhysicalSchema* object = nullptr;
+  const OperatorSet* opset = nullptr;
+  /// ops already applied in earlier points (size == opset->size()).
+  std::vector<bool> applied;
+  /// Predicted workload per phase: phase_freqs[p][q]. Phase indexes are
+  /// global (0-based); planning at point p considers phases p..end.
+  const std::vector<std::vector<double>>* phase_freqs = nullptr;
+  /// Predicted data statistics per phase (size == phases, or 1 = static).
+  const std::vector<LogicalStats>* phase_stats = nullptr;
+  const std::vector<WorkloadQuery>* queries = nullptr;
+
+  size_t num_phases() const { return phase_freqs->size(); }
+  const LogicalStats& StatsAt(size_t phase) const {
+    return phase_stats->size() == 1 ? (*phase_stats)[0]
+                                    : (*phase_stats)[std::min(phase, phase_stats->size() - 1)];
+  }
+  /// Indices of not-yet-applied operators.
+  std::vector<int> RemainingOps() const;
+};
+
+/// Rough data-movement I/O (pages read + written) of applying `op` when the
+/// schema is `before` with statistics `stats`.
+Result<double> EstimateOperatorIo(const MigrationOperator& op, const PhysicalSchema& before,
+                                  const LogicalStats& stats);
+
+// -- LAA --
+
+struct LaaResult {
+  std::vector<int> ops_to_apply;    ///< dependency-closed subset, topo order
+  double best_cost = 0;             ///< estimated phase cost of the winner
+  size_t schemas_evaluated = 0;     ///< the paper's 2^m blow-up, observable
+};
+
+/// Runs LAA at the migration point opening `current_phase`, scoring the
+/// candidate schemas against the workload of `observed_phase` — what the
+/// collector has measured so far. The paper's LAA adapts to the CURRENT
+/// system status, so callers normally pass observed_phase = current_phase-1
+/// (clamped); passing current_phase makes LAA clairvoyant (used by tests
+/// and ablations). m = remaining ops must satisfy m <= max_ops (the
+/// exhaustive search guard).
+Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase,
+                               size_t observed_phase, size_t max_ops = 22);
+/// Clairvoyant convenience overload (observed == upcoming).
+inline Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase) {
+  return SelectOpsLaa(ctx, current_phase, current_phase);
+}
+
+// -- GAA --
+
+struct GaaOptions {
+  GaConfig ga;
+  uint64_t seed = 12345;
+  /// Recombination scheme: standard two-point crossover on assignment
+  /// strings (default), or the paper's Fig 6 order-based recombination.
+  bool use_order_crossover = false;
+  /// Mutation: mixed segment-reversal + point (default) or point-only.
+  bool point_mutation_only = false;
+  /// Add EstimateOperatorIo of each op at its assigned point to the
+  /// objective (the forward scan then also optimizes *when* to move data).
+  bool include_migration_cost = false;
+  double migration_io_weight = 1.0;
+  /// Price queries that cannot run yet via the object schema (see
+  /// CostOptions).
+  double unservable_penalty = 3.0;
+};
+
+struct GaaResult {
+  /// For each remaining op (in RemainingOps() order): the phase offset
+  /// (0 = apply now) it is assigned to.
+  std::vector<int> assignment;
+  std::vector<int> remaining_ops;  ///< op indices matching `assignment`
+  double best_cost = 0;            ///< estimated total cost of the plan
+  size_t evaluations = 0;
+  /// Ops assigned to offset 0, in dependency order — what to apply now.
+  std::vector<int> ApplyNow() const;
+};
+
+/// Runs GAA at `current_phase`, planning all remaining phases.
+Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
+                          const GaaOptions& options);
+
+/// Exhaustive global optimum over all c^m assignments (ablation baseline;
+/// only feasible for tiny instances). Same output shape as GAA.
+Result<GaaResult> PlanExhaustiveGlobal(const MigrationContext& ctx, size_t current_phase,
+                                       const GaaOptions& options, size_t max_ops = 10);
+
+/// Shared evaluation function (Algorithm 2): total cost of executing the
+/// remaining phases under `assignment`. Exposed for tests and benches.
+Result<double> EvaluateAssignment(const MigrationContext& ctx, size_t current_phase,
+                                  const std::vector<int>& remaining_ops,
+                                  const std::vector<int>& assignment,
+                                  const GaaOptions& options);
+
+}  // namespace pse

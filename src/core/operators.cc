@@ -1,0 +1,158 @@
+#include "core/operators.h"
+
+#include <algorithm>
+
+namespace pse {
+
+namespace {
+
+/// Non-key attributes of a table.
+std::vector<AttrId> NonKeyAttrs(const LogicalSchema& L, const PhysicalTable& t) {
+  std::vector<AttrId> out;
+  for (AttrId a : t.attrs) {
+    if (!L.attr(a).is_key) out.push_back(a);
+  }
+  return out;
+}
+
+std::string AttrList(const LogicalSchema& L, const std::vector<AttrId>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += L.attr(attrs[i]).name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MigrationOperator::ToString(const LogicalSchema& logical) const {
+  switch (kind) {
+    case OperatorKind::kCreateTable:
+      return "Create#" + std::to_string(id) + "(" + logical.entity(create_entity).name + ": " +
+             AttrList(logical, create_attrs) + ")";
+    case OperatorKind::kSplitTable:
+      return "Split#" + std::to_string(id) + "(move " + AttrList(logical, split_moved) +
+             " -> anchor " + logical.entity(split_moved_anchor).name + ")";
+    case OperatorKind::kCombineTable:
+      return "Combine#" + std::to_string(id) + "(" + logical.attr(combine_left_rep).name +
+             " side + " + logical.attr(combine_right_rep).name + " side)";
+  }
+  return "?";
+}
+
+std::string OperatorResultName(const MigrationOperator& op, const LogicalSchema& logical,
+                               bool split_right_side) {
+  switch (op.kind) {
+    case OperatorKind::kCreateTable:
+      return "m" + std::to_string(op.id) + "_" + logical.entity(op.create_entity).name + "_new";
+    case OperatorKind::kSplitTable:
+      return "m" + std::to_string(op.id) + (split_right_side ? "b_" : "a_") +
+             logical.entity(op.split_moved_anchor).name;
+    case OperatorKind::kCombineTable:
+      return "m" + std::to_string(op.id) + "_comb";
+  }
+  return "m" + std::to_string(op.id);
+}
+
+Status ApplyOperator(const MigrationOperator& op, PhysicalSchema* schema) {
+  const LogicalSchema& L = *schema->logical();
+  PhysicalSchema candidate = *schema;  // copy; commit only on success
+
+  switch (op.kind) {
+    case OperatorKind::kCreateTable: {
+      if (op.create_attrs.empty()) return Status::InvalidArgument("create with no attributes");
+      for (AttrId a : op.create_attrs) {
+        if (candidate.TableOfNonKeyAttr(a).ok()) {
+          return Status::InvalidArgument("create: attr '" + L.attr(a).name +
+                                         "' already stored");
+        }
+        if (L.attr(a).entity != op.create_entity) {
+          return Status::InvalidArgument("create: attr '" + L.attr(a).name +
+                                         "' does not belong to entity '" +
+                                         L.entity(op.create_entity).name + "'");
+        }
+      }
+      // The entity's key values must be obtainable somewhere for loading.
+      if (candidate.TablesWithAttr(L.entity(op.create_entity).key).empty()) {
+        return Status::InvalidArgument("create: no table carries the key of entity '" +
+                                       L.entity(op.create_entity).name + "'");
+      }
+      PSE_RETURN_NOT_OK(candidate.AddTable(OperatorResultName(op, L), op.create_entity,
+                                           op.create_attrs));
+      break;
+    }
+    case OperatorKind::kSplitTable: {
+      if (op.split_moved.empty()) return Status::InvalidArgument("split with no moved attrs");
+      PSE_ASSIGN_OR_RETURN(size_t ti, candidate.TableOfNonKeyAttr(op.split_moved[0]));
+      const PhysicalTable table = candidate.tables()[ti];
+      for (AttrId a : op.split_moved) {
+        if (!table.Contains(a)) {
+          return Status::InvalidArgument("split: attrs not co-located ('" + L.attr(a).name +
+                                         "' is elsewhere)");
+        }
+        if (L.attr(a).is_key) {
+          return Status::InvalidArgument("split: cannot move key attr '" + L.attr(a).name + "'");
+        }
+      }
+      std::vector<AttrId> nonkey = NonKeyAttrs(L, table);
+      std::vector<AttrId> rest;
+      for (AttrId a : nonkey) {
+        if (std::find(op.split_moved.begin(), op.split_moved.end(), a) ==
+            op.split_moved.end()) {
+          rest.push_back(a);
+        }
+      }
+      if (rest.empty()) {
+        return Status::InvalidArgument("split: would leave an empty table");
+      }
+      candidate.RemoveTable(ti);
+      PSE_RETURN_NOT_OK(
+          candidate.AddTable(OperatorResultName(op, L, false), table.anchor, rest));
+      PSE_RETURN_NOT_OK(candidate.AddTable(OperatorResultName(op, L, true),
+                                           op.split_moved_anchor, op.split_moved));
+      break;
+    }
+    case OperatorKind::kCombineTable: {
+      PSE_ASSIGN_OR_RETURN(size_t ai, candidate.TableOfNonKeyAttr(op.combine_left_rep));
+      PSE_ASSIGN_OR_RETURN(size_t bi, candidate.TableOfNonKeyAttr(op.combine_right_rep));
+      if (ai == bi) return Status::InvalidArgument("combine: sides are the same table");
+      const PhysicalTable ta = candidate.tables()[ai];
+      const PhysicalTable tb = candidate.tables()[bi];
+      EntityId anchor;
+      if (ta.anchor == tb.anchor) {
+        anchor = ta.anchor;
+      } else if (L.Reaches(ta.anchor, tb.anchor)) {
+        anchor = ta.anchor;
+      } else if (L.Reaches(tb.anchor, ta.anchor)) {
+        anchor = tb.anchor;
+      } else {
+        return Status::InvalidArgument("combine: anchors are unrelated entities");
+      }
+      std::vector<AttrId> merged = NonKeyAttrs(L, ta);
+      std::vector<AttrId> b_nonkey = NonKeyAttrs(L, tb);
+      merged.insert(merged.end(), b_nonkey.begin(), b_nonkey.end());
+      // Remove higher index first.
+      candidate.RemoveTable(std::max(ai, bi));
+      candidate.RemoveTable(std::min(ai, bi));
+      PSE_RETURN_NOT_OK(candidate.AddTable(OperatorResultName(op, L), anchor, merged));
+      break;
+    }
+  }
+  PSE_RETURN_NOT_OK(candidate.Validate());
+  *schema = std::move(candidate);
+  return Status::OK();
+}
+
+Status ApplyOperators(const std::vector<MigrationOperator>& ops, PhysicalSchema* schema) {
+  for (const auto& op : ops) {
+    Status s = ApplyOperator(op, schema);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    op.ToString(*schema->logical()) + " failed: " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pse

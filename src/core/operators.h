@@ -1,0 +1,68 @@
+// The paper's three basic migration operators (Section III.A).
+//
+// Operators are *content-addressed*: because non-key attributes always
+// partition across tables, "the table storing attribute X" is unambiguous in
+// every intermediate schema, so an operator identifies its operand tables by
+// representative attributes rather than by (unstable) table names. Applying
+// an operator to a PhysicalSchema is purely structural ("virtually listed"
+// in the paper's words); the MigrationExecutor performs the matching data
+// movement on a real Database.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/physical_schema.h"
+
+namespace pse {
+
+enum class OperatorKind { kCreateTable, kSplitTable, kCombineTable };
+
+/// \brief One schema-evolution step.
+struct MigrationOperator {
+  OperatorKind kind = OperatorKind::kCreateTable;
+  /// Stable id; also used to derive deterministic names of result tables.
+  int id = 0;
+
+  // kCreateTable: introduce `create_attrs` (object-only attributes of
+  // `create_entity`) as a fresh fragment keyed by the entity key. The
+  // functional dependency key(entity) -> attrs is the paper's precondition.
+  EntityId create_entity = kInvalidId;
+  std::vector<AttrId> create_attrs;
+
+  // kSplitTable: split the table containing `split_moved` (all co-located)
+  // into (rest, moved); the moved fragment is anchored at
+  // `split_moved_anchor`. The shared key column materialized on both sides
+  // is the paper's created reference.
+  std::vector<AttrId> split_moved;
+  EntityId split_moved_anchor = kInvalidId;
+
+  // kCombineTable: merge the table containing `combine_left_rep` with the
+  // table containing `combine_right_rep` along the FK/key reference implied
+  // by their anchors.
+  AttrId combine_left_rep = kInvalidId;
+  AttrId combine_right_rep = kInvalidId;
+
+  /// Human-readable description ("Split(item: i_title | i_cost)" etc).
+  std::string ToString(const LogicalSchema& logical) const;
+};
+
+/// Deterministic name for the table produced by an operator.
+std::string OperatorResultName(const MigrationOperator& op, const LogicalSchema& logical,
+                               bool split_right_side = false);
+
+/// \brief Applies `op` to `schema` in place.
+///
+/// Fails (leaving schema untouched on precondition errors) when:
+///   * create: some create_attr already stored, or no table carries the
+///     entity's key values (needed for data loading);
+///   * split: moved attrs not co-located, or the split would empty a side,
+///     or a side would lose chain FKs it still needs;
+///   * combine: sides not distinct tables, or neither anchor reaches the
+///     other, or the reference FK chain is not stored on the many side.
+Status ApplyOperator(const MigrationOperator& op, PhysicalSchema* schema);
+
+/// Applies a sequence, stopping at the first error.
+Status ApplyOperators(const std::vector<MigrationOperator>& ops, PhysicalSchema* schema);
+
+}  // namespace pse

@@ -1,0 +1,89 @@
+// Physical schema: one materialization of a LogicalSchema into tables.
+//
+// Each table has an *anchor entity* (the table holds one row per anchor-
+// entity row; its primary key is the anchor's key) and a set of attributes,
+// each functionally determined by the anchor key:
+//   * the anchor's own attributes (a vertical fragment), and/or
+//   * attributes of entities reachable over many-to-one FK chains whose FK
+//     attributes are also stored in the table (denormalization).
+//
+// Invariants (checked by Validate):
+//   1. every table stores its anchor's key attribute;
+//   2. every non-key attribute (including FKs) is stored in exactly one
+//      table across the schema;
+//   3. a key attribute of entity E is stored in table T iff T is anchored at
+//      E or T stores some non-key attribute of E;
+//   4. for every stored attribute of entity E != anchor(T), the FK chain
+//      anchor(T) -> E is stored in T as well.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "core/logical_schema.h"
+
+namespace pse {
+
+/// One physical table as an attribute fragment.
+struct PhysicalTable {
+  std::string name;
+  EntityId anchor = kInvalidId;
+  /// All stored attributes (keys, FKs, plain), sorted by AttrId.
+  std::vector<AttrId> attrs;
+
+  bool Contains(AttrId a) const;
+};
+
+/// \brief A set of physical tables over one LogicalSchema.
+class PhysicalSchema {
+ public:
+  PhysicalSchema() = default;
+  explicit PhysicalSchema(const LogicalSchema* logical) : logical_(logical) {}
+
+  const LogicalSchema* logical() const { return logical_; }
+  const std::vector<PhysicalTable>& tables() const { return tables_; }
+
+  /// Adds a table from its anchor and NON-KEY attribute set; the needed key
+  /// attributes are added automatically per the invariants. The resulting
+  /// table still has to pass Validate() (chain FKs must be in the set).
+  Status AddTable(const std::string& name, EntityId anchor,
+                  const std::vector<AttrId>& nonkey_attrs);
+
+  /// Checks all schema invariants.
+  Status Validate() const;
+
+  /// Index of the unique table storing non-key attribute `a`; NotFound when
+  /// absent from this schema.
+  Result<size_t> TableOfNonKeyAttr(AttrId a) const;
+  /// Tables containing attribute `a` (multiple possible for key attrs).
+  std::vector<size_t> TablesWithAttr(AttrId a) const;
+  Result<size_t> TableByName(const std::string& name) const;
+
+  /// Engine-level TableSchema for table `idx` (column per attribute, in
+  /// AttrId order, named by attribute name; key = anchor key).
+  TableSchema ToTableSchema(size_t idx) const;
+
+  /// Display form listing every table.
+  std::string ToString() const;
+
+  /// Structural equality (same anchors + attr sets, names ignored), used to
+  /// verify that applying all operators yields exactly the object schema.
+  bool EquivalentTo(const PhysicalSchema& other) const;
+
+  /// Mutators used by the migration operators.
+  void RemoveTable(size_t idx) { tables_.erase(tables_.begin() + static_cast<long>(idx)); }
+  void AddRawTable(PhysicalTable t);
+
+  /// Computes the full attribute set (keys added) for an anchor + non-key
+  /// attribute group.
+  static std::vector<AttrId> CompleteAttrSet(const LogicalSchema& logical, EntityId anchor,
+                                             const std::vector<AttrId>& nonkey_attrs);
+
+ private:
+  const LogicalSchema* logical_ = nullptr;
+  std::vector<PhysicalTable> tables_;
+};
+
+}  // namespace pse

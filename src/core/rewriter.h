@@ -1,0 +1,34 @@
+// Query rewriter (Section II's "query rewriter" component): lowers a
+// LogicalQuery onto an arbitrary physical schema, producing a BoundQuery the
+// planner can cost (against a VirtualSchemaCatalog) or execute (against the
+// materialized Database).
+//
+// Lowering rules, per table T that stores a needed attribute:
+//   * anchor(T) == query anchor       -> direct fragment, joined on the
+//     anchor key (the reference created by SplitTable);
+//   * anchor(T) deeper (anchor(T) reaches the query anchor over FKs)
+//     -> the query's entity was denormalized INTO T by CombineTable; access
+//     T with a DISTINCT projection keyed by the query-anchor key column it
+//     carries (each anchor row appears once per child row);
+//   * anchor(T) is an ancestor (query anchor reaches anchor(T)) -> parent
+//     fragment, joined fk = key along the relationship chain; the chain's
+//     FK attribute is resolved recursively (it lives in some table too).
+//
+// Correctness invariant (property-tested): executing the rewritten query on
+// any valid intermediate schema returns exactly the rows of the original
+// query on the source schema, provided every parent entity is *covered*
+// (has at least one child row) when denormalized — the documented
+// precondition of CombineTable across entities.
+#pragma once
+
+#include "core/logical_query.h"
+#include "core/physical_schema.h"
+#include "engine/bound_query.h"
+
+namespace pse {
+
+/// Lowers `query` onto `schema`. BindError when a needed attribute is not
+/// stored (e.g. a new attribute whose CreateTable has not run yet).
+Result<BoundQuery> RewriteQuery(const LogicalQuery& query, const PhysicalSchema& schema);
+
+}  // namespace pse

@@ -1,0 +1,167 @@
+#include "core/schema_advisor.h"
+
+#include <map>
+#include <set>
+
+namespace pse {
+
+namespace {
+
+/// Candidate operators applicable to `schema` right now:
+///  * split off any single non-key attribute of a multi-attribute table;
+///  * split off any embedded entity's whole attribute group;
+///  * combine any legal pair of tables.
+std::vector<MigrationOperator> CandidateOps(const PhysicalSchema& schema, int* next_id) {
+  const LogicalSchema& L = *schema.logical();
+  std::vector<MigrationOperator> out;
+  for (size_t t = 0; t < schema.tables().size(); ++t) {
+    const PhysicalTable& table = schema.tables()[t];
+    std::vector<AttrId> nonkey;
+    std::map<EntityId, std::vector<AttrId>> by_entity;
+    for (AttrId a : table.attrs) {
+      if (L.attr(a).is_key) continue;
+      nonkey.push_back(a);
+      by_entity[L.attr(a).entity].push_back(a);
+    }
+    if (nonkey.size() >= 2) {
+      // Single-attribute splits.
+      for (AttrId a : nonkey) {
+        MigrationOperator op;
+        op.kind = OperatorKind::kSplitTable;
+        op.id = (*next_id)++;
+        op.split_moved = {a};
+        op.split_moved_anchor = L.attr(a).entity;
+        out.push_back(std::move(op));
+      }
+      // Embedded-entity splits (re-normalization).
+      for (const auto& [entity, attrs] : by_entity) {
+        if (entity == table.anchor || attrs.size() < 2) continue;
+        MigrationOperator op;
+        op.kind = OperatorKind::kSplitTable;
+        op.id = (*next_id)++;
+        op.split_moved = attrs;
+        op.split_moved_anchor = entity;
+        out.push_back(std::move(op));
+      }
+    }
+  }
+  // Combines: any pair; legality is checked by ApplyOperator.
+  for (size_t a = 0; a < schema.tables().size(); ++a) {
+    for (size_t b = a + 1; b < schema.tables().size(); ++b) {
+      AttrId rep_a = kInvalidId, rep_b = kInvalidId;
+      for (AttrId x : schema.tables()[a].attrs) {
+        if (!L.attr(x).is_key) {
+          rep_a = x;
+          break;
+        }
+      }
+      for (AttrId x : schema.tables()[b].attrs) {
+        if (!L.attr(x).is_key) {
+          rep_b = x;
+          break;
+        }
+      }
+      if (rep_a == kInvalidId || rep_b == kInvalidId) continue;
+      MigrationOperator op;
+      op.kind = OperatorKind::kCombineTable;
+      op.id = (*next_id)++;
+      op.combine_left_rep = rep_a;
+      op.combine_right_rep = rep_b;
+      out.push_back(std::move(op));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStats& stats,
+                                   const std::vector<WorkloadQuery>& queries,
+                                   const std::vector<double>& freqs,
+                                   const AdvisorOptions& options) {
+  const LogicalSchema& L = *seed.logical();
+  AdvisorResult result;
+  result.schema = seed;
+  int next_id = 100000;
+
+  // 1. Make the workload servable: create missing referenced attributes.
+  std::set<AttrId> referenced;
+  for (const auto& wq : queries) {
+    std::vector<std::string> cols;
+    for (const auto& item : wq.query.select) {
+      if (item.expr) item.expr->CollectColumns(&cols);
+    }
+    for (const auto& f : wq.query.filters) f->CollectColumns(&cols);
+    for (const auto& g : wq.query.group_by) g->CollectColumns(&cols);
+    for (const auto& c : cols) {
+      PSE_ASSIGN_OR_RETURN(AttrId a, L.AttrByName(c));
+      referenced.insert(a);
+    }
+  }
+  std::map<EntityId, std::vector<AttrId>> missing;
+  for (AttrId a : referenced) {
+    if (L.attr(a).is_key) continue;
+    if (!result.schema.TableOfNonKeyAttr(a).ok()) {
+      missing[L.attr(a).entity].push_back(a);
+    }
+  }
+  if (!missing.empty() && !options.allow_creates) {
+    return Status::InvalidArgument("workload references attributes absent from the seed schema");
+  }
+  for (const auto& [entity, attrs] : missing) {
+    MigrationOperator op;
+    op.kind = OperatorKind::kCreateTable;
+    op.id = next_id++;
+    op.create_entity = entity;
+    op.create_attrs = attrs;
+    double before = 0;  // cost undefined while unservable
+    PSE_RETURN_NOT_OK(ApplyOperator(op, &result.schema));
+    AdvisorStep step;
+    step.op = op;
+    step.cost_before = before;
+    result.steps.push_back(std::move(step));
+  }
+
+  PSE_ASSIGN_OR_RETURN(double cost,
+                       EstimateWorkloadCost(result.schema, stats, queries, freqs));
+  result.initial_cost = cost;
+  if (!result.steps.empty()) {
+    // Back-fill the create steps' costs now that the workload is servable.
+    for (auto& step : result.steps) step.cost_after = cost;
+  }
+
+  // 2. Greedy hill-climbing.
+  for (size_t step_count = 0; step_count < options.max_steps; ++step_count) {
+    std::vector<MigrationOperator> candidates = CandidateOps(result.schema, &next_id);
+    double best_cost = cost;
+    std::optional<MigrationOperator> best_op;
+    PhysicalSchema best_schema;
+    for (const auto& op : candidates) {
+      PhysicalSchema trial = result.schema;
+      if (!ApplyOperator(op, &trial).ok()) continue;  // illegal move
+      auto trial_cost = EstimateWorkloadCost(trial, stats, queries, freqs);
+      if (!trial_cost.ok()) continue;
+      ++result.candidates_evaluated;
+      if (*trial_cost < best_cost) {
+        best_cost = *trial_cost;
+        best_op = op;
+        best_schema = std::move(trial);
+      }
+    }
+    if (!best_op.has_value() ||
+        cost - best_cost < options.min_improvement * std::max(1.0, cost)) {
+      break;
+    }
+    AdvisorStep step;
+    step.op = *best_op;
+    step.cost_before = cost;
+    step.cost_after = best_cost;
+    result.steps.push_back(std::move(step));
+    result.schema = std::move(best_schema);
+    cost = best_cost;
+  }
+  result.final_cost = cost;
+  return result;
+}
+
+}  // namespace pse

@@ -1,0 +1,42 @@
+// VirtualSchemaCatalog: presents a candidate (not materialized) physical
+// schema to the planner/cost model. This is what lets LAA/GAA price the
+// exponentially many intermediate schemas "virtually listed" in the paper
+// without ever loading data.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/logical_schema.h"
+#include "core/physical_schema.h"
+#include "engine/catalog_view.h"
+
+namespace pse {
+
+/// \brief CatalogView over a PhysicalSchema + LogicalStats snapshot.
+///
+/// Statistics are synthesized: a table anchored at entity E has
+/// entity_rows[E] rows; embedded attributes keep their logical NDV/min/max,
+/// with null counts scaled to the anchor cardinality. Every table is assumed
+/// to carry a B+ tree index on its anchor key (the Database's auto key
+/// index), matching what the migration executor actually builds.
+class VirtualSchemaCatalog : public CatalogView {
+ public:
+  VirtualSchemaCatalog(const PhysicalSchema* schema, const LogicalStats* stats);
+
+  Result<const TableSchema*> GetSchema(const std::string& table) const override;
+  Result<const TableStatistics*> GetStats(const std::string& table) const override;
+  bool HasIndex(const std::string& table, const std::string& column) const override;
+
+  const PhysicalSchema& physical() const { return *schema_; }
+
+ private:
+  const PhysicalSchema* schema_;
+  const LogicalStats* stats_;
+  // Lowercased table name -> synthesized metadata.
+  std::map<std::string, TableSchema> table_schemas_;
+  std::map<std::string, TableStatistics> table_stats_;
+  std::map<std::string, std::string> key_column_;
+};
+
+}  // namespace pse

@@ -1,0 +1,57 @@
+#include "core/workload.h"
+
+#include "core/rewriter.h"
+#include "core/virtual_catalog.h"
+#include "engine/cost_model.h"
+#include "engine/planner.h"
+
+namespace pse {
+
+Result<double> EstimateQueryCost(const LogicalQuery& query, const PhysicalSchema& schema,
+                                 const LogicalStats& stats) {
+  VirtualSchemaCatalog catalog(&schema, &stats);
+  PSE_ASSIGN_OR_RETURN(BoundQuery bound, RewriteQuery(query, schema));
+  PSE_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(bound, catalog));
+  CostModel model(&catalog);
+  PSE_ASSIGN_OR_RETURN(CostEstimate est, model.Estimate(*plan));
+  return est.io_pages;
+}
+
+Result<double> EstimateWorkloadCost(const PhysicalSchema& schema, const LogicalStats& stats,
+                                    const std::vector<WorkloadQuery>& queries,
+                                    const std::vector<double>& freqs,
+                                    const CostOptions& options) {
+  if (freqs.size() != queries.size()) {
+    return Status::InvalidArgument("frequency vector does not match query count");
+  }
+  double total = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (freqs[i] <= 0) continue;
+    Result<double> cost = EstimateQueryCost(queries[i].query, schema, stats);
+    if (!cost.ok()) {
+      if (cost.status().IsBindError() && options.fallback_schema != nullptr) {
+        PSE_ASSIGN_OR_RETURN(
+            double fb, EstimateQueryCost(queries[i].query, *options.fallback_schema, stats));
+        total += options.unservable_penalty * fb * freqs[i];
+        continue;
+      }
+      return cost.status();
+    }
+    total += *cost * freqs[i];
+  }
+  return total;
+}
+
+Result<double> CostValue(const PhysicalSchema& candidate, const PhysicalSchema& object,
+                         const LogicalStats& stats, const std::vector<WorkloadQuery>& queries,
+                         const std::vector<double>& freqs) {
+  CostOptions options;
+  options.fallback_schema = &object;
+  PSE_ASSIGN_OR_RETURN(double object_cost,
+                       EstimateWorkloadCost(object, stats, queries, freqs, options));
+  PSE_ASSIGN_OR_RETURN(double candidate_cost,
+                       EstimateWorkloadCost(candidate, stats, queries, freqs, options));
+  return object_cost - candidate_cost;
+}
+
+}  // namespace pse

@@ -1,0 +1,54 @@
+// Workload model and snapshot cost estimation (Section III.B.3).
+//
+// A workload is a set of logical queries (old + new application versions)
+// with per-phase frequencies. The cost of a schema for one phase is the
+// paper's C(Schema) = sum_i C_i * F_i, with C_i the cost model's I/O
+// estimate for query i rewritten onto that schema.
+#pragma once
+
+#include <vector>
+
+#include "core/logical_query.h"
+#include "core/physical_schema.h"
+
+namespace pse {
+
+/// One workload member.
+struct WorkloadQuery {
+  LogicalQuery query;
+  bool is_old = true;  ///< written against source (true) or object schema
+
+  WorkloadQuery() = default;
+  WorkloadQuery(LogicalQuery q, bool old_flag) : query(std::move(q)), is_old(old_flag) {}
+  WorkloadQuery Clone() const { return WorkloadQuery(query.Clone(), is_old); }
+};
+
+/// Options for snapshot cost estimation.
+struct CostOptions {
+  /// Schema used to price queries that cannot run on the candidate schema
+  /// yet (e.g. they touch a new attribute whose CreateTable has not been
+  /// applied); usually the object schema. Null = unservable queries are an
+  /// error.
+  const PhysicalSchema* fallback_schema = nullptr;
+  /// Multiplier applied to the fallback cost of unservable queries (they
+  /// must be served out-of-band, which is assumed more expensive).
+  double unservable_penalty = 3.0;
+};
+
+/// Estimated I/O of one query on one schema (rewrite -> plan -> cost).
+Result<double> EstimateQueryCost(const LogicalQuery& query, const PhysicalSchema& schema,
+                                 const LogicalStats& stats);
+
+/// C(Schema) = sum C_i * F_i for one phase. `freqs` indexes `queries`.
+Result<double> EstimateWorkloadCost(const PhysicalSchema& schema, const LogicalStats& stats,
+                                    const std::vector<WorkloadQuery>& queries,
+                                    const std::vector<double>& freqs,
+                                    const CostOptions& options = {});
+
+/// The paper's CostValue: C(object) - C(candidate); larger means the
+/// candidate is a bigger improvement over running on the object schema.
+Result<double> CostValue(const PhysicalSchema& candidate, const PhysicalSchema& object,
+                         const LogicalStats& stats, const std::vector<WorkloadQuery>& queries,
+                         const std::vector<double>& freqs);
+
+}  // namespace pse

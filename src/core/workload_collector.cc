@@ -1,0 +1,72 @@
+#include "core/workload_collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pse {
+
+Status WorkloadCollector::Record(size_t query_idx, double count) {
+  if (query_idx >= num_queries_) {
+    return Status::InvalidArgument("query index " + std::to_string(query_idx) +
+                                   " out of range");
+  }
+  if (count < 0) return Status::InvalidArgument("negative count");
+  current_[query_idx] += count;
+  return Status::OK();
+}
+
+void WorkloadCollector::CloseWindow() {
+  windows_.push_back(current_);
+  std::fill(current_.begin(), current_.end(), 0.0);
+}
+
+Result<std::vector<double>> WorkloadCollector::LastWindow() const {
+  if (windows_.empty()) return Status::InvalidArgument("no closed windows yet");
+  return windows_.back();
+}
+
+Result<std::vector<std::vector<double>>> WorkloadCollector::Forecast(size_t horizon) const {
+  if (windows_.empty()) return Status::InvalidArgument("no closed windows yet");
+  const size_t n = windows_.size();
+  std::vector<std::vector<double>> out(horizon, std::vector<double>(num_queries_, 0.0));
+  for (size_t q = 0; q < num_queries_; ++q) {
+    double slope = 0.0, intercept = windows_.back()[q];
+    if (n >= 2) {
+      // Least squares over (x = window index, y = count).
+      double sx = 0, sy = 0, sxx = 0, sxy = 0;
+      for (size_t w = 0; w < n; ++w) {
+        double x = static_cast<double>(w);
+        double y = windows_[w][q];
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+      }
+      double denom = static_cast<double>(n) * sxx - sx * sx;
+      if (std::abs(denom) > 1e-12) {
+        slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+        intercept = (sy - slope * sx) / static_cast<double>(n);
+      }
+    }
+    for (size_t h = 0; h < horizon; ++h) {
+      double x = static_cast<double>(n + h);
+      out[h][q] = std::max(0.0, intercept + slope * x);
+    }
+  }
+  return out;
+}
+
+double WorkloadCollector::ForecastError(const std::vector<std::vector<double>>& forecast,
+                                        const std::vector<std::vector<double>>& actual) {
+  double err = 0;
+  size_t count = 0;
+  for (size_t p = 0; p < std::min(forecast.size(), actual.size()); ++p) {
+    for (size_t q = 0; q < std::min(forecast[p].size(), actual[p].size()); ++q) {
+      err += std::abs(forecast[p][q] - actual[p][q]);
+      ++count;
+    }
+  }
+  return count > 0 ? err / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace pse

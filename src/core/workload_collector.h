@@ -1,0 +1,61 @@
+// WorkloadCollector — the framework's component (3) in the paper's Fig 2:
+// "Workload distribution is counted by a collector or predefined by
+// customers."
+//
+// The collector tallies query executions during a phase; at each migration
+// point the window is closed and becomes one observation. GAA's forward
+// scan needs *predicted* future distributions — Forecast() extrapolates
+// each query's per-window counts with a least-squares linear trend (clamped
+// at zero), which is exact for the paper's "regular" (determinate-rate)
+// schedules and a reasonable first-order guess for irregular ones. The
+// paper's own caveat — "the predictive workload trend may not be very
+// precise", hence re-planning at every point — is exactly how the
+// simulation uses this class.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pse {
+
+/// \brief Per-window query-frequency accounting with trend extrapolation.
+class WorkloadCollector {
+ public:
+  explicit WorkloadCollector(size_t num_queries)
+      : num_queries_(num_queries), current_(num_queries, 0.0) {}
+
+  size_t num_queries() const { return num_queries_; }
+
+  /// Tallies `count` executions of query `query_idx` in the open window.
+  Status Record(size_t query_idx, double count = 1.0);
+
+  /// Closes the open window (a migration point passed): its counts become
+  /// one observation and the tally restarts.
+  void CloseWindow();
+
+  /// Closed windows, oldest first.
+  const std::vector<std::vector<double>>& windows() const { return windows_; }
+
+  /// The most recently closed window (the paper's "current status" W for
+  /// LAA). InvalidArgument when no window has closed yet.
+  Result<std::vector<double>> LastWindow() const;
+
+  /// Least-squares linear extrapolation of each query's series over the
+  /// next `horizon` windows; negative projections clamp to 0. With a single
+  /// observation the forecast is flat. InvalidArgument with no windows.
+  Result<std::vector<std::vector<double>>> Forecast(size_t horizon) const;
+
+  /// Mean absolute error of `forecast` against `actual` (both [phase][q]),
+  /// for evaluating forecast quality in tests/benches.
+  static double ForecastError(const std::vector<std::vector<double>>& forecast,
+                              const std::vector<std::vector<double>>& actual);
+
+ private:
+  size_t num_queries_;
+  std::vector<double> current_;
+  std::vector<std::vector<double>> windows_;
+};
+
+}  // namespace pse

@@ -1,0 +1,123 @@
+#include "engine/bound_query.h"
+
+namespace pse {
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kCountDistinct:
+      return "COUNT_DISTINCT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+TableAccess TableAccess::Clone() const {
+  TableAccess out;
+  out.table = table;
+  out.alias = alias;
+  out.columns = columns;
+  out.distinct = distinct;
+  out.distinct_key = distinct_key;
+  for (const auto& f : filters) out.filters.push_back(f->Clone());
+  return out;
+}
+
+SelectItem SelectItem::Clone() const {
+  return SelectItem(expr ? expr->Clone() : nullptr, agg, name);
+}
+
+BoundQuery BoundQuery::Clone() const {
+  BoundQuery out;
+  for (const auto& t : tables) out.tables.push_back(t.Clone());
+  out.joins = joins;
+  for (const auto& f : global_filters) out.global_filters.push_back(f->Clone());
+  for (const auto& g : group_by) out.group_by.push_back(g->Clone());
+  if (having) out.having = having->Clone();
+  for (const auto& s : select_items) out.select_items.push_back(s.Clone());
+  out.order_by = order_by;
+  out.limit = limit;
+  out.select_distinct = select_distinct;
+  return out;
+}
+
+bool BoundQuery::HasAggregation() const {
+  if (!group_by.empty()) return true;
+  for (const auto& s : select_items) {
+    if (s.agg != AggFunc::kNone) return true;
+  }
+  return false;
+}
+
+std::string BoundQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (select_distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const auto& s = select_items[i];
+    if (s.agg == AggFunc::kCountStar) {
+      out += "COUNT(*)";
+    } else if (s.agg != AggFunc::kNone) {
+      out += std::string(AggFuncToString(s.agg)) + "(" + s.expr->ToString() + ")";
+    } else {
+      out += s.expr->ToString();
+    }
+    out += " AS " + s.name;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i].table;
+    if (tables[i].alias != tables[i].table) out += " " + tables[i].alias;
+    if (tables[i].distinct) out += "[distinct]";
+  }
+  for (const auto& j : joins) {
+    out += " JOIN(" + tables[j.left_table].alias + "." + j.left_column + "=" +
+           tables[j.right_table].alias + "." + j.right_column + ")";
+  }
+  bool first = true;
+  for (const auto& t : tables) {
+    for (const auto& f : t.filters) {
+      out += first ? " WHERE " : " AND ";
+      out += t.alias + ":" + f->ToString();
+      first = false;
+    }
+  }
+  for (const auto& f : global_filters) {
+    out += first ? " WHERE " : " AND ";
+    out += f->ToString();
+    first = false;
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(order_by[i].select_index + 1);
+      if (order_by[i].desc) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace pse

@@ -1,0 +1,97 @@
+// BoundQuery: a fully-resolved relational query over the *physical* tables
+// of one schema. Produced either by the SQL binder (sql/) or by the
+// evolution-layer query rewriter (core/), and consumed by the planner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+
+namespace pse {
+
+/// Aggregate functions.
+enum class AggFunc { kNone, kCountStar, kCount, kCountDistinct, kSum, kAvg, kMin, kMax };
+const char* AggFuncToString(AggFunc f);
+
+/// One base-table access: which columns to produce, local filters, and
+/// whether to deduplicate the produced rows (used when reading an entity's
+/// attributes out of a denormalized table, where each entity row appears
+/// once per child row).
+struct TableAccess {
+  std::string table;
+  std::string alias;  // column qualifier; defaults to table name
+  /// Unqualified column names this access must produce (projection pushdown).
+  std::vector<std::string> columns;
+  /// Deduplicate produced rows. `distinct_key` names the column whose
+  /// distinct count predicts the output cardinality (for the cost model).
+  bool distinct = false;
+  std::string distinct_key;
+  /// Local filters; ColumnRefs use unqualified column names.
+  std::vector<ExprPtr> filters;
+
+  TableAccess() = default;
+  TableAccess(std::string t, std::vector<std::string> cols)
+      : table(t), alias(std::move(t)), columns(std::move(cols)) {}
+  TableAccess Clone() const;
+};
+
+/// Equi-join between two table accesses (indexes into BoundQuery::tables).
+struct EquiJoin {
+  size_t left_table = 0;
+  size_t right_table = 0;
+  std::string left_column;   // unqualified
+  std::string right_column;  // unqualified
+};
+
+/// One output column of the query: a scalar expression, optionally wrapped
+/// in an aggregate.
+struct SelectItem {
+  ExprPtr expr;  // ColumnRefs are "alias.column" qualified; null for COUNT(*)
+  AggFunc agg = AggFunc::kNone;
+  std::string name;  // output column name
+
+  SelectItem() = default;
+  SelectItem(ExprPtr e, AggFunc f, std::string n)
+      : expr(std::move(e)), agg(f), name(std::move(n)) {}
+  SelectItem Clone() const;
+};
+
+/// ORDER BY key: an index into select_items plus direction.
+struct OrderKey {
+  size_t select_index = 0;
+  bool desc = false;
+};
+
+/// \brief A bound query, ready for planning.
+///
+/// Join graph must connect all tables (no cross products). Aggregation is
+/// implied by any SelectItem with agg != kNone or a non-empty group_by; then
+/// every non-aggregate select item must match a GROUP BY expression.
+struct BoundQuery {
+  std::vector<TableAccess> tables;
+  std::vector<EquiJoin> joins;
+  /// Post-join filters; ColumnRefs are "alias.column" qualified.
+  std::vector<ExprPtr> global_filters;
+  std::vector<ExprPtr> group_by;
+  /// HAVING predicate over the post-aggregation output; ColumnRefs name
+  /// select-list items (aliases). Requires aggregation.
+  ExprPtr having;
+  std::vector<SelectItem> select_items;
+  std::vector<OrderKey> order_by;
+  std::optional<int64_t> limit;
+  bool select_distinct = false;
+
+  BoundQuery() = default;
+  BoundQuery(BoundQuery&&) = default;
+  BoundQuery& operator=(BoundQuery&&) = default;
+  BoundQuery Clone() const;
+
+  bool HasAggregation() const;
+  /// Debug display.
+  std::string ToString() const;
+};
+
+}  // namespace pse

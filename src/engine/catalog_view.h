@@ -1,0 +1,54 @@
+// CatalogView: the read-only catalog interface the planner and cost
+// estimator consume. Implemented by a live Database and — crucially for the
+// paper's machinery — by VirtualSchemaCatalog (src/core/), which describes
+// candidate intermediate schemas that are never materialized.
+#pragma once
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace pse {
+
+/// Read-only schema/statistics/index metadata for planning and costing.
+class CatalogView {
+ public:
+  virtual ~CatalogView() = default;
+  /// Schema of a table. NotFound if absent.
+  virtual Result<const TableSchema*> GetSchema(const std::string& table) const = 0;
+  /// Statistics of a table (must be populated/synthesized by the provider).
+  virtual Result<const TableStatistics*> GetStats(const std::string& table) const = 0;
+  /// True if an index exists on table.column.
+  virtual bool HasIndex(const std::string& table, const std::string& column) const = 0;
+};
+
+/// CatalogView backed by a live Database. Stats must have been computed via
+/// Analyze(); GetStats falls back to row-count-only stats otherwise.
+class DatabaseCatalogView : public CatalogView {
+ public:
+  explicit DatabaseCatalogView(const Database* db) : db_(db) {}
+
+  Result<const TableSchema*> GetSchema(const std::string& table) const override {
+    PSE_ASSIGN_OR_RETURN(const TableInfo* t, db_->GetTable(table));
+    return t->schema.get();
+  }
+
+  Result<const TableStatistics*> GetStats(const std::string& table) const override {
+    PSE_ASSIGN_OR_RETURN(const TableInfo* t, db_->GetTable(table));
+    return &t->stats;
+  }
+
+  bool HasIndex(const std::string& table, const std::string& column) const override {
+    auto t = db_->GetTable(table);
+    if (!t.ok()) return false;
+    return (*t)->FindIndex(column) != nullptr;
+  }
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace pse

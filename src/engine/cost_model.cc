@@ -1,0 +1,356 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace pse {
+
+namespace {
+constexpr double kPageFill = 0.85;
+constexpr double kLeafEntriesPerPage = 511.0;  // matches BPlusTree leaf capacity
+constexpr double kDefaultSelectivity = 0.33;
+constexpr double kDefaultEqSelectivity = 0.1;
+}  // namespace
+
+struct CostModel::Context {
+  /// alias -> table name, collected while descending through scans.
+  std::map<std::string, std::string> alias_to_table;
+};
+
+double CostModel::TablePages(const TableStatistics& stats) {
+  if (stats.page_count > 0) return static_cast<double>(stats.page_count);
+  double bytes = static_cast<double>(stats.row_count) * std::max(stats.avg_tuple_width, 1.0);
+  return std::max(1.0, std::ceil(bytes / (static_cast<double>(kPageSize) * kPageFill)));
+}
+
+const ColumnStatistics* CostModel::LookupColumn(const Context& ctx, const std::string& name,
+                                                uint64_t* table_rows) const {
+  std::string alias, col;
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    alias = name.substr(0, dot);
+    col = name.substr(dot + 1);
+  } else {
+    col = name;
+  }
+  for (const auto& [a, table] : ctx.alias_to_table) {
+    if (!alias.empty() && !EqualsIgnoreCase(a, alias)) continue;
+    auto stats = catalog_->GetStats(table);
+    if (!stats.ok()) continue;
+    const ColumnStatistics* cs = (*stats)->Column(col);
+    if (cs == nullptr) {
+      // Column names in stats are case-sensitive map keys; fall back to a
+      // case-insensitive search.
+      for (const auto& [cname, cstats] : (*stats)->columns) {
+        if (EqualsIgnoreCase(cname, col)) {
+          cs = &cstats;
+          break;
+        }
+      }
+    }
+    if (cs != nullptr) {
+      if (table_rows != nullptr) *table_rows = (*stats)->row_count;
+      return cs;
+    }
+  }
+  return nullptr;
+}
+
+double CostModel::Selectivity(const Expr& e, const Context& ctx) const {
+  if (const auto* logic = dynamic_cast<const LogicExpr*>(&e)) {
+    double l = Selectivity(*logic->left(), ctx);
+    double r = Selectivity(*logic->right(), ctx);
+    return logic->op() == LogicOp::kAnd ? l * r : l + r - l * r;
+  }
+  if (const auto* not_e = dynamic_cast<const NotExpr*>(&e)) {
+    (void)not_e;
+    std::vector<std::string> cols;
+    e.CollectColumns(&cols);
+    return 1.0 - kDefaultSelectivity;  // coarse; NOT is rare in the workloads
+  }
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(&e)) {
+    const auto* lcol = dynamic_cast<const ColumnRefExpr*>(cmp->left());
+    const auto* rconst = dynamic_cast<const ConstantExpr*>(cmp->right());
+    const auto* rcol = dynamic_cast<const ColumnRefExpr*>(cmp->right());
+    const auto* lconst = dynamic_cast<const ConstantExpr*>(cmp->left());
+    const ColumnRefExpr* col = lcol != nullptr && rconst != nullptr ? lcol
+                               : rcol != nullptr && lconst != nullptr ? rcol
+                                                                      : nullptr;
+    const ConstantExpr* cst = col == lcol ? rconst : lconst;
+    if (col == nullptr || cst == nullptr || cst->value().is_null()) {
+      // col-op-col (join residual) or complex operand.
+      if (lcol != nullptr && rcol != nullptr && cmp->op() == CompareOp::kEq) {
+        uint64_t lrows = 0, rrows = 0;
+        const ColumnStatistics* ls = LookupColumn(ctx, lcol->name(), &lrows);
+        const ColumnStatistics* rs = LookupColumn(ctx, rcol->name(), &rrows);
+        double ndv = 1.0;
+        if (ls != nullptr) ndv = std::max(ndv, static_cast<double>(ls->num_distinct));
+        if (rs != nullptr) ndv = std::max(ndv, static_cast<double>(rs->num_distinct));
+        return 1.0 / std::max(1.0, ndv);
+      }
+      return kDefaultSelectivity;
+    }
+    uint64_t rows = 0;
+    const ColumnStatistics* cs = LookupColumn(ctx, col->name(), &rows);
+    CompareOp op = cmp->op();
+    if (col == rcol) {
+      // Mirror operator: const < col == col > const.
+      switch (op) {
+        case CompareOp::kLt:
+          op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          op = CompareOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (op == CompareOp::kEq) {
+      if (cs != nullptr && cs->num_distinct > 0) {
+        return 1.0 / static_cast<double>(cs->num_distinct);
+      }
+      return kDefaultEqSelectivity;
+    }
+    if (op == CompareOp::kNe) {
+      if (cs != nullptr && cs->num_distinct > 0) {
+        return 1.0 - 1.0 / static_cast<double>(cs->num_distinct);
+      }
+      return 1.0 - kDefaultEqSelectivity;
+    }
+    // Range: interpolate over [min, max] when numeric stats exist.
+    if (cs != nullptr && cs->min.has_value() && cs->max.has_value() && !cs->min->is_null() &&
+        cs->max->is_null() == false && cs->min->type() != TypeId::kVarchar &&
+        cst->value().type() != TypeId::kVarchar) {
+      double lo = cs->min->AsDouble(), hi = cs->max->AsDouble();
+      double v = cst->value().AsDouble();
+      if (hi <= lo) return kDefaultSelectivity;
+      double frac = (v - lo) / (hi - lo);
+      frac = std::clamp(frac, 0.0, 1.0);
+      switch (op) {
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          return std::max(frac, 1.0 / std::max(1.0, static_cast<double>(rows)));
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          return std::max(1.0 - frac, 1.0 / std::max(1.0, static_cast<double>(rows)));
+        default:
+          break;
+      }
+    }
+    return kDefaultSelectivity;
+  }
+  if (const auto* like = dynamic_cast<const LikeExpr*>(&e)) {
+    return StartsWith(like->pattern(), "%") ? 0.15 : 0.05;
+  }
+  if (dynamic_cast<const IsNullExpr*>(&e) != nullptr) {
+    std::vector<std::string> cols;
+    e.CollectColumns(&cols);
+    if (!cols.empty()) {
+      uint64_t rows = 0;
+      const ColumnStatistics* cs = LookupColumn(ctx, cols[0], &rows);
+      if (cs != nullptr && rows > 0) {
+        return static_cast<double>(cs->null_count) / static_cast<double>(rows);
+      }
+    }
+    return 0.05;
+  }
+  if (dynamic_cast<const InListExpr*>(&e) != nullptr) {
+    return std::min(1.0, 3.0 * kDefaultEqSelectivity);
+  }
+  return kDefaultSelectivity;
+}
+
+double CostModel::FilterSelectivity(const Expr& filter, const std::string& table) const {
+  Context ctx;
+  ctx.alias_to_table[table] = table;
+  return Selectivity(filter, ctx);
+}
+
+Result<CostEstimate> CostModel::Estimate(const PlanNode& plan) const {
+  Context ctx;
+  return EstimateNode(plan, &ctx);
+}
+
+Result<CostEstimate> CostModel::EstimateNode(const PlanNode& plan, Context* ctx) const {
+  switch (plan.kind) {
+    case PlanNode::Kind::kSeqScan:
+    case PlanNode::Kind::kIndexScan: {
+      ctx->alias_to_table[plan.alias] = plan.table;
+      PSE_ASSIGN_OR_RETURN(const TableStatistics* stats, catalog_->GetStats(plan.table));
+      PSE_ASSIGN_OR_RETURN(const TableSchema* schema, catalog_->GetSchema(plan.table));
+      double pages = TablePages(*stats);
+      double rows = static_cast<double>(stats->row_count);
+      double width = 0;
+      for (size_t i : plan.scan_column_idxs) width += schema->column(i).EstimatedWidth();
+
+      CostEstimate est;
+      est.width = width;
+      double sel = plan.scan_filter ? Selectivity(*plan.scan_filter, *ctx) : 1.0;
+      est.rows = std::max(0.0, rows * sel);
+      if (plan.kind == PlanNode::Kind::kSeqScan) {
+        est.io_pages = pages;
+        return est;
+      }
+      // Index scan: fraction of entries hit by the [lo, hi] bounds.
+      double bound_sel = 1.0;
+      const ColumnStatistics* cs = stats->Column(plan.index_column);
+      if (cs == nullptr) {
+        for (const auto& [cname, cstats] : stats->columns) {
+          if (EqualsIgnoreCase(cname, plan.index_column)) cs = &cstats;
+        }
+      }
+      if (plan.lo.has_value() && plan.hi.has_value() && *plan.lo == *plan.hi) {
+        bound_sel = (cs != nullptr && cs->num_distinct > 0)
+                        ? 1.0 / static_cast<double>(cs->num_distinct)
+                        : kDefaultEqSelectivity;
+      } else if (cs != nullptr && cs->min.has_value() && cs->max.has_value() &&
+                 cs->min->type() == TypeId::kInt64) {
+        double mn = cs->min->AsDouble(), mx = cs->max->AsDouble();
+        double lo = plan.lo.has_value() ? static_cast<double>(*plan.lo) : mn;
+        double hi = plan.hi.has_value() ? static_cast<double>(*plan.hi) : mx;
+        bound_sel = mx > mn ? std::clamp((std::min(hi, mx) - std::max(lo, mn)) / (mx - mn), 0.0,
+                                         1.0)
+                            : 1.0;
+      } else {
+        bound_sel = kDefaultSelectivity;
+      }
+      double matches = rows * bound_sel;
+      double height = 1.0 + std::ceil(std::log(std::max(2.0, rows)) / std::log(200.0));
+      double leaf_pages = std::ceil(matches / kLeafEntriesPerPage);
+      // Heaps are filled in insertion order; when the index column is the
+      // table key (monotonically generated), matching rows are co-located,
+      // so a range touches matches*width bytes, not one page per row.
+      bool clustered = !schema->key_columns().empty() &&
+                       EqualsIgnoreCase(schema->key_columns()[0], plan.index_column);
+      double heap_fetches;
+      if (clustered) {
+        double bytes = matches * std::max(1.0, stats->avg_tuple_width);
+        heap_fetches = std::min(
+            std::ceil(bytes / (static_cast<double>(kPageSize) * kPageFill)) + 1.0, pages);
+      } else {
+        heap_fetches = std::min(matches, pages);
+      }
+      est.io_pages = height + leaf_pages + heap_fetches;
+      return est;
+    }
+    case PlanNode::Kind::kFilter: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate child, EstimateNode(*plan.children[0], ctx));
+      CostEstimate est = child;
+      est.rows = child.rows * Selectivity(*plan.predicate, *ctx);
+      return est;
+    }
+    case PlanNode::Kind::kProject: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate child, EstimateNode(*plan.children[0], ctx));
+      return child;  // width change ignored; projection is free
+    }
+    case PlanNode::Kind::kHashJoin: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate build, EstimateNode(*plan.children[0], ctx));
+      PSE_ASSIGN_OR_RETURN(CostEstimate probe, EstimateNode(*plan.children[1], ctx));
+      CostEstimate est;
+      est.io_pages = build.io_pages + probe.io_pages;
+      est.width = build.width + probe.width;
+      uint64_t dummy = 0;
+      const ColumnStatistics* ls =
+          LookupColumn(*ctx, plan.children[0]->output_columns[plan.left_key_pos], &dummy);
+      const ColumnStatistics* rs =
+          LookupColumn(*ctx, plan.children[1]->output_columns[plan.right_key_pos], &dummy);
+      double ndv = 0;
+      if (ls != nullptr) ndv = std::max(ndv, static_cast<double>(ls->num_distinct));
+      if (rs != nullptr) ndv = std::max(ndv, static_cast<double>(rs->num_distinct));
+      if (ndv > 0) {
+        est.rows = build.rows * probe.rows / ndv;
+      } else {
+        est.rows = std::max(build.rows, probe.rows);
+      }
+      return est;
+    }
+    case PlanNode::Kind::kIndexNLJoin: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate outer, EstimateNode(*plan.children[0], ctx));
+      ctx->alias_to_table[plan.alias] = plan.table;
+      PSE_ASSIGN_OR_RETURN(const TableStatistics* stats, catalog_->GetStats(plan.table));
+      PSE_ASSIGN_OR_RETURN(const TableSchema* schema, catalog_->GetSchema(plan.table));
+      double pages = TablePages(*stats);
+      double inner_rows = static_cast<double>(stats->row_count);
+      const ColumnStatistics* cs = stats->Column(plan.index_column);
+      if (cs == nullptr) {
+        for (const auto& [cname, cstats] : stats->columns) {
+          if (EqualsIgnoreCase(cname, plan.index_column)) cs = &cstats;
+        }
+      }
+      double matches_per_probe =
+          (cs != nullptr && cs->num_distinct > 0)
+              ? inner_rows / static_cast<double>(cs->num_distinct)
+              : 1.0;
+      double fetched = outer.rows * matches_per_probe;
+      // Index internals cache quickly; heap fetches dominate, capped by the
+      // number of distinct inner pages.
+      CostEstimate est;
+      est.io_pages = outer.io_pages + 2.0 + std::min(fetched, pages + outer.rows);
+      double sel = plan.scan_filter ? Selectivity(*plan.scan_filter, *ctx) : 1.0;
+      est.rows = fetched * sel;
+      double width = 0;
+      for (size_t i : plan.scan_column_idxs) width += schema->column(i).EstimatedWidth();
+      est.width = outer.width + width;
+      return est;
+    }
+    case PlanNode::Kind::kDistinct: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate child, EstimateNode(*plan.children[0], ctx));
+      CostEstimate est = child;
+      if (!plan.distinct_key_column.empty()) {
+        uint64_t dummy = 0;
+        const ColumnStatistics* cs = LookupColumn(*ctx, plan.distinct_key_column, &dummy);
+        if (cs != nullptr && cs->num_distinct > 0) {
+          est.rows = std::min(child.rows, static_cast<double>(cs->num_distinct));
+        }
+      }
+      return est;
+    }
+    case PlanNode::Kind::kAggregate: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate child, EstimateNode(*plan.children[0], ctx));
+      CostEstimate est = child;
+      if (plan.group_by_pos.empty()) {
+        est.rows = 1;
+        return est;
+      }
+      double groups = 1.0;
+      for (size_t g : plan.group_by_pos) {
+        uint64_t dummy = 0;
+        const ColumnStatistics* cs =
+            LookupColumn(*ctx, plan.children[0]->output_columns[g], &dummy);
+        groups *= (cs != nullptr && cs->num_distinct > 0)
+                      ? static_cast<double>(cs->num_distinct)
+                      : std::sqrt(std::max(1.0, child.rows));
+      }
+      est.rows = std::min(child.rows, groups);
+      return est;
+    }
+    case PlanNode::Kind::kSort: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate child, EstimateNode(*plan.children[0], ctx));
+      return child;  // in-memory sort, like the executor
+    }
+    case PlanNode::Kind::kLimit: {
+      PSE_ASSIGN_OR_RETURN(CostEstimate child, EstimateNode(*plan.children[0], ctx));
+      CostEstimate est = child;
+      est.rows = std::min(child.rows, static_cast<double>(plan.limit_n));
+      const PlanNode& c = *plan.children[0];
+      bool blocking = c.kind == PlanNode::Kind::kSort || c.kind == PlanNode::Kind::kAggregate;
+      if (!blocking && child.rows > 0) {
+        est.io_pages = child.io_pages * std::min(1.0, est.rows / child.rows);
+      }
+      return est;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace pse

@@ -1,0 +1,58 @@
+// Analytical cost estimator. Walks a physical plan and predicts page I/O
+// and cardinality from catalog statistics, WITHOUT touching data. This is
+// the reproduction's stand-in for SAP MaxDB's optimizer cost estimates: the
+// evolution layer prices candidate intermediate schemas by running this
+// estimator over a VirtualSchemaCatalog.
+//
+// Model (matching how the executors actually behave):
+//   seq scan     io = table pages
+//   index scan   io = tree height + matching leaf pages + min(matches, pages)
+//   hash join    io = build io + probe io    (hash table lives in memory)
+//   sort/agg     io = child io               (in-memory)
+//   limit        scales a streaming child's io by the fraction consumed
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "engine/catalog_view.h"
+#include "engine/plan.h"
+
+namespace pse {
+
+/// Estimator output for one plan (sub)tree.
+struct CostEstimate {
+  double io_pages = 0;  ///< predicted physical page accesses
+  double rows = 0;      ///< predicted output cardinality
+  double width = 0;     ///< average output row width in bytes
+};
+
+/// \brief Statistics-driven plan cost estimator.
+class CostModel {
+ public:
+  explicit CostModel(const CatalogView* catalog) : catalog_(catalog) {}
+
+  /// Estimates a full plan tree.
+  Result<CostEstimate> Estimate(const PlanNode& plan) const;
+
+  /// Estimated selectivity of `filter` against a single table's stats
+  /// (column names resolved unqualified). Exposed for tests.
+  double FilterSelectivity(const Expr& filter, const std::string& table) const;
+
+  /// Pages of a table given its stats (falls back to rows*width when the
+  /// provider reports no page count).
+  static double TablePages(const TableStatistics& stats);
+
+ private:
+  struct Context;  // alias -> table mapping collected from scans
+  Result<CostEstimate> EstimateNode(const PlanNode& plan, Context* ctx) const;
+  /// Column stats lookup used during selectivity estimation; returns nullptr
+  /// when unknown.
+  const ColumnStatistics* LookupColumn(const Context& ctx, const std::string& name,
+                                       uint64_t* table_rows) const;
+  double Selectivity(const Expr& e, const Context& ctx) const;
+
+  const CatalogView* catalog_;
+};
+
+}  // namespace pse

@@ -1,0 +1,30 @@
+// Volcano-style executors: each plan node becomes a pull-based iterator.
+// Physical I/O flows through the Database's buffer pool, so executed plans
+// are measured by the same counters the experiments report.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/plan.h"
+#include "storage/database.h"
+
+namespace pse {
+
+/// \brief Pull-based plan operator.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Prepares the operator (may consume blocking inputs, e.g. sort/agg).
+  virtual Status Init() = 0;
+  /// Produces the next row into `out`; returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+};
+
+/// Builds the executor tree for a planned query.
+Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* db);
+
+/// Convenience: builds, runs, and collects all output rows.
+Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db);
+
+}  // namespace pse

@@ -1,0 +1,77 @@
+#include "engine/plan.h"
+
+#include "common/string_util.h"
+
+namespace pse {
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case Kind::kSeqScan:
+      out += "SeqScan(" + table;
+      if (scan_filter) out += ", filter=" + scan_filter->ToString();
+      out += ")";
+      break;
+    case Kind::kIndexScan: {
+      out += "IndexScan(" + table + "." + index_column + " in [";
+      out += lo.has_value() ? std::to_string(*lo) : "-inf";
+      out += ", ";
+      out += hi.has_value() ? std::to_string(*hi) : "+inf";
+      out += "]";
+      if (scan_filter) out += ", filter=" + scan_filter->ToString();
+      out += ")";
+      break;
+    }
+    case Kind::kFilter:
+      out += "Filter(" + (predicate ? predicate->ToString() : "true") + ")";
+      break;
+    case Kind::kProject: {
+      std::vector<std::string> parts;
+      for (const auto& p : projections) parts.push_back(p->ToString());
+      out += "Project(" + Join(parts, ", ") + ")";
+      break;
+    }
+    case Kind::kHashJoin:
+      out += "HashJoin(build[" + std::to_string(left_key_pos) + "] = probe[" +
+             std::to_string(right_key_pos) + "])";
+      break;
+    case Kind::kIndexNLJoin:
+      out += "IndexNLJoin(outer[" + std::to_string(left_key_pos) + "] -> " + table + "." +
+             index_column;
+      if (scan_filter) out += ", filter=" + scan_filter->ToString();
+      out += ")";
+      break;
+    case Kind::kDistinct:
+      out += "Distinct(";
+      if (!distinct_key_column.empty()) out += "key=" + distinct_key_column;
+      out += ")";
+      break;
+    case Kind::kAggregate: {
+      std::vector<std::string> parts;
+      for (size_t g : group_by_pos) parts.push_back("g" + std::to_string(g));
+      for (const auto& a : aggs) {
+        parts.push_back(std::string(AggFuncToString(a.func)) + "[" + std::to_string(a.arg_pos) +
+                        "]");
+      }
+      out += "Aggregate(" + Join(parts, ", ") + ")";
+      break;
+    }
+    case Kind::kSort: {
+      std::vector<std::string> parts;
+      for (const auto& k : sort_keys) {
+        parts.push_back(std::to_string(k.pos) + (k.desc ? " DESC" : ""));
+      }
+      out += "Sort(" + Join(parts, ", ") + ")";
+      break;
+    }
+    case Kind::kLimit:
+      out += "Limit(" + std::to_string(limit_n) + ")";
+      break;
+  }
+  out += " -> [" + Join(output_columns, ", ") + "]\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace pse

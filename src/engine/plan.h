@@ -1,0 +1,100 @@
+// Physical plan tree. Built by the planner from a BoundQuery; consumed by
+// the cost estimator (analytically) and the executor builder (physically).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/bound_query.h"
+#include "engine/expr.h"
+
+namespace pse {
+
+/// One aggregate computed by an Aggregate node.
+struct PlanAggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  size_t arg_pos = 0;  // position in child output; ignored for COUNT(*)
+};
+
+/// One sort key for a Sort node.
+struct PlanSortKey {
+  size_t pos = 0;  // position in child output
+  bool desc = false;
+};
+
+/// \brief A node of the physical plan.
+///
+/// A single struct with a Kind tag (rather than a class hierarchy) keeps the
+/// cost model and executor builder exhaustive and compact.
+struct PlanNode {
+  enum class Kind {
+    kSeqScan,
+    kIndexScan,
+    kFilter,
+    kProject,
+    kHashJoin,
+    kIndexNLJoin,
+    kDistinct,
+    kAggregate,
+    kSort,
+    kLimit,
+  };
+
+  Kind kind = Kind::kSeqScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  /// Names of this node's output columns (qualified "alias.col" for scans).
+  std::vector<std::string> output_columns;
+
+  // -- scans --
+  std::string table;
+  std::string alias;
+  /// Positions in the base-table schema of the produced columns.
+  std::vector<size_t> scan_column_idxs;
+  /// Filter applied during the scan; resolved against the FULL table row.
+  ExprPtr scan_filter;
+  // index scan only: inclusive BIGINT bounds on `index_column`.
+  std::string index_column;
+  std::optional<int64_t> lo;
+  std::optional<int64_t> hi;
+
+  // -- filter --
+  ExprPtr predicate;  // resolved against child output
+
+  // -- project --
+  std::vector<ExprPtr> projections;  // resolved against child output
+
+  // -- hash join: children[0] = build (left), children[1] = probe (right) --
+  size_t left_key_pos = 0;
+  size_t right_key_pos = 0;
+
+  // -- index nested-loop join: children[0] = outer; the inner side is a base
+  // table probed through the index on `index_column` per outer row, using
+  // the scan fields (table/alias/scan_column_idxs/scan_filter). Output =
+  // outer columns ++ inner columns. `left_key_pos` is the join key position
+  // in the OUTER output. --
+
+  // -- distinct --
+  /// Column (name in child output) whose NDV predicts output rows; empty if
+  /// unknown.
+  std::string distinct_key_column;
+
+  // -- aggregate --
+  std::vector<size_t> group_by_pos;
+  std::vector<PlanAggSpec> aggs;
+
+  // -- sort --
+  std::vector<PlanSortKey> sort_keys;
+
+  // -- limit --
+  int64_t limit_n = 0;
+
+  /// Pretty multi-line EXPLAIN output.
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+}  // namespace pse

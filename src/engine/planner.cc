@@ -1,0 +1,480 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "engine/cost_model.h"
+
+namespace pse {
+
+namespace {
+
+/// Resolver over a list of output column names: exact match first, then
+/// unique unqualified-suffix match ("col" matches "alias.col").
+ColumnResolver MakeResolver(const std::vector<std::string>& columns) {
+  return [&columns](const std::string& name) -> Result<size_t> {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], name)) return i;
+    }
+    size_t found = columns.size();
+    for (size_t i = 0; i < columns.size(); ++i) {
+      const std::string& c = columns[i];
+      size_t dot = c.find('.');
+      if (dot != std::string::npos && EqualsIgnoreCase(c.substr(dot + 1), name)) {
+        if (found != columns.size()) {
+          return Status::BindError("ambiguous column '" + name + "'");
+        }
+        found = i;
+      }
+    }
+    if (found == columns.size()) {
+      return Status::BindError("column '" + name + "' not found in " + Join(columns, ", "));
+    }
+    return found;
+  };
+}
+
+/// Extracted single-column integer bound from a filter conjunct.
+struct IndexBound {
+  std::string column;
+  std::optional<int64_t> lo, hi;
+};
+
+/// Splits an expression into AND-ed conjuncts (borrowed pointers).
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (const auto* l = dynamic_cast<const LogicExpr*>(e); l && l->op() == LogicOp::kAnd) {
+    SplitConjuncts(l->left(), out);
+    SplitConjuncts(l->right(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Recognizes `col <op> int-const` (either side) and returns the bound.
+std::optional<IndexBound> ExtractBound(const Expr* e) {
+  const auto* cmp = dynamic_cast<const CompareExpr*>(e);
+  if (cmp == nullptr) return std::nullopt;
+  const auto* lcol = dynamic_cast<const ColumnRefExpr*>(cmp->left());
+  const auto* rconst = dynamic_cast<const ConstantExpr*>(cmp->right());
+  const auto* rcol = dynamic_cast<const ColumnRefExpr*>(cmp->right());
+  const auto* lconst = dynamic_cast<const ConstantExpr*>(cmp->left());
+  CompareOp op = cmp->op();
+  const ColumnRefExpr* col = nullptr;
+  const ConstantExpr* cst = nullptr;
+  if (lcol != nullptr && rconst != nullptr) {
+    col = lcol;
+    cst = rconst;
+  } else if (rcol != nullptr && lconst != nullptr) {
+    col = rcol;
+    cst = lconst;
+    // Mirror the operator: c < col  ==  col > c.
+    switch (op) {
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  } else {
+    return std::nullopt;
+  }
+  if (cst->value().is_null() || cst->value().type() != TypeId::kInt64) return std::nullopt;
+  int64_t v = cst->value().AsInt();
+  IndexBound b;
+  b.column = col->name();
+  switch (op) {
+    case CompareOp::kEq:
+      b.lo = v;
+      b.hi = v;
+      break;
+    case CompareOp::kLt:
+      b.hi = v - 1;
+      break;
+    case CompareOp::kLe:
+      b.hi = v;
+      break;
+    case CompareOp::kGt:
+      b.lo = v + 1;
+      break;
+    case CompareOp::kGe:
+      b.lo = v;
+      break;
+    case CompareOp::kNe:
+      return std::nullopt;
+  }
+  return b;
+}
+
+/// Builds the scan (+ optional Distinct) subtree for one table access.
+Result<PlanPtr> PlanTableAccess(const TableAccess& access, const CatalogView& catalog) {
+  PSE_ASSIGN_OR_RETURN(const TableSchema* schema, catalog.GetSchema(access.table));
+  auto node = std::make_unique<PlanNode>();
+  node->table = access.table;
+  node->alias = access.alias.empty() ? access.table : access.alias;
+
+  std::vector<std::string> cols = access.columns;
+  if (cols.empty()) {
+    // Must produce something; prefer the table key.
+    if (!schema->key_columns().empty()) {
+      cols.push_back(schema->key_columns()[0]);
+    } else {
+      cols.push_back(schema->column(0).name);
+    }
+  }
+  for (const auto& c : cols) {
+    PSE_ASSIGN_OR_RETURN(size_t idx, schema->ColumnIndex(c));
+    node->scan_column_idxs.push_back(idx);
+    node->output_columns.push_back(node->alias + "." + schema->column(idx).name);
+  }
+
+  // Combine local filters; pick index bounds from the conjuncts.
+  std::vector<ExprPtr> filters;
+  for (const auto& f : access.filters) filters.push_back(f->Clone());
+  ExprPtr combined = AndAll(std::move(filters));
+
+  node->kind = PlanNode::Kind::kSeqScan;
+  if (combined) {
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(combined.get(), &conjuncts);
+    // Prefer an equality bound, then any range bound, on an indexed column.
+    std::optional<IndexBound> best;
+    for (const Expr* c : conjuncts) {
+      auto b = ExtractBound(c);
+      if (!b.has_value()) continue;
+      if (!schema->HasColumn(b->column)) continue;
+      if (!catalog.HasIndex(access.table, b->column)) continue;
+      if (best.has_value() && b->column == best->column) {
+        // Merge bounds on the same column (e.g. col >= a AND col <= b).
+        if (b->lo.has_value()) {
+          best->lo = best->lo.has_value() ? std::max(*best->lo, *b->lo) : *b->lo;
+        }
+        if (b->hi.has_value()) {
+          best->hi = best->hi.has_value() ? std::min(*best->hi, *b->hi) : *b->hi;
+        }
+        continue;
+      }
+      bool b_eq = b->lo.has_value() && b->hi.has_value() && *b->lo == *b->hi;
+      bool best_eq =
+          best.has_value() && best->lo.has_value() && best->hi.has_value() && *best->lo == *best->hi;
+      if (!best.has_value() || (b_eq && !best_eq)) best = b;
+    }
+    if (best.has_value()) {
+      node->kind = PlanNode::Kind::kIndexScan;
+      node->index_column = best->column;
+      node->lo = best->lo;
+      node->hi = best->hi;
+    }
+    // The full predicate stays as the residual scan filter (correctness is
+    // independent of the chosen bounds).
+    PSE_RETURN_NOT_OK(combined->Resolve(
+        [schema](const std::string& n) -> Result<size_t> { return schema->ColumnIndex(n); }));
+    node->scan_filter = std::move(combined);
+  }
+
+  PlanPtr plan = std::move(node);
+  if (access.distinct) {
+    auto distinct = std::make_unique<PlanNode>();
+    distinct->kind = PlanNode::Kind::kDistinct;
+    distinct->output_columns = plan->output_columns;
+    if (!access.distinct_key.empty()) {
+      distinct->distinct_key_column = plan->output_columns[0];  // refined below
+      for (const auto& oc : plan->output_columns) {
+        size_t dot = oc.find('.');
+        if (dot != std::string::npos && EqualsIgnoreCase(oc.substr(dot + 1), access.distinct_key)) {
+          distinct->distinct_key_column = oc;
+        }
+      }
+    }
+    distinct->children.push_back(std::move(plan));
+    plan = std::move(distinct);
+  }
+  return plan;
+}
+
+}  // namespace
+
+ExprPtr MakeResolvedColumn(const std::string& name, size_t pos) {
+  auto col = std::make_unique<ColumnRefExpr>(name);
+  // Resolve against a one-shot resolver returning the fixed position.
+  Status s = col->Resolve([pos](const std::string&) -> Result<size_t> { return pos; });
+  (void)s;  // cannot fail
+  return col;
+}
+
+Result<PlanPtr> PlanQuery(const BoundQuery& query, const CatalogView& catalog) {
+  if (query.tables.empty()) return Status::InvalidArgument("query has no tables");
+  if (query.select_items.empty()) return Status::InvalidArgument("query selects nothing");
+
+  // 1. Per-table access plans.
+  std::vector<PlanPtr> access_plans;
+  for (const auto& t : query.tables) {
+    PSE_ASSIGN_OR_RETURN(PlanPtr p, PlanTableAccess(t, catalog));
+    access_plans.push_back(std::move(p));
+  }
+
+  // 2. Grow a left-deep join tree.
+  std::vector<bool> in_tree(query.tables.size(), false);
+  PlanPtr current = std::move(access_plans[0]);
+  in_tree[0] = true;
+  std::vector<EquiJoin> pending = query.joins;
+  std::vector<ExprPtr> join_residuals;
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const EquiJoin& j = pending[i];
+      bool l_in = in_tree[j.left_table], r_in = in_tree[j.right_table];
+      if (l_in && r_in) {
+        // Becomes a post-join equality filter.
+        join_residuals.push_back(Cmp(CompareOp::kEq,
+                                     Col(query.tables[j.left_table].alias + "." + j.left_column),
+                                     Col(query.tables[j.right_table].alias + "." + j.right_column)));
+        pending.erase(pending.begin() + i);
+        progressed = true;
+        break;
+      }
+      if (!l_in && !r_in) continue;  // defer until one side joins the tree
+      size_t new_table = l_in ? j.right_table : j.left_table;
+      const std::string& tree_col =
+          (l_in ? query.tables[j.left_table].alias + "." + j.left_column
+                : query.tables[j.right_table].alias + "." + j.right_column);
+      const std::string& new_col =
+          (l_in ? query.tables[j.right_table].alias + "." + j.right_column
+                : query.tables[j.left_table].alias + "." + j.left_column);
+      const std::string& new_col_bare = l_in ? j.right_column : j.left_column;
+
+      PlanPtr inner = std::move(access_plans[new_table]);
+      auto probe_resolver = MakeResolver(current->output_columns);
+
+      // Index nested-loop when the inner is a plain scan with an index on
+      // its join column and the outer is expected to produce few rows
+      // relative to the inner's pages.
+      bool inner_is_scan = inner->kind == PlanNode::Kind::kSeqScan ||
+                           inner->kind == PlanNode::Kind::kIndexScan;
+      bool use_inlj = false;
+      if (inner_is_scan && catalog.HasIndex(inner->table, new_col_bare)) {
+        CostModel model(&catalog);
+        auto outer_est = model.Estimate(*current);
+        auto inner_stats = catalog.GetStats(inner->table);
+        if (outer_est.ok() && inner_stats.ok()) {
+          double inner_pages = CostModel::TablePages(**inner_stats);
+          double inner_rows = static_cast<double>((*inner_stats)->row_count);
+          const ColumnStatistics* cs = (*inner_stats)->Column(new_col_bare);
+          double fanout = (cs != nullptr && cs->num_distinct > 0)
+                              ? inner_rows / static_cast<double>(cs->num_distinct)
+                              : 1.0;
+          use_inlj = outer_est->rows * std::max(1.0, fanout) < inner_pages * 0.8;
+        }
+      }
+
+      if (use_inlj) {
+        auto join = std::make_unique<PlanNode>();
+        join->kind = PlanNode::Kind::kIndexNLJoin;
+        join->table = inner->table;
+        join->alias = inner->alias;
+        join->scan_column_idxs = inner->scan_column_idxs;
+        join->scan_filter = std::move(inner->scan_filter);
+        join->index_column = new_col_bare;
+        PSE_ASSIGN_OR_RETURN(join->left_key_pos, probe_resolver(tree_col));
+        join->output_columns = current->output_columns;
+        join->output_columns.insert(join->output_columns.end(),
+                                    inner->output_columns.begin(),
+                                    inner->output_columns.end());
+        join->children.push_back(std::move(current));
+        current = std::move(join);
+      } else {
+        auto join = std::make_unique<PlanNode>();
+        join->kind = PlanNode::Kind::kHashJoin;
+        // children[0] = build = the newly attached table; children[1] = probe.
+        auto build_resolver = MakeResolver(inner->output_columns);
+        PSE_ASSIGN_OR_RETURN(join->left_key_pos, build_resolver(new_col));
+        PSE_ASSIGN_OR_RETURN(join->right_key_pos, probe_resolver(tree_col));
+        join->output_columns = inner->output_columns;
+        join->output_columns.insert(join->output_columns.end(),
+                                    current->output_columns.begin(),
+                                    current->output_columns.end());
+        join->children.push_back(std::move(inner));
+        join->children.push_back(std::move(current));
+        current = std::move(join);
+      }
+      in_tree[new_table] = true;
+      pending.erase(pending.begin() + i);
+      progressed = true;
+      break;
+    }
+    if (!progressed) return Status::BindError("disconnected join graph");
+  }
+  for (size_t i = 0; i < in_tree.size(); ++i) {
+    if (!in_tree[i]) {
+      return Status::BindError("table '" + query.tables[i].alias + "' is not joined");
+    }
+  }
+
+  // 3. Residual filters (join-to-filter conversions + global filters).
+  std::vector<ExprPtr> residuals = std::move(join_residuals);
+  for (const auto& f : query.global_filters) residuals.push_back(f->Clone());
+  if (ExprPtr combined = AndAll(std::move(residuals))) {
+    PSE_RETURN_NOT_OK(combined->Resolve(MakeResolver(current->output_columns)));
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanNode::Kind::kFilter;
+    filter->output_columns = current->output_columns;
+    filter->predicate = std::move(combined);
+    filter->children.push_back(std::move(current));
+    current = std::move(filter);
+  }
+
+  // 4. Aggregation or plain projection.
+  if (query.HasAggregation()) {
+    // Validate: plain select items must match a GROUP BY expression.
+    for (const auto& s : query.select_items) {
+      if (s.agg != AggFunc::kNone) continue;
+      bool matched = false;
+      for (const auto& g : query.group_by) {
+        if (EqualsIgnoreCase(g->ToString(), s.expr->ToString())) matched = true;
+      }
+      if (!matched) {
+        return Status::BindError("select item '" + s.expr->ToString() +
+                                 "' is neither aggregated nor grouped");
+      }
+    }
+    // Pre-project: group exprs then agg args.
+    auto pre = std::make_unique<PlanNode>();
+    pre->kind = PlanNode::Kind::kProject;
+    auto resolver = MakeResolver(current->output_columns);
+    for (const auto& g : query.group_by) {
+      ExprPtr e = g->Clone();
+      PSE_RETURN_NOT_OK(e->Resolve(resolver));
+      pre->output_columns.push_back(g->ToString());
+      pre->projections.push_back(std::move(e));
+    }
+    size_t group_n = query.group_by.size();
+    std::vector<size_t> agg_arg_pos(query.select_items.size(), 0);
+    size_t next_arg = group_n;
+    for (size_t i = 0; i < query.select_items.size(); ++i) {
+      const auto& s = query.select_items[i];
+      if (s.agg == AggFunc::kNone || s.agg == AggFunc::kCountStar) continue;
+      ExprPtr e = s.expr->Clone();
+      PSE_RETURN_NOT_OK(e->Resolve(resolver));
+      pre->output_columns.push_back("argof." + s.name);
+      pre->projections.push_back(std::move(e));
+      agg_arg_pos[i] = next_arg++;
+    }
+    pre->children.push_back(std::move(current));
+    current = std::move(pre);
+
+    // Aggregate node.
+    auto agg = std::make_unique<PlanNode>();
+    agg->kind = PlanNode::Kind::kAggregate;
+    for (size_t g = 0; g < group_n; ++g) {
+      agg->group_by_pos.push_back(g);
+      agg->output_columns.push_back(current->output_columns[g]);
+    }
+    std::vector<size_t> select_to_agg_out(query.select_items.size(), 0);
+    for (size_t i = 0; i < query.select_items.size(); ++i) {
+      const auto& s = query.select_items[i];
+      if (s.agg == AggFunc::kNone) continue;
+      PlanAggSpec spec;
+      spec.func = s.agg;
+      spec.arg_pos = agg_arg_pos[i];
+      select_to_agg_out[i] = group_n + agg->aggs.size();
+      agg->aggs.push_back(spec);
+      agg->output_columns.push_back(s.name);
+    }
+    agg->children.push_back(std::move(current));
+    current = std::move(agg);
+
+    // Final project mapping select items onto aggregate output.
+    auto post = std::make_unique<PlanNode>();
+    post->kind = PlanNode::Kind::kProject;
+    for (size_t i = 0; i < query.select_items.size(); ++i) {
+      const auto& s = query.select_items[i];
+      size_t pos;
+      if (s.agg == AggFunc::kNone) {
+        // Find the matching group column by display string.
+        pos = current->output_columns.size();
+        for (size_t g = 0; g < group_n; ++g) {
+          if (EqualsIgnoreCase(current->output_columns[g], s.expr->ToString())) pos = g;
+        }
+        if (pos == current->output_columns.size()) {
+          return Status::Internal("group column lookup failed for " + s.expr->ToString());
+        }
+      } else {
+        pos = select_to_agg_out[i];
+      }
+      post->projections.push_back(MakeResolvedColumn(s.name, pos));
+      post->output_columns.push_back(s.name);
+    }
+    post->children.push_back(std::move(current));
+    current = std::move(post);
+
+    if (query.having) {
+      ExprPtr pred = query.having->Clone();
+      PSE_RETURN_NOT_OK(pred->Resolve(MakeResolver(current->output_columns)));
+      auto having = std::make_unique<PlanNode>();
+      having->kind = PlanNode::Kind::kFilter;
+      having->output_columns = current->output_columns;
+      having->predicate = std::move(pred);
+      having->children.push_back(std::move(current));
+      current = std::move(having);
+    }
+  } else {
+    if (query.having) {
+      return Status::BindError("HAVING requires aggregation");
+    }
+    auto proj = std::make_unique<PlanNode>();
+    proj->kind = PlanNode::Kind::kProject;
+    auto resolver = MakeResolver(current->output_columns);
+    for (const auto& s : query.select_items) {
+      ExprPtr e = s.expr->Clone();
+      PSE_RETURN_NOT_OK(e->Resolve(resolver));
+      proj->projections.push_back(std::move(e));
+      proj->output_columns.push_back(s.name);
+    }
+    proj->children.push_back(std::move(current));
+    current = std::move(proj);
+    if (query.select_distinct) {
+      auto distinct = std::make_unique<PlanNode>();
+      distinct->kind = PlanNode::Kind::kDistinct;
+      distinct->output_columns = current->output_columns;
+      distinct->children.push_back(std::move(current));
+      current = std::move(distinct);
+    }
+  }
+
+  // 5. Sort.
+  if (!query.order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = PlanNode::Kind::kSort;
+    sort->output_columns = current->output_columns;
+    for (const auto& k : query.order_by) {
+      if (k.select_index >= current->output_columns.size()) {
+        return Status::BindError("ORDER BY index out of range");
+      }
+      sort->sort_keys.push_back(PlanSortKey{k.select_index, k.desc});
+    }
+    sort->children.push_back(std::move(current));
+    current = std::move(sort);
+  }
+
+  // 6. Limit.
+  if (query.limit.has_value()) {
+    auto limit = std::make_unique<PlanNode>();
+    limit->kind = PlanNode::Kind::kLimit;
+    limit->output_columns = current->output_columns;
+    limit->limit_n = *query.limit;
+    limit->children.push_back(std::move(current));
+    current = std::move(limit);
+  }
+
+  return current;
+}
+
+}  // namespace pse

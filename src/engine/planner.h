@@ -1,0 +1,22 @@
+// Planner: lowers a BoundQuery into a physical PlanNode tree.
+//
+// Plan shape: per-table scans (index scan when a BIGINT filter matches an
+// index) -> optional per-access Distinct -> left-deep hash joins following
+// the join graph -> residual Filter -> Aggregate/Project -> Distinct ->
+// Sort -> Limit. Column references are resolved to positions during
+// planning; the returned tree is ready for both costing and execution.
+#pragma once
+
+#include "engine/bound_query.h"
+#include "engine/catalog_view.h"
+#include "engine/plan.h"
+
+namespace pse {
+
+/// Builds an executable physical plan for `query` against `catalog`.
+Result<PlanPtr> PlanQuery(const BoundQuery& query, const CatalogView& catalog);
+
+/// Makes a pre-resolved column reference (helper for plan construction).
+ExprPtr MakeResolvedColumn(const std::string& name, size_t pos);
+
+}  // namespace pse

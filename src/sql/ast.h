@@ -1,0 +1,107 @@
+// SQL abstract syntax. Scalar expressions reuse the engine's Expr tree;
+// aggregates appear only at select-item level (no nesting).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "engine/bound_query.h"
+#include "engine/expr.h"
+
+namespace pse {
+
+/// FROM-clause entry.
+struct TableRefAst {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+/// SELECT-list entry.
+struct SelectItemAst {
+  ExprPtr expr;  // null for COUNT(*) or '*'
+  AggFunc agg = AggFunc::kNone;
+  std::string alias;   // AS name (may be empty)
+  bool star = false;   // bare '*'
+};
+
+/// ORDER BY entry: either a 1-based select position or an expression.
+struct OrderItemAst {
+  std::optional<int64_t> position;
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItemAst> items;
+  std::vector<TableRefAst> from;
+  /// WHERE plus every JOIN ... ON condition, ANDed (inner-join semantics).
+  std::vector<ExprPtr> conjuncts;
+  std::vector<ExprPtr> group_by;
+  /// HAVING predicate; may reference select-list aliases and group columns.
+  ExprPtr having;
+  std::vector<OrderItemAst> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;      // empty = positional
+  std::vector<std::vector<Value>> rows;  // literal rows
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct CreateTableStmt {
+  TableSchema schema;
+};
+
+struct CreateIndexStmt {
+  std::string table;
+  std::string column;
+};
+
+struct AnalyzeStmt {
+  std::string table;  // empty = all tables
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+/// A parsed statement (exactly one member set).
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kCreateIndex,
+    kDropTable,
+    kAnalyze,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<AnalyzeStmt> analyze;
+  std::unique_ptr<DropTableStmt> drop_table;
+};
+
+}  // namespace pse

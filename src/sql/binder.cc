@@ -1,0 +1,302 @@
+#include "sql/binder.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace pse {
+
+namespace {
+
+struct BoundTable {
+  std::string table;
+  std::string alias;
+  const TableSchema* schema;
+  std::vector<std::string> used_columns;  // insertion-ordered, deduped
+  std::set<std::string> used_set;
+};
+
+class Binder {
+ public:
+  Binder(const SelectStmt& stmt, const CatalogView& catalog) : stmt_(stmt), catalog_(catalog) {}
+
+  Result<BoundQuery> Bind();
+
+ private:
+  /// Resolves a possibly-qualified name to (table index, canonical column).
+  Result<std::pair<size_t, std::string>> ResolveColumn(const std::string& name);
+  /// Qualifies every ColumnRef in `e` to "alias.column" and records usage.
+  Status Qualify(Expr* e);
+  /// Marks a column of table t as used (for projection pushdown).
+  void MarkUsed(size_t t, const std::string& column);
+  /// Rewrites qualified refs of a single-table expr to unqualified names.
+  static void Unqualify(Expr* e);
+  /// Tables referenced by a (qualified) expression.
+  std::set<size_t> TablesOf(const Expr& e);
+
+  const SelectStmt& stmt_;
+  const CatalogView& catalog_;
+  std::vector<BoundTable> tables_;
+};
+
+Result<std::pair<size_t, std::string>> Binder::ResolveColumn(const std::string& name) {
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    std::string alias = name.substr(0, dot);
+    std::string col = name.substr(dot + 1);
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      if (!EqualsIgnoreCase(tables_[i].alias, alias)) continue;
+      PSE_ASSIGN_OR_RETURN(size_t idx, tables_[i].schema->ColumnIndex(col));
+      return std::make_pair(i, tables_[i].schema->column(idx).name);
+    }
+    return Status::BindError("unknown table alias '" + alias + "'");
+  }
+  size_t found_t = tables_.size();
+  std::string found_c;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    auto idx = tables_[i].schema->ColumnIndex(name);
+    if (idx.ok()) {
+      if (found_t != tables_.size()) {
+        return Status::BindError("ambiguous column '" + name + "'");
+      }
+      found_t = i;
+      found_c = tables_[i].schema->column(*idx).name;
+    }
+  }
+  if (found_t == tables_.size()) {
+    return Status::BindError("unknown column '" + name + "'");
+  }
+  return std::make_pair(found_t, found_c);
+}
+
+void Binder::MarkUsed(size_t t, const std::string& column) {
+  if (tables_[t].used_set.insert(ToLower(column)).second) {
+    tables_[t].used_columns.push_back(column);
+  }
+}
+
+Status Binder::Qualify(Expr* e) {
+  Status status;
+  e->VisitColumnRefs([this, &status](ColumnRefExpr* c) {
+    if (!status.ok()) return;
+    auto r = ResolveColumn(c->name());
+    if (!r.ok()) {
+      status = r.status();
+      return;
+    }
+    auto [t, col] = *r;
+    MarkUsed(t, col);
+    c->set_name(tables_[t].alias + "." + col);
+  });
+  return status;
+}
+
+void Binder::Unqualify(Expr* e) {
+  e->VisitColumnRefs([](ColumnRefExpr* c) {
+    size_t dot = c->name().find('.');
+    if (dot != std::string::npos) c->set_name(c->name().substr(dot + 1));
+  });
+}
+
+std::set<size_t> Binder::TablesOf(const Expr& e) {
+  std::vector<std::string> cols;
+  e.CollectColumns(&cols);
+  std::set<size_t> out;
+  for (const auto& name : cols) {
+    size_t dot = name.find('.');
+    std::string alias = dot == std::string::npos ? "" : name.substr(0, dot);
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      if (EqualsIgnoreCase(tables_[i].alias, alias)) out.insert(i);
+    }
+  }
+  return out;
+}
+
+Result<BoundQuery> Binder::Bind() {
+  // Tables.
+  for (const auto& ref : stmt_.from) {
+    PSE_ASSIGN_OR_RETURN(const TableSchema* schema, catalog_.GetSchema(ref.table));
+    for (const auto& existing : tables_) {
+      if (EqualsIgnoreCase(existing.alias, ref.alias)) {
+        return Status::BindError("duplicate table alias '" + ref.alias + "'");
+      }
+    }
+    tables_.push_back(BoundTable{ref.table, ref.alias, schema, {}, {}});
+  }
+
+  BoundQuery out;
+
+  // Select items ('*' expansion, qualification, default names).
+  std::vector<SelectItem> items;
+  for (const auto& item : stmt_.items) {
+    if (item.star) {
+      for (size_t t = 0; t < tables_.size(); ++t) {
+        for (const auto& col : tables_[t].schema->columns()) {
+          MarkUsed(t, col.name);
+          items.emplace_back(Col(tables_[t].alias + "." + col.name), AggFunc::kNone, col.name);
+        }
+      }
+      continue;
+    }
+    SelectItem s;
+    s.agg = item.agg;
+    if (item.expr) {
+      s.expr = item.expr->Clone();
+      PSE_RETURN_NOT_OK(Qualify(s.expr.get()));
+    }
+    if (!item.alias.empty()) {
+      s.name = item.alias;
+    } else if (s.agg == AggFunc::kCountStar) {
+      s.name = "count_star";
+    } else if (const auto* c = dynamic_cast<const ColumnRefExpr*>(s.expr.get())) {
+      std::string n = c->name();
+      size_t dot = n.find('.');
+      std::string base = dot == std::string::npos ? n : n.substr(dot + 1);
+      s.name = s.agg == AggFunc::kNone ? base
+                                       : ToLower(AggFuncToString(s.agg)) + "_" + base;
+      // "count_distinct_col" reads fine; nothing extra needed.
+    } else {
+      s.name = "expr_" + std::to_string(items.size());
+    }
+    items.push_back(std::move(s));
+  }
+
+  // Conjunct classification.
+  std::vector<std::pair<size_t, ExprPtr>> per_table_filters;
+  for (const auto& conj_src : stmt_.conjuncts) {
+    // Split top-level ANDs so each piece lands in the best place; clone
+    // first so we can mutate (qualify) freely.
+    ExprPtr cloned = conj_src->Clone();
+    std::vector<ExprPtr> flat;
+    std::function<void(ExprPtr)> flatten = [&](ExprPtr e) {
+      auto* logic = dynamic_cast<LogicExpr*>(e.get());
+      if (logic != nullptr && logic->op() == LogicOp::kAnd) {
+        // Re-clone children since LogicExpr does not expose release().
+        flatten(logic->left()->Clone());
+        flatten(logic->right()->Clone());
+        return;
+      }
+      flat.push_back(std::move(e));
+    };
+    flatten(std::move(cloned));
+
+    for (auto& piece : flat) {
+      PSE_RETURN_NOT_OK(Qualify(piece.get()));
+      // Equi-join pattern?
+      if (auto* cmp = dynamic_cast<CompareExpr*>(piece.get());
+          cmp != nullptr && cmp->op() == CompareOp::kEq) {
+        const auto* l = dynamic_cast<const ColumnRefExpr*>(cmp->left());
+        const auto* r = dynamic_cast<const ColumnRefExpr*>(cmp->right());
+        if (l != nullptr && r != nullptr) {
+          auto lt = TablesOf(*cmp->left());
+          auto rt = TablesOf(*cmp->right());
+          if (lt.size() == 1 && rt.size() == 1 && *lt.begin() != *rt.begin()) {
+            EquiJoin j;
+            j.left_table = *lt.begin();
+            j.right_table = *rt.begin();
+            j.left_column = l->name().substr(l->name().find('.') + 1);
+            j.right_column = r->name().substr(r->name().find('.') + 1);
+            out.joins.push_back(j);
+            continue;
+          }
+        }
+      }
+      std::set<size_t> refs = TablesOf(*piece);
+      if (refs.size() == 1) {
+        size_t t = *refs.begin();
+        Unqualify(piece.get());
+        per_table_filters.emplace_back(t, std::move(piece));
+      } else {
+        out.global_filters.push_back(std::move(piece));
+      }
+    }
+  }
+
+  // Group by.
+  for (const auto& g : stmt_.group_by) {
+    ExprPtr e = g->Clone();
+    PSE_RETURN_NOT_OK(Qualify(e.get()));
+    out.group_by.push_back(std::move(e));
+  }
+
+  // HAVING: resolved by the planner against the select output (aliases and
+  // group columns). Only legal with aggregation.
+  if (stmt_.having) {
+    if (out.group_by.empty() && ![&] {
+          for (const auto& item : items) {
+            if (item.agg != AggFunc::kNone) return true;
+          }
+          return false;
+        }()) {
+      return Status::BindError("HAVING requires GROUP BY or aggregates");
+    }
+    out.having = stmt_.having->Clone();
+  }
+
+  // Order by.
+  for (const auto& o : stmt_.order_by) {
+    OrderKey key;
+    key.desc = o.desc;
+    if (o.position.has_value()) {
+      if (*o.position < 1 || static_cast<size_t>(*o.position) > items.size()) {
+        return Status::BindError("ORDER BY position out of range");
+      }
+      key.select_index = static_cast<size_t>(*o.position - 1);
+    } else {
+      ExprPtr e = o.expr->Clone();
+      // Try alias match first (unqualified single identifier).
+      bool matched = false;
+      if (const auto* c = dynamic_cast<const ColumnRefExpr*>(e.get())) {
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (EqualsIgnoreCase(items[i].name, c->name())) {
+            key.select_index = i;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) {
+        PSE_RETURN_NOT_OK(Qualify(e.get()));
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (items[i].expr && items[i].agg == AggFunc::kNone &&
+              EqualsIgnoreCase(items[i].expr->ToString(), e->ToString())) {
+            key.select_index = i;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) {
+        return Status::BindError("ORDER BY expression must appear in the select list: " +
+                                 o.expr->ToString());
+      }
+    }
+    out.order_by.push_back(key);
+  }
+
+  // Assemble table accesses with pruned columns and local filters.
+  for (auto& bt : tables_) {
+    TableAccess access;
+    access.table = bt.table;
+    access.alias = bt.alias;
+    access.columns = bt.used_columns;
+    out.tables.push_back(std::move(access));
+  }
+  for (auto& [t, filter] : per_table_filters) {
+    out.tables[t].filters.push_back(std::move(filter));
+  }
+
+  out.select_items = std::move(items);
+  out.select_distinct = stmt_.distinct;
+  out.limit = stmt_.limit;
+  return out;
+}
+
+}  // namespace
+
+Result<BoundQuery> BindSelect(const SelectStmt& stmt, const CatalogView& catalog) {
+  Binder binder(stmt, catalog);
+  return binder.Bind();
+}
+
+}  // namespace pse

@@ -1,0 +1,19 @@
+// Binder: turns a parsed SELECT into a BoundQuery against a CatalogView.
+//
+// Responsibilities: table/column resolution, '*' expansion, qualifying every
+// column reference to "alias.column", classifying WHERE/ON conjuncts into
+// per-table filters / equi-joins / global filters, projection pushdown
+// (column pruning), and ORDER BY resolution.
+#pragma once
+
+#include "engine/bound_query.h"
+#include "engine/catalog_view.h"
+#include "sql/ast.h"
+
+namespace pse {
+
+/// Binds a SELECT statement. BindError on unknown tables/columns, ambiguous
+/// references, or unsupported shapes.
+Result<BoundQuery> BindSelect(const SelectStmt& stmt, const CatalogView& catalog);
+
+}  // namespace pse

@@ -1,0 +1,161 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pse {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenType t, size_t off, std::string text = "") {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(text);
+    tok.offset = off;
+    out.push_back(std::move(tok));
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) ++i;
+      push(TokenType::kIdentifier, start, sql.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      Token tok;
+      tok.offset = start;
+      tok.text = text;
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kString, start, std::move(text));
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " + std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return out;
+}
+
+}  // namespace pse

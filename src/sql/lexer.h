@@ -1,0 +1,45 @@
+// SQL tokenizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pse {
+
+enum class TokenType {
+  kIdentifier,  // keywords are identifiers; the parser matches them
+  kInteger,
+  kFloat,
+  kString,
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,      // =
+  kNe,      // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // identifier/keyword text (original case) or literal
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;     // byte offset in the input, for error messages
+};
+
+/// Tokenizes SQL text. Comments ("-- ...") are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace pse

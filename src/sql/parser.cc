@@ -1,0 +1,580 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace pse {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool CheckKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdentifier && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (!Match(t)) {
+      return Status::ParseError(std::string("expected ") + what + " near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!Check(TokenType::kIdentifier)) {
+      return Status::ParseError(std::string("expected ") + what + " near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<std::unique_ptr<InsertStmt>> ParseInsert();
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate();
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete();
+  Result<Statement> ParseCreate();
+  Result<std::unique_ptr<AnalyzeStmt>> ParseAnalyze();
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+  Result<Value> ParseLiteral();
+  /// Column name, possibly qualified ("a.b").
+  Result<std::string> ParseColumnName(std::string first);
+
+  bool IsAggKeyword(const std::string& s, AggFunc* out) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool Parser::IsAggKeyword(const std::string& s, AggFunc* out) const {
+  if (EqualsIgnoreCase(s, "COUNT")) {
+    *out = AggFunc::kCount;
+    return true;
+  }
+  if (EqualsIgnoreCase(s, "SUM")) {
+    *out = AggFunc::kSum;
+    return true;
+  }
+  if (EqualsIgnoreCase(s, "AVG")) {
+    *out = AggFunc::kAvg;
+    return true;
+  }
+  if (EqualsIgnoreCase(s, "MIN")) {
+    *out = AggFunc::kMin;
+    return true;
+  }
+  if (EqualsIgnoreCase(s, "MAX")) {
+    *out = AggFunc::kMax;
+    return true;
+  }
+  return false;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (CheckKeyword("SELECT")) {
+    stmt.kind = Statement::Kind::kSelect;
+    PSE_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  } else if (CheckKeyword("INSERT")) {
+    stmt.kind = Statement::Kind::kInsert;
+    PSE_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+  } else if (CheckKeyword("UPDATE")) {
+    stmt.kind = Statement::Kind::kUpdate;
+    PSE_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+  } else if (CheckKeyword("DELETE")) {
+    stmt.kind = Statement::Kind::kDelete;
+    PSE_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+  } else if (CheckKeyword("CREATE")) {
+    PSE_ASSIGN_OR_RETURN(stmt, ParseCreate());
+  } else if (CheckKeyword("DROP")) {
+    Advance();
+    PSE_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    stmt.kind = Statement::Kind::kDropTable;
+    stmt.drop_table = std::make_unique<DropTableStmt>();
+    PSE_ASSIGN_OR_RETURN(stmt.drop_table->table, ExpectIdentifier("table name"));
+  } else if (CheckKeyword("ANALYZE")) {
+    stmt.kind = Statement::Kind::kAnalyze;
+    PSE_ASSIGN_OR_RETURN(stmt.analyze, ParseAnalyze());
+  } else {
+    return Status::ParseError("expected a statement near offset " +
+                              std::to_string(Peek().offset));
+  }
+  Match(TokenType::kSemicolon);
+  if (!Check(TokenType::kEnd)) {
+    return Status::ParseError("trailing input near offset " + std::to_string(Peek().offset));
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  PSE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->distinct = MatchKeyword("DISTINCT");
+
+  // Select list.
+  while (true) {
+    SelectItemAst item;
+    if (Match(TokenType::kStar)) {
+      item.star = true;
+    } else if (Check(TokenType::kIdentifier)) {
+      AggFunc agg;
+      if (IsAggKeyword(Peek().text, &agg) && Peek(1).type == TokenType::kLParen) {
+        Advance();  // function name
+        Advance();  // (
+        if (agg == AggFunc::kCount && Match(TokenType::kStar)) {
+          item.agg = AggFunc::kCountStar;
+        } else if (agg == AggFunc::kCount && MatchKeyword("DISTINCT")) {
+          item.agg = AggFunc::kCountDistinct;
+          PSE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        } else {
+          item.agg = agg;
+          PSE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      } else {
+        PSE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+    } else {
+      PSE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    if (MatchKeyword("AS")) {
+      PSE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    } else if (!item.star && Check(TokenType::kIdentifier) && !CheckKeyword("FROM")) {
+      item.alias = Advance().text;  // bare alias
+    }
+    stmt->items.push_back(std::move(item));
+    if (!Match(TokenType::kComma)) break;
+  }
+
+  // FROM.
+  PSE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto parse_table_ref = [this]() -> Result<TableRefAst> {
+    TableRefAst ref;
+    PSE_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+    ref.alias = ref.table;
+    if (MatchKeyword("AS")) {
+      PSE_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
+    } else if (Check(TokenType::kIdentifier) && !CheckKeyword("JOIN") &&
+               !CheckKeyword("INNER") && !CheckKeyword("WHERE") && !CheckKeyword("GROUP") &&
+               !CheckKeyword("HAVING") && !CheckKeyword("ORDER") && !CheckKeyword("LIMIT") &&
+               !CheckKeyword("ON")) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  };
+  PSE_ASSIGN_OR_RETURN(TableRefAst first, parse_table_ref());
+  stmt->from.push_back(std::move(first));
+  while (true) {
+    if (Match(TokenType::kComma)) {
+      PSE_ASSIGN_OR_RETURN(TableRefAst ref, parse_table_ref());
+      stmt->from.push_back(std::move(ref));
+      continue;
+    }
+    bool inner = MatchKeyword("INNER");
+    if (MatchKeyword("JOIN")) {
+      PSE_ASSIGN_OR_RETURN(TableRefAst ref, parse_table_ref());
+      stmt->from.push_back(std::move(ref));
+      PSE_RETURN_NOT_OK(ExpectKeyword("ON"));
+      PSE_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      stmt->conjuncts.push_back(std::move(cond));
+      continue;
+    }
+    if (inner) return Status::ParseError("expected JOIN after INNER");
+    break;
+  }
+
+  if (MatchKeyword("WHERE")) {
+    PSE_ASSIGN_OR_RETURN(ExprPtr where, ParseExpr());
+    stmt->conjuncts.push_back(std::move(where));
+  }
+  if (MatchKeyword("GROUP")) {
+    PSE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      PSE_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("HAVING")) {
+    PSE_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    PSE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderItemAst item;
+      if (Check(TokenType::kInteger)) {
+        item.position = Advance().int_value;
+      } else {
+        PSE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (MatchKeyword("DESC")) {
+        item.desc = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (!Check(TokenType::kInteger)) return Status::ParseError("LIMIT expects an integer");
+    stmt->limit = Advance().int_value;
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<InsertStmt>> Parser::ParseInsert() {
+  PSE_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  PSE_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto stmt = std::make_unique<InsertStmt>();
+  PSE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  if (Match(TokenType::kLParen)) {
+    do {
+      PSE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      stmt->columns.push_back(std::move(col));
+    } while (Match(TokenType::kComma));
+    PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  }
+  PSE_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    PSE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    std::vector<Value> row;
+    do {
+      PSE_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      row.push_back(std::move(v));
+    } while (Match(TokenType::kComma));
+    PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    stmt->rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return stmt;
+}
+
+Result<std::unique_ptr<UpdateStmt>> Parser::ParseUpdate() {
+  PSE_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  PSE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  PSE_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    PSE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    PSE_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+    PSE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt->assignments.emplace_back(std::move(col), std::move(e));
+  } while (Match(TokenType::kComma));
+  if (MatchKeyword("WHERE")) {
+    PSE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<DeleteStmt>> Parser::ParseDelete() {
+  PSE_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  PSE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  PSE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  if (MatchKeyword("WHERE")) {
+    PSE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  PSE_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+  Statement stmt;
+  if (MatchKeyword("INDEX")) {
+    stmt.kind = Statement::Kind::kCreateIndex;
+    stmt.create_index = std::make_unique<CreateIndexStmt>();
+    // Optional index name, ignored.
+    if (Check(TokenType::kIdentifier) && !CheckKeyword("ON")) Advance();
+    PSE_RETURN_NOT_OK(ExpectKeyword("ON"));
+    PSE_ASSIGN_OR_RETURN(stmt.create_index->table, ExpectIdentifier("table name"));
+    PSE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    PSE_ASSIGN_OR_RETURN(stmt.create_index->column, ExpectIdentifier("column name"));
+    PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return stmt;
+  }
+  PSE_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  stmt.kind = Statement::Kind::kCreateTable;
+  stmt.create_table = std::make_unique<CreateTableStmt>();
+  PSE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+  PSE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+  std::vector<Column> columns;
+  std::vector<std::string> keys;
+  do {
+    if (CheckKeyword("PRIMARY")) {
+      Advance();
+      PSE_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      PSE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+      do {
+        PSE_ASSIGN_OR_RETURN(std::string k, ExpectIdentifier("key column"));
+        keys.push_back(std::move(k));
+      } while (Match(TokenType::kComma));
+      PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      continue;
+    }
+    Column col;
+    PSE_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+    PSE_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier("type"));
+    if (EqualsIgnoreCase(type_name, "BIGINT") || EqualsIgnoreCase(type_name, "INTEGER") ||
+        EqualsIgnoreCase(type_name, "INT")) {
+      col.type = TypeId::kInt64;
+    } else if (EqualsIgnoreCase(type_name, "DOUBLE") || EqualsIgnoreCase(type_name, "FLOAT") ||
+               EqualsIgnoreCase(type_name, "REAL") || EqualsIgnoreCase(type_name, "NUMERIC")) {
+      col.type = TypeId::kDouble;
+    } else if (EqualsIgnoreCase(type_name, "VARCHAR") || EqualsIgnoreCase(type_name, "TEXT") ||
+               EqualsIgnoreCase(type_name, "CHAR")) {
+      col.type = TypeId::kVarchar;
+      if (Match(TokenType::kLParen)) {
+        if (!Check(TokenType::kInteger)) return Status::ParseError("VARCHAR length expected");
+        col.avg_width = static_cast<uint32_t>(Advance().int_value);
+        PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      }
+    } else if (EqualsIgnoreCase(type_name, "BOOLEAN") || EqualsIgnoreCase(type_name, "BOOL")) {
+      col.type = TypeId::kBoolean;
+    } else {
+      return Status::ParseError("unknown type " + type_name);
+    }
+    if (MatchKeyword("NOT")) {
+      PSE_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      col.nullable = false;
+    }
+    columns.push_back(std::move(col));
+  } while (Match(TokenType::kComma));
+  PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  stmt.create_table->schema = TableSchema(name, std::move(columns), std::move(keys));
+  return stmt;
+}
+
+Result<std::unique_ptr<AnalyzeStmt>> Parser::ParseAnalyze() {
+  PSE_RETURN_NOT_OK(ExpectKeyword("ANALYZE"));
+  auto stmt = std::make_unique<AnalyzeStmt>();
+  if (Check(TokenType::kIdentifier)) {
+    stmt->table = Advance().text;
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  PSE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    PSE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<LogicExpr>(LogicOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  PSE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    PSE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = And(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    PSE_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return ExprPtr(std::make_unique<NotExpr>(std::move(child)));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  PSE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  if (CheckKeyword("IS")) {
+    Advance();
+    bool negated = MatchKeyword("NOT");
+    PSE_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), negated));
+  }
+  bool negated = false;
+  if (CheckKeyword("NOT") &&
+      (Peek(1).type == TokenType::kIdentifier &&
+       (EqualsIgnoreCase(Peek(1).text, "LIKE") || EqualsIgnoreCase(Peek(1).text, "IN") ||
+        EqualsIgnoreCase(Peek(1).text, "BETWEEN")))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("LIKE")) {
+    if (!Check(TokenType::kString)) return Status::ParseError("LIKE expects a string literal");
+    std::string pattern = Advance().text;
+    return ExprPtr(std::make_unique<LikeExpr>(std::move(left), std::move(pattern), negated));
+  }
+  if (MatchKeyword("IN")) {
+    PSE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    std::vector<Value> values;
+    do {
+      PSE_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      values.push_back(std::move(v));
+    } while (Match(TokenType::kComma));
+    PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return ExprPtr(std::make_unique<InListExpr>(std::move(left), std::move(values), negated));
+  }
+  if (MatchKeyword("BETWEEN")) {
+    PSE_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    PSE_RETURN_NOT_OK(ExpectKeyword("AND"));
+    PSE_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    // a BETWEEN lo AND hi  ==>  a >= lo AND a <= hi.
+    ExprPtr ge = Cmp(CompareOp::kGe, left->Clone(), std::move(lo));
+    ExprPtr le = Cmp(CompareOp::kLe, std::move(left), std::move(hi));
+    ExprPtr both = And(std::move(ge), std::move(le));
+    if (negated) return ExprPtr(std::make_unique<NotExpr>(std::move(both)));
+    return both;
+  }
+  if (negated) return Status::ParseError("dangling NOT");
+
+  CompareOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = CompareOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = CompareOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = CompareOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = CompareOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = CompareOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = CompareOp::kGe;
+      break;
+    default:
+      return left;
+  }
+  Advance();
+  PSE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+  return Cmp(op, std::move(left), std::move(right));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  PSE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    ArithOp op = Advance().type == TokenType::kPlus ? ArithOp::kAdd : ArithOp::kSub;
+    PSE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<ArithExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  PSE_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+    ArithOp op = Advance().type == TokenType::kStar ? ArithOp::kMul : ArithOp::kDiv;
+    PSE_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+    left = std::make_unique<ArithExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (Match(TokenType::kLParen)) {
+    PSE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    PSE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return e;
+  }
+  if (Check(TokenType::kInteger)) return Const(Value::Int(Advance().int_value));
+  if (Check(TokenType::kFloat)) return Const(Value::Double(Advance().float_value));
+  if (Check(TokenType::kString)) return Const(Value::Varchar(Advance().text));
+  if (Check(TokenType::kMinus)) {
+    Advance();
+    if (Check(TokenType::kInteger)) return Const(Value::Int(-Advance().int_value));
+    if (Check(TokenType::kFloat)) return Const(Value::Double(-Advance().float_value));
+    PSE_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    return ExprPtr(
+        std::make_unique<ArithExpr>(ArithOp::kSub, Const(Value::Int(0)), std::move(e)));
+  }
+  if (Check(TokenType::kIdentifier)) {
+    std::string name = Advance().text;
+    if (EqualsIgnoreCase(name, "NULL")) return Const(Value());
+    if (EqualsIgnoreCase(name, "TRUE")) return Const(Value::Bool(true));
+    if (EqualsIgnoreCase(name, "FALSE")) return Const(Value::Bool(false));
+    PSE_ASSIGN_OR_RETURN(std::string full, ParseColumnName(std::move(name)));
+    return Col(std::move(full));
+  }
+  return Status::ParseError("expected an expression near offset " +
+                            std::to_string(Peek().offset));
+}
+
+Result<std::string> Parser::ParseColumnName(std::string first) {
+  if (Match(TokenType::kDot)) {
+    PSE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    return first + "." + col;
+  }
+  return first;
+}
+
+Result<Value> Parser::ParseLiteral() {
+  if (Check(TokenType::kInteger)) return Value::Int(Advance().int_value);
+  if (Check(TokenType::kFloat)) return Value::Double(Advance().float_value);
+  if (Check(TokenType::kString)) return Value::Varchar(Advance().text);
+  if (Check(TokenType::kMinus)) {
+    Advance();
+    if (Check(TokenType::kInteger)) return Value::Int(-Advance().int_value);
+    if (Check(TokenType::kFloat)) return Value::Double(-Advance().float_value);
+    return Status::ParseError("expected a number after '-'");
+  }
+  if (CheckKeyword("NULL")) {
+    Advance();
+    return Value();
+  }
+  if (CheckKeyword("TRUE")) {
+    Advance();
+    return Value::Bool(true);
+  }
+  if (CheckKeyword("FALSE")) {
+    Advance();
+    return Value::Bool(false);
+  }
+  return Status::ParseError("expected a literal near offset " + std::to_string(Peek().offset));
+}
+
+}  // namespace
+
+Result<Statement> ParseSql(const std::string& sql) {
+  PSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace pse

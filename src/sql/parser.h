@@ -1,0 +1,28 @@
+// Recursive-descent SQL parser.
+//
+// Supported statements:
+//   SELECT [DISTINCT] items FROM t [a] {, t [a] | [INNER] JOIN t [a] ON cond}
+//     [WHERE expr] [GROUP BY exprs] [ORDER BY item [ASC|DESC], ...] [LIMIT n]
+//   INSERT INTO t [(cols)] VALUES (lits), ...
+//   UPDATE t SET col = expr, ... [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+//   CREATE TABLE t (col TYPE [NOT NULL], ..., PRIMARY KEY (col))
+//   CREATE INDEX ON t (col)
+//   ANALYZE [t]
+//
+// Expressions: OR / AND / NOT; comparisons (=, <>, !=, <, <=, >, >=), LIKE,
+// NOT LIKE, IS [NOT] NULL, IN (literals), BETWEEN a AND b (desugared);
+// + - * /; literals (integer, float, string, NULL, TRUE, FALSE); column
+// references (qualified or not); aggregates COUNT(*)/COUNT/SUM/AVG/MIN/MAX
+// at select-item level.
+#pragma once
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace pse {
+
+/// Parses one SQL statement (trailing ';' optional).
+Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace pse

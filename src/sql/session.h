@@ -1,0 +1,50 @@
+// Session: end-to-end SQL execution against a Database. The facade used by
+// the examples, the TPC-W loader, and the integration tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/bound_query.h"
+#include "engine/catalog_view.h"
+#include "engine/plan.h"
+#include "storage/database.h"
+
+namespace pse {
+
+/// Result of executing one statement.
+struct ExecResult {
+  std::vector<std::string> columns;  ///< output column names (SELECT)
+  std::vector<Row> rows;             ///< result rows (SELECT)
+  uint64_t affected = 0;             ///< rows touched (DML)
+};
+
+/// \brief Parses, binds, plans, and executes SQL statements.
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db), view_(db) {}
+
+  /// Executes any supported statement.
+  Result<ExecResult> Execute(const std::string& sql);
+
+  /// Parses and binds a SELECT without executing (used by the evolution
+  /// layer and tests).
+  Result<BoundQuery> Bind(const std::string& sql);
+
+  /// Returns the physical plan of a SELECT as text (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql);
+
+  Database* db() { return db_; }
+  const DatabaseCatalogView& catalog_view() const { return view_; }
+
+ private:
+  Result<ExecResult> ExecuteSelect(const BoundQuery& q);
+  Result<ExecResult> ExecuteInsert(const struct InsertStmt& stmt);
+  Result<ExecResult> ExecuteUpdate(const struct UpdateStmt& stmt);
+  Result<ExecResult> ExecuteDelete(const struct DeleteStmt& stmt);
+
+  Database* db_;
+  DatabaseCatalogView view_;
+};
+
+}  // namespace pse

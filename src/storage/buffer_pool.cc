@@ -1,0 +1,181 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace pse {
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    page_id_ = o.page_id_;
+    data_ = o.data_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Unpin(page_id_, dirty_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  dirty_ = false;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, ReplacementPolicy policy)
+    : disk_(disk), capacity_(capacity), policy_(policy), frames_(capacity) {
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) free_frames_.push_back(capacity - 1 - i);
+}
+
+Result<size_t> BufferPool::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    if (frames_[f].data == nullptr) frames_[f].data = std::make_unique<char[]>(kPageSize);
+    return f;
+  }
+  size_t victim = capacity_;
+  if (policy_ == ReplacementPolicy::kLru) {
+    if (lru_.empty()) {
+      return Status::ResourceExhausted("buffer pool: all frames pinned");
+    }
+    victim = lru_.back();
+    lru_.pop_back();
+    frames_[victim].in_lru = false;
+  } else {
+    // Clock sweep: skip pinned frames; clear a set ref bit (second chance),
+    // evict the first unpinned frame whose bit is already clear. Two full
+    // sweeps guarantee progress unless everything is pinned.
+    for (size_t step = 0; step < capacity_ * 2 + 1; ++step) {
+      Frame& cand = frames_[clock_hand_];
+      size_t idx = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % capacity_;
+      if (cand.page_id == kInvalidPageId || cand.pin_count > 0) continue;
+      if (cand.ref) {
+        cand.ref = false;
+        continue;
+      }
+      victim = idx;
+      break;
+    }
+    if (victim == capacity_) {
+      return Status::ResourceExhausted("buffer pool: all frames pinned");
+    }
+  }
+  Frame& fr = frames_[victim];
+  ++stats_.evictions;
+  if (fr.dirty) {
+    PSE_RETURN_NOT_OK(disk_->WritePage(fr.page_id, fr.data.get()));
+    ++stats_.dirty_writebacks;
+    fr.dirty = false;
+  }
+  page_table_.erase(fr.page_id);
+  fr.page_id = kInvalidPageId;
+  return victim;
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  PSE_ASSIGN_OR_RETURN(size_t f, GetFreeFrame());
+  PageId pid = disk_->AllocatePage();
+  Frame& fr = frames_[f];
+  fr.page_id = pid;
+  fr.pin_count = 1;
+  fr.dirty = true;  // a new page must eventually reach disk
+  std::memset(fr.data.get(), 0, kPageSize);
+  page_table_[pid] = f;
+  return PageGuard(this, pid, fr.data.get());
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
+  if (page_id == kInvalidPageId) return Status::InvalidArgument("fetch of invalid page id");
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& fr = frames_[it->second];
+    if (policy_ == ReplacementPolicy::kLru && fr.pin_count == 0 && fr.in_lru) {
+      lru_.erase(fr.lru_it);
+      fr.in_lru = false;
+    }
+    fr.ref = true;
+    ++fr.pin_count;
+    return PageGuard(this, page_id, fr.data.get());
+  }
+  ++stats_.misses;
+  PSE_ASSIGN_OR_RETURN(size_t f, GetFreeFrame());
+  Frame& fr = frames_[f];
+  PSE_RETURN_NOT_OK(disk_->ReadPage(page_id, fr.data.get()));
+  fr.page_id = page_id;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  page_table_[page_id] = f;
+  return PageGuard(this, page_id, fr.data.get());
+}
+
+void BufferPool::Unpin(PageId page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& fr = frames_[it->second];
+  if (dirty) fr.dirty = true;
+  if (fr.pin_count > 0) --fr.pin_count;
+  fr.ref = true;
+  if (policy_ == ReplacementPolicy::kLru && fr.pin_count == 0 && !fr.in_lru) {
+    lru_.push_front(it->second);
+    fr.lru_it = lru_.begin();
+    fr.in_lru = true;
+  }
+}
+
+Status BufferPool::DeletePage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& fr = frames_[it->second];
+    if (fr.pin_count > 0) return Status::Internal("DeletePage on pinned page");
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_it);
+      fr.in_lru = false;
+    }
+    fr.page_id = kInvalidPageId;
+    free_frames_.push_back(it->second);
+    page_table_.erase(it);
+  }
+  disk_->DeallocatePage(page_id);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [pid, f] : page_table_) {
+    Frame& fr = frames_[f];
+    if (fr.dirty) {
+      PSE_RETURN_NOT_OK(disk_->WritePage(fr.page_id, fr.data.get()));
+      ++stats_.dirty_writebacks;
+      fr.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  PSE_RETURN_NOT_OK(FlushAll());
+  for (auto it = page_table_.begin(); it != page_table_.end();) {
+    Frame& fr = frames_[it->second];
+    if (fr.pin_count == 0) {
+      if (fr.in_lru) {
+        lru_.erase(fr.lru_it);
+        fr.in_lru = false;
+      }
+      fr.page_id = kInvalidPageId;
+      free_frames_.push_back(it->second);
+      it = page_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pse

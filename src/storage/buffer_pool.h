@@ -1,0 +1,123 @@
+// LRU buffer pool. Physical I/O happens only on miss (read) and on eviction
+// or flush of a dirty frame (write); the hit/miss counters feed the
+// experiments' actual-I/O measurements.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/storage_defs.h"
+
+namespace pse {
+
+class BufferPool;
+
+/// \brief RAII pin on a buffered page.
+///
+/// Unpins (propagating the dirty flag) on destruction. Movable, not
+/// copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId page_id, char* data)
+      : pool_(pool), page_id_(page_id), data_(data) {}
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool Valid() const { return data_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  const char* data() const { return data_; }
+  /// Grants write access and marks the frame dirty.
+  char* mutable_data() {
+    dirty_ = true;
+    return data_;
+  }
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// Buffer pool statistics (logical accesses; physical I/O is in IoStats).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+  void Reset() { *this = BufferPoolStats{}; }
+};
+
+/// Page-replacement policies.
+enum class ReplacementPolicy {
+  kLru,    ///< exact LRU via an access-ordered list (default)
+  kClock,  ///< second-chance clock sweep (cheaper bookkeeping)
+};
+
+/// \brief Fixed-capacity page cache with pluggable replacement.
+///
+/// Single-threaded by design (the whole engine is): no latching.
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident frames.
+  BufferPool(DiskManager* disk, size_t capacity,
+             ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  /// Allocates a new page and returns it pinned (zeroed, dirty).
+  Result<PageGuard> NewPage();
+  /// Fetches an existing page, reading from disk on miss. Returns pinned.
+  Result<PageGuard> FetchPage(PageId page_id);
+  /// Drops a page from the cache and deallocates it. Must be unpinned.
+  Status DeletePage(PageId page_id);
+  /// Writes back all dirty frames.
+  Status FlushAll();
+  /// Drops every unpinned frame (writing back dirty ones). Used to model a
+  /// cold cache between experiment phases.
+  Status EvictAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  DiskManager* disk() const { return disk_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool ref = false;  // clock second-chance bit
+    std::unique_ptr<char[]> data;
+    std::list<size_t>::iterator lru_it;  // valid iff pin_count == 0 and resident
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId page_id, bool dirty);
+  /// Finds a free frame, evicting the LRU unpinned frame if needed.
+  Result<size_t> GetFreeFrame();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  ReplacementPolicy policy_;
+  size_t clock_hand_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = most recent
+  BufferPoolStats stats_;
+};
+
+}  // namespace pse

@@ -1,0 +1,115 @@
+// Database: the storage-level catalog. Owns the buffer pool and, per table,
+// the schema, heap file, and any B+ tree indexes; maintains indexes on
+// writes and computes optimizer statistics (ANALYZE).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "catalog/tuple.h"
+#include "common/status.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_heap.h"
+
+namespace pse {
+
+/// One secondary (or primary) index over a single BIGINT column.
+struct IndexInfo {
+  std::string name;
+  std::string column;
+  size_t column_idx = 0;
+  std::unique_ptr<BPlusTree> tree;
+};
+
+/// Runtime state of one table.
+struct TableInfo {
+  std::unique_ptr<TableSchema> schema;
+  std::unique_ptr<TableHeap> heap;
+  std::vector<std::unique_ptr<IndexInfo>> indexes;
+  uint64_t row_count = 0;
+  TableStatistics stats;
+  bool stats_valid = false;
+
+  /// Finds an index on `column`, or nullptr.
+  const IndexInfo* FindIndex(const std::string& column) const;
+};
+
+/// \brief An embedded single-threaded relational database instance.
+class Database {
+ public:
+  /// `pool_pages` is the buffer pool capacity in frames.
+  explicit Database(size_t pool_pages = 4096,
+                    std::unique_ptr<DiskManager> disk = nullptr);
+
+  /// Opens (creating if needed) a file-backed database. An existing file's
+  /// catalog — table schemas, heap extents, index roots — is restored from
+  /// the superblock chain written by Checkpoint(); data pages are then
+  /// demand-paged through the buffer pool.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                size_t pool_pages = 4096);
+
+  /// Durably persists the catalog (superblock chain at page 0) and flushes
+  /// every dirty page. A database reopened after Checkpoint() sees exactly
+  /// the checkpointed state. Only meaningful for file-backed databases but
+  /// harmless (a no-op catalog write) in memory.
+  Status Checkpoint();
+
+  /// Creates an empty table. AlreadyExists if the name is taken. Key columns
+  /// declared in the schema automatically get a primary index when the first
+  /// key column is BIGINT.
+  Status CreateTable(const TableSchema& schema, bool auto_key_index = true);
+  /// Drops a table, freeing its heap pages.
+  Status DropTable(const std::string& name);
+  /// True if the table exists.
+  bool HasTable(const std::string& name) const;
+  /// Looks up a table. NotFound if absent.
+  Result<TableInfo*> GetTable(const std::string& name);
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Builds a B+ tree index over an existing BIGINT column.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Inserts a row, maintaining all indexes.
+  Result<Rid> Insert(const std::string& table, const Row& row);
+  /// Deletes by rid, maintaining indexes.
+  Status Delete(const std::string& table, const Rid& rid);
+  /// Updates by rid, maintaining indexes; returns the new rid.
+  Result<Rid> Update(const std::string& table, const Rid& rid, const Row& row);
+
+  /// Recomputes statistics for one table (full scan).
+  Status Analyze(const std::string& table);
+  /// Recomputes statistics for every table.
+  Status AnalyzeAll();
+
+  BufferPool* pool() { return pool_.get(); }
+  const BufferPool* pool() const { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+
+  /// Total physical I/O so far (page reads + writes).
+  uint64_t TotalIo() const { return disk_->stats().TotalIo(); }
+  /// Resets both disk and buffer-pool counters (per-phase measurement).
+  void ResetIoStats();
+
+ private:
+  Status MaintainIndexesInsert(TableInfo* t, const Row& row, Rid rid);
+  Status MaintainIndexesDelete(TableInfo* t, const Row& row, Rid rid);
+
+  Status WriteSuperblock();
+  Status LoadSuperblock();
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+  /// Head of the catalog superblock chain (kInvalidPageId until the first
+  /// Checkpoint on a fresh database).
+  PageId superblock_head_ = kInvalidPageId;
+};
+
+}  // namespace pse

@@ -1,0 +1,89 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace pse {
+
+PageId InMemoryDiskManager::AllocatePage() {
+  pages_.push_back(nullptr);  // materialized on first write
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  if (page_id >= pages_.size()) {
+    return Status::IOError("read of unallocated page " + std::to_string(page_id));
+  }
+  ++stats_.page_reads;
+  if (pages_[page_id] == nullptr) {
+    std::memset(out, 0, kPageSize);
+  } else {
+    std::memcpy(out, pages_[page_id].get(), kPageSize);
+  }
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  if (page_id >= pages_.size()) {
+    return Status::IOError("write of unallocated page " + std::to_string(page_id));
+  }
+  ++stats_.page_writes;
+  if (pages_[page_id] == nullptr) {
+    pages_[page_id] = std::make_unique<char[]>(kPageSize);
+  }
+  std::memcpy(pages_[page_id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+void InMemoryDiskManager::DeallocatePage(PageId page_id) {
+  if (page_id < pages_.size()) pages_[page_id].reset();
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  uint64_t pages = size > 0 ? static_cast<uint64_t>(size) / kPageSize : 0;
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(f, pages));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId FileDiskManager::AllocatePage() {
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(next_page_id_++);
+}
+
+Status FileDiskManager::ReadPage(PageId page_id, char* out) {
+  ++stats_.page_reads;
+  if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize), SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n < kPageSize) {
+    // Page beyond current EOF (allocated but never written): zero-fill.
+    std::memset(out + n, 0, kPageSize - n);
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId page_id, const char* data) {
+  ++stats_.page_writes;
+  if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize), SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+void FileDiskManager::DeallocatePage(PageId) {}
+
+}  // namespace pse

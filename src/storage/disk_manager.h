@@ -1,0 +1,88 @@
+// Page-granular storage backends. Every physical read/write in the system
+// funnels through a DiskManager, which counts them — these counters are the
+// experiments' "I/O number".
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_defs.h"
+
+namespace pse {
+
+/// Raw physical I/O counters.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+
+  uint64_t TotalIo() const { return page_reads + page_writes; }
+  void Reset() { *this = IoStats{}; }
+};
+
+/// \brief Abstract page store.
+///
+/// Implementations must tolerate reads of never-written pages (return
+/// zeroed bytes) because the buffer pool news pages lazily.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a fresh page id.
+  virtual PageId AllocatePage() = 0;
+  /// Reads a full page into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId page_id, char* out) = 0;
+  /// Writes a full page from `data` (kPageSize bytes).
+  virtual Status WritePage(PageId page_id, const char* data) = 0;
+  /// Marks a page free (best effort; ids are not reused).
+  virtual void DeallocatePage(PageId page_id) = 0;
+  /// Number of pages ever allocated.
+  virtual uint64_t NumAllocatedPages() const = 0;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  IoStats stats_;
+};
+
+/// Heap-backed page store. Fast and deterministic; the default for tests and
+/// benchmarks (the experiments measure I/O *counts*, not device latency).
+class InMemoryDiskManager : public DiskManager {
+ public:
+  PageId AllocatePage() override;
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  void DeallocatePage(PageId page_id) override;
+  uint64_t NumAllocatedPages() const override { return pages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// File-backed page store (single file, page_id * kPageSize offsets). Used
+/// by the durability-oriented examples/tests.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (creating if needed) the backing file.
+  static Result<std::unique_ptr<FileDiskManager>> Open(const std::string& path);
+  ~FileDiskManager() override;
+
+  PageId AllocatePage() override;
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  void DeallocatePage(PageId page_id) override;
+  uint64_t NumAllocatedPages() const override { return next_page_id_; }
+
+ private:
+  FileDiskManager(std::FILE* f, uint64_t existing_pages)
+      : file_(f), next_page_id_(existing_pages) {}
+  std::FILE* file_;
+  uint64_t next_page_id_;
+};
+
+}  // namespace pse

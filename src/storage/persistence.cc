@@ -1,0 +1,250 @@
+// Catalog persistence: Database::Open / Checkpoint.
+//
+// The catalog (table schemas, heap extents, row counts, index roots) is
+// serialized into a chain of "superblock" pages starting at page 0 of the
+// backing file:
+//   page layout: [0..4) u32 next_page (kInvalidPageId ends the chain),
+//                [4..8) u32 payload bytes in this page, [8..) payload.
+// Checkpoint reuses the existing chain pages and extends it as needed (a
+// shrinking catalog orphans tail pages; ids are never reused, which is the
+// DiskManager's general policy anyway). Data pages need no special handling:
+// they are already written through the buffer pool, and FlushAll() at
+// checkpoint makes them durable.
+#include <cstring>
+
+#include "storage/database.h"
+
+namespace pse {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50534543;  // "PSEC"
+constexpr uint32_t kVersion = 1;
+constexpr size_t kChainHeader = 8;
+constexpr size_t kChainPayload = kPageSize - kChainHeader;
+
+class BufWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  void Raw(const void* p, size_t n) { buf_.append(static_cast<const char*>(p), n); }
+  std::string buf_;
+};
+
+class BufReader {
+ public:
+  BufReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > size_) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > size_) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > size_) return Truncated();
+    uint64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> Str() {
+    PSE_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > size_) return Truncated();
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  Status Truncated() const { return Status::Internal("superblock truncated"); }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path, size_t pool_pages) {
+  PSE_ASSIGN_OR_RETURN(std::unique_ptr<FileDiskManager> disk, FileDiskManager::Open(path));
+  bool fresh = disk->NumAllocatedPages() == 0;
+  auto db = std::make_unique<Database>(pool_pages, std::move(disk));
+  if (fresh) {
+    // Reserve page 0 for the superblock before anything else claims it.
+    PSE_ASSIGN_OR_RETURN(PageGuard g, db->pool_->NewPage());
+    if (g.page_id() != 0) {
+      return Status::Internal("superblock must be page 0");
+    }
+    char* p = g.mutable_data();
+    PageId invalid = kInvalidPageId;
+    std::memcpy(p, &invalid, 4);
+    uint32_t zero = 0;
+    std::memcpy(p + 4, &zero, 4);
+    db->superblock_head_ = 0;
+    g.Release();
+    PSE_RETURN_NOT_OK(db->Checkpoint());
+    return db;
+  }
+  db->superblock_head_ = 0;
+  PSE_RETURN_NOT_OK(db->LoadSuperblock());
+  return db;
+}
+
+Status Database::Checkpoint() {
+  if (superblock_head_ != kInvalidPageId) {
+    PSE_RETURN_NOT_OK(WriteSuperblock());
+  }
+  return pool_->FlushAll();
+}
+
+Status Database::WriteSuperblock() {
+  BufWriter w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& [key, info] : tables_) {
+    const TableSchema& schema = *info->schema;
+    w.Str(schema.name());
+    w.U32(static_cast<uint32_t>(schema.num_columns()));
+    for (const Column& c : schema.columns()) {
+      w.Str(c.name);
+      w.U8(static_cast<uint8_t>(c.type));
+      w.U32(c.avg_width);
+      w.U8(c.nullable ? 1 : 0);
+    }
+    w.U32(static_cast<uint32_t>(schema.key_columns().size()));
+    for (const auto& k : schema.key_columns()) w.Str(k);
+    w.U32(info->heap->first_page());
+    w.U32(info->heap->last_page());
+    w.U64(info->heap->NumPages());
+    w.U64(info->row_count);
+    w.U32(static_cast<uint32_t>(info->indexes.size()));
+    for (const auto& idx : info->indexes) {
+      w.Str(idx->name);
+      w.Str(idx->column);
+      w.U32(static_cast<uint32_t>(idx->column_idx));
+      w.U32(idx->tree->root());
+      w.U32(idx->tree->height());
+      w.U64(idx->tree->num_entries());
+    }
+  }
+
+  // Spill the buffer across the chain.
+  const std::string& buf = w.buffer();
+  size_t offset = 0;
+  PageId page = superblock_head_;
+  while (true) {
+    PSE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(page));
+    char* p = g.mutable_data();
+    uint32_t chunk = static_cast<uint32_t>(std::min(kChainPayload, buf.size() - offset));
+    std::memcpy(p + 8, buf.data() + offset, chunk);
+    uint32_t len = chunk;
+    std::memcpy(p + 4, &len, 4);
+    offset += chunk;
+    if (offset >= buf.size()) {
+      PageId invalid = kInvalidPageId;
+      std::memcpy(p, &invalid, 4);
+      break;
+    }
+    PageId next;
+    std::memcpy(&next, p, 4);
+    if (next == kInvalidPageId) {
+      PSE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
+      next = fresh.page_id();
+      PageId invalid = kInvalidPageId;
+      std::memcpy(fresh.mutable_data(), &invalid, 4);
+      std::memcpy(p, &next, 4);
+    }
+    page = next;
+  }
+  return Status::OK();
+}
+
+Status Database::LoadSuperblock() {
+  // Gather the chain into one buffer.
+  std::string buf;
+  PageId page = superblock_head_;
+  while (page != kInvalidPageId) {
+    PSE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(page));
+    const char* p = g.data();
+    PageId next;
+    std::memcpy(&next, p, 4);
+    uint32_t len;
+    std::memcpy(&len, p + 4, 4);
+    if (len > kChainPayload) return Status::Internal("corrupt superblock chunk");
+    buf.append(p + 8, len);
+    page = next;
+  }
+  BufReader r(buf.data(), buf.size());
+  PSE_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kMagic) return Status::Internal("bad superblock magic");
+  PSE_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kVersion) {
+    return Status::NotImplemented("superblock version " + std::to_string(version));
+  }
+  PSE_ASSIGN_OR_RETURN(uint32_t table_count, r.U32());
+  for (uint32_t t = 0; t < table_count; ++t) {
+    PSE_ASSIGN_OR_RETURN(std::string name, r.Str());
+    PSE_ASSIGN_OR_RETURN(uint32_t col_count, r.U32());
+    std::vector<Column> columns;
+    for (uint32_t c = 0; c < col_count; ++c) {
+      Column col;
+      PSE_ASSIGN_OR_RETURN(col.name, r.Str());
+      PSE_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+      col.type = static_cast<TypeId>(type);
+      PSE_ASSIGN_OR_RETURN(col.avg_width, r.U32());
+      PSE_ASSIGN_OR_RETURN(uint8_t nullable, r.U8());
+      col.nullable = nullable != 0;
+      columns.push_back(std::move(col));
+    }
+    PSE_ASSIGN_OR_RETURN(uint32_t key_count, r.U32());
+    std::vector<std::string> keys;
+    for (uint32_t k = 0; k < key_count; ++k) {
+      PSE_ASSIGN_OR_RETURN(std::string key_col, r.Str());
+      keys.push_back(std::move(key_col));
+    }
+    auto info = std::make_unique<TableInfo>();
+    info->schema = std::make_unique<TableSchema>(name, std::move(columns), std::move(keys));
+    PSE_ASSIGN_OR_RETURN(uint32_t first_page, r.U32());
+    PSE_ASSIGN_OR_RETURN(uint32_t last_page, r.U32());
+    PSE_ASSIGN_OR_RETURN(uint64_t num_pages, r.U64());
+    PSE_ASSIGN_OR_RETURN(info->row_count, r.U64());
+    info->heap = std::make_unique<TableHeap>(
+        TableHeap::Attach(pool_.get(), info->schema.get(), first_page, last_page, num_pages));
+    PSE_ASSIGN_OR_RETURN(uint32_t index_count, r.U32());
+    for (uint32_t i = 0; i < index_count; ++i) {
+      auto idx = std::make_unique<IndexInfo>();
+      PSE_ASSIGN_OR_RETURN(idx->name, r.Str());
+      PSE_ASSIGN_OR_RETURN(idx->column, r.Str());
+      PSE_ASSIGN_OR_RETURN(uint32_t column_idx, r.U32());
+      idx->column_idx = column_idx;
+      PSE_ASSIGN_OR_RETURN(uint32_t root, r.U32());
+      PSE_ASSIGN_OR_RETURN(uint32_t height, r.U32());
+      PSE_ASSIGN_OR_RETURN(uint64_t entries, r.U64());
+      idx->tree = std::make_unique<BPlusTree>(
+          BPlusTree::Attach(pool_.get(), root, height, entries));
+      info->indexes.push_back(std::move(idx));
+    }
+    std::string lowered;
+    for (char ch : name) {
+      lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    }
+    tables_[lowered] = std::move(info);
+  }
+  return Status::OK();
+}
+
+}  // namespace pse

@@ -1,0 +1,39 @@
+// Shared storage-layer constants and identifiers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pse {
+
+/// Size of one page in bytes. All I/O accounting is in units of pages.
+constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Physical address of a stored tuple: (page, slot).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool Valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const Rid& o) const { return page_id == o.page_id && slot == o.slot; }
+  bool operator<(const Rid& o) const {
+    return page_id != o.page_id ? page_id < o.page_id : slot < o.slot;
+  }
+  uint64_t Pack() const { return (static_cast<uint64_t>(page_id) << 16) | slot; }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xFFFF)};
+  }
+  std::string ToString() const {
+    return "(" + std::to_string(page_id) + "," + std::to_string(slot) + ")";
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const { return std::hash<uint64_t>()(r.Pack()); }
+};
+
+}  // namespace pse

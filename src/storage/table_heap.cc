@@ -1,0 +1,177 @@
+#include "storage/table_heap.h"
+
+#include <cstring>
+
+namespace pse {
+
+namespace {
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kSlotSize = 4;
+
+uint16_t GetU16(const char* p, size_t off) {
+  uint16_t v;
+  std::memcpy(&v, p + off, 2);
+  return v;
+}
+void PutU16(char* p, size_t off, uint16_t v) { std::memcpy(p + off, &v, 2); }
+uint32_t GetU32(const char* p, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, p + off, 4);
+  return v;
+}
+void PutU32(char* p, size_t off, uint32_t v) { std::memcpy(p + off, &v, 4); }
+
+void InitPage(char* p) {
+  PutU32(p, 0, kInvalidPageId);
+  PutU16(p, 4, 0);
+  PutU16(p, 6, static_cast<uint16_t>(kPageSize));
+}
+
+struct Slot {
+  uint16_t offset;
+  uint16_t size;
+};
+Slot GetSlot(const char* p, uint16_t i) {
+  return Slot{GetU16(p, kHeaderSize + i * kSlotSize), GetU16(p, kHeaderSize + i * kSlotSize + 2)};
+}
+void PutSlot(char* p, uint16_t i, Slot s) {
+  PutU16(p, kHeaderSize + i * kSlotSize, s.offset);
+  PutU16(p, kHeaderSize + i * kSlotSize + 2, s.size);
+}
+
+/// Free contiguous bytes available for one more tuple + slot entry.
+size_t FreeSpace(const char* p) {
+  size_t slots_end = kHeaderSize + GetU16(p, 4) * kSlotSize;
+  size_t free_end = GetU16(p, 6) == 0 ? kPageSize : GetU16(p, 6);
+  if (free_end < slots_end + kSlotSize) return 0;
+  return free_end - slots_end - kSlotSize;
+}
+}  // namespace
+
+uint16_t TableHeap::SlotCount(const char* page) { return GetU16(page, 4); }
+uint16_t TableHeap::FreeEnd(const char* page) { return GetU16(page, 6); }
+PageId TableHeap::NextPage(const char* page) { return GetU32(page, 0); }
+
+Result<TableHeap> TableHeap::Create(BufferPool* pool, const TableSchema* schema) {
+  TableHeap heap(pool, schema);
+  PSE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPage());
+  InitPage(guard.mutable_data());
+  heap.first_page_ = guard.page_id();
+  heap.last_page_ = guard.page_id();
+  heap.num_pages_ = 1;
+  return heap;
+}
+
+TableHeap TableHeap::Attach(BufferPool* pool, const TableSchema* schema, PageId first_page,
+                            PageId last_page, uint64_t num_pages) {
+  TableHeap heap(pool, schema);
+  heap.first_page_ = first_page;
+  heap.last_page_ = last_page;
+  heap.num_pages_ = num_pages;
+  return heap;
+}
+
+Result<Rid> TableHeap::Insert(const Row& row) {
+  std::string bytes;
+  PSE_RETURN_NOT_OK(TupleCodec::Serialize(*schema_, row, &bytes));
+  if (bytes.size() + kSlotSize + kHeaderSize > kPageSize) {
+    return Status::InvalidArgument("tuple of " + std::to_string(bytes.size()) +
+                                   " bytes exceeds page capacity");
+  }
+  PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(last_page_));
+  if (FreeSpace(guard.data()) < bytes.size()) {
+    // Link and switch to a fresh page.
+    PSE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
+    InitPage(fresh.mutable_data());
+    PutU32(guard.mutable_data(), 0, fresh.page_id());
+    last_page_ = fresh.page_id();
+    ++num_pages_;
+    guard = std::move(fresh);
+  }
+  char* p = guard.mutable_data();
+  uint16_t slot_count = GetU16(p, 4);
+  uint16_t free_end = GetU16(p, 6);
+  uint16_t offset = static_cast<uint16_t>(free_end - bytes.size());
+  std::memcpy(p + offset, bytes.data(), bytes.size());
+  PutSlot(p, slot_count, Slot{offset, static_cast<uint16_t>(bytes.size())});
+  PutU16(p, 4, static_cast<uint16_t>(slot_count + 1));
+  PutU16(p, 6, offset);
+  return Rid{guard.page_id(), slot_count};
+}
+
+Status TableHeap::Get(const Rid& rid, Row* out) const {
+  PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  const char* p = guard.data();
+  if (rid.slot >= GetU16(p, 4)) return Status::NotFound("rid slot out of range");
+  Slot s = GetSlot(p, rid.slot);
+  if (s.offset == 0) return Status::NotFound("tuple deleted");
+  return TupleCodec::Deserialize(*schema_, p + s.offset, s.size, out);
+}
+
+Status TableHeap::Delete(const Rid& rid) {
+  PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  char* p = guard.mutable_data();
+  if (rid.slot >= GetU16(p, 4)) return Status::NotFound("rid slot out of range");
+  Slot s = GetSlot(p, rid.slot);
+  if (s.offset == 0) return Status::NotFound("tuple already deleted");
+  PutSlot(p, rid.slot, Slot{0, 0});
+  return Status::OK();
+}
+
+Result<Rid> TableHeap::Update(const Rid& rid, const Row& row) {
+  std::string bytes;
+  PSE_RETURN_NOT_OK(TupleCodec::Serialize(*schema_, row, &bytes));
+  {
+    PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+    char* p = guard.mutable_data();
+    if (rid.slot >= GetU16(p, 4)) return Status::NotFound("rid slot out of range");
+    Slot s = GetSlot(p, rid.slot);
+    if (s.offset == 0) return Status::NotFound("tuple deleted");
+    if (bytes.size() <= s.size) {
+      // In-place: keep the slot, shrink logical size.
+      std::memcpy(p + s.offset, bytes.data(), bytes.size());
+      PutSlot(p, rid.slot, Slot{s.offset, static_cast<uint16_t>(bytes.size())});
+      return rid;
+    }
+    PutSlot(p, rid.slot, Slot{0, 0});
+  }
+  return Insert(row);
+}
+
+TableHeap::Iterator TableHeap::Begin() const {
+  Iterator it(this);
+  Status s = it.LoadFirst();
+  if (!s.ok()) it.at_end_ = true;
+  return it;
+}
+
+Status TableHeap::Iterator::LoadFirst() {
+  rid_ = Rid{heap_->first_page_, 0};
+  return Advance(/*include_current=*/true);
+}
+
+Status TableHeap::Iterator::Next() { return Advance(/*include_current=*/false); }
+
+Status TableHeap::Iterator::Advance(bool include_current) {
+  PageId pid = rid_.page_id;
+  uint32_t slot = include_current ? rid_.slot : rid_.slot + 1u;
+  while (pid != kInvalidPageId) {
+    PSE_ASSIGN_OR_RETURN(PageGuard guard, heap_->pool_->FetchPage(pid));
+    const char* p = guard.data();
+    uint16_t slot_count = GetU16(p, 4);
+    while (slot < slot_count) {
+      Slot s = GetSlot(p, static_cast<uint16_t>(slot));
+      if (s.offset != 0) {
+        rid_ = Rid{pid, static_cast<uint16_t>(slot)};
+        return TupleCodec::Deserialize(*heap_->schema_, p + s.offset, s.size, &row_);
+      }
+      ++slot;
+    }
+    pid = GetU32(p, 0);
+    slot = 0;
+  }
+  at_end_ = true;
+  return Status::OK();
+}
+
+}  // namespace pse

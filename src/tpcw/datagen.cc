@@ -1,0 +1,162 @@
+#include "tpcw/datagen.h"
+
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace pse {
+
+TpcwScale Scale100MB() {
+  // ~120k customers x ~730 B across entities + 60k items x ~250 B ~= 100 MB.
+  return TpcwScale{"100MB", 60000, 120000};
+}
+
+TpcwScale Scale1GB() { return TpcwScale{"1GB", 600000, 1200000}; }
+
+TpcwScale Scaled100MB() { return TpcwScale{"100MB(1:20)", 3000, 6000}; }
+
+TpcwScale Scaled1GB() { return TpcwScale{"1GB(1:20)", 30000, 60000}; }
+
+TpcwScale ScaleTiny() { return TpcwScale{"tiny", 300, 500}; }
+
+TpcwScale ResolveScale(const std::string& name) {
+  const char* full = std::getenv("PSE_FULL_SCALE");
+  bool full_scale = full != nullptr && full[0] == '1';
+  if (name == "1gb" || name == "1GB") {
+    return full_scale ? Scale1GB() : Scaled1GB();
+  }
+  return full_scale ? Scale100MB() : Scaled100MB();
+}
+
+std::vector<std::vector<size_t>> TpcwGrowthPlan(const TpcwSchema& schema,
+                                                const TpcwScale& scale, size_t phases,
+                                                double initial_fraction) {
+  const size_t num_entities = schema.logical.num_entities();
+  std::vector<std::vector<size_t>> out(phases, std::vector<size_t>(num_entities, SIZE_MAX));
+  // SIZE_MAX = "all generated rows" for static entities (clamped by users).
+  for (size_t p = 0; p < phases; ++p) {
+    double t = phases == 1 ? 1.0 : static_cast<double>(p) / static_cast<double>(phases - 1);
+    double f = initial_fraction + (1.0 - initial_fraction) * t;
+    size_t orders = static_cast<size_t>(static_cast<double>(scale.num_orders()) * f);
+    out[p][schema.country] = scale.num_countries();
+    out[p][schema.author] = scale.num_authors();
+    out[p][schema.item] = scale.num_items;
+    out[p][schema.address] = scale.num_addresses();
+    out[p][schema.customer] = scale.num_customers;
+    out[p][schema.orders] = orders;
+    out[p][schema.order_line] = orders * 3;  // lines align with their orders
+    out[p][schema.cc_xacts] = orders;        // exactly one payment per order
+  }
+  return out;
+}
+
+std::unique_ptr<LogicalDatabase> GenerateTpcwData(const TpcwSchema& schema,
+                                                  const TpcwScale& scale, uint64_t seed) {
+  auto data = std::make_unique<LogicalDatabase>(&schema.logical);
+  Rng rng(seed);
+
+  const size_t countries = scale.num_countries();
+  const size_t authors = scale.num_authors();
+  const size_t items = scale.num_items;
+  const size_t customers = scale.num_customers;
+  const size_t addresses = scale.num_addresses();
+  const size_t orders = scale.num_orders();
+  const size_t order_lines = scale.num_order_lines();
+
+  // country: co_id, co_name, co_currency, co_exchange
+  for (size_t i = 0; i < countries; ++i) {
+    (void)data->AddRow(schema.country,
+                       {Value::Int(static_cast<int64_t>(i)),
+                        Value::Varchar("country" + std::to_string(i)),
+                        Value::Varchar("CUR" + std::to_string(i % 40)),
+                        Value::Double(0.5 + rng.UniformDouble() * 2.0)});
+  }
+  // author: a_id, a_fname, a_lname, a_bio
+  for (size_t i = 0; i < authors; ++i) {
+    (void)data->AddRow(schema.author,
+                       {Value::Int(static_cast<int64_t>(i)),
+                        Value::Varchar("fn" + std::to_string(i % 200)),
+                        Value::Varchar("ln" + std::to_string(i % 500)),
+                        Value::Varchar("bio " + rng.AlphaString(70))});
+  }
+  // item: i_id, i_title, i_a_id, i_pub_date, i_subject, i_desc, i_cost,
+  //       i_stock, i_abstract (new; realized here so the CreateTable
+  //       operator has values to load)
+  for (size_t i = 0; i < items; ++i) {
+    int64_t author_id = static_cast<int64_t>(i % authors);  // covering
+    (void)data->AddRow(
+        schema.item,
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::Varchar("title " + std::to_string(i) + " " + rng.AlphaString(10)),
+         Value::Int(author_id), Value::Int(19900101 + static_cast<int64_t>(i % 12000)),
+         Value::Varchar("SUBJ" + std::to_string(i % 10)),
+         Value::Varchar("desc " + rng.AlphaString(90)),
+         Value::Double(1.0 + static_cast<double>(rng.UniformInt(100, 9999)) / 100.0),
+         Value::Int(rng.UniformInt(0, 500)),
+         Value::Varchar("abstract " + rng.AlphaString(110))});
+  }
+  // address: addr_id, addr_street, addr_city, addr_zip, addr_co_id
+  for (size_t i = 0; i < addresses; ++i) {
+    (void)data->AddRow(schema.address,
+                       {Value::Int(static_cast<int64_t>(i)),
+                        Value::Varchar(std::to_string(rng.UniformInt(1, 9999)) + " " +
+                                       rng.AlphaString(12) + " st"),
+                        Value::Varchar("city" + std::to_string(i % 1000)),
+                        Value::Varchar(std::to_string(10000 + i % 89999)),
+                        Value::Int(rng.UniformInt(0, static_cast<int64_t>(countries) - 1))});
+  }
+  // customer: c_id, c_uname, c_fname, c_lname, c_email, c_phone, c_since,
+  //           c_discount, c_addr_id, c_data, c_tier (new)
+  for (size_t i = 0; i < customers; ++i) {
+    (void)data->AddRow(
+        schema.customer,
+        {Value::Int(static_cast<int64_t>(i)), Value::Varchar("user" + std::to_string(i)),
+         Value::Varchar("cf" + std::to_string(i % 300)),
+         Value::Varchar("cl" + std::to_string(i % 700)),
+         Value::Varchar("user" + std::to_string(i) + "@shop.example"),
+         Value::Varchar("555" + std::to_string(1000000 + i % 8999999)),
+         Value::Int(20000101 + static_cast<int64_t>(i % 9000)),
+         Value::Double(static_cast<double>(rng.UniformInt(0, 50)) / 100.0),
+         Value::Int(static_cast<int64_t>(i % addresses)),
+         Value::Varchar("data " + rng.AlphaString(190)),
+         Value::Int(rng.UniformInt(0, 4))});
+  }
+  // orders: o_id, o_c_id, o_date, o_total, o_status. The first |customers|
+  // orders cover every customer (so per-customer lookups are never empty at
+  // any scale); the rest are random.
+  const char* statuses[] = {"PENDING", "PROCESSING", "SHIPPED", "DENIED"};
+  for (size_t i = 0; i < orders; ++i) {
+    int64_t customer_id = i < customers
+                              ? static_cast<int64_t>(i)
+                              : rng.UniformInt(0, static_cast<int64_t>(customers) - 1);
+    (void)data->AddRow(
+        schema.orders,
+        {Value::Int(static_cast<int64_t>(i)), Value::Int(customer_id),
+         Value::Int(20080101 + static_cast<int64_t>(i % 365)),
+         Value::Double(static_cast<double>(rng.UniformInt(500, 50000)) / 100.0),
+         Value::Varchar(statuses[rng.Index(4)])});
+  }
+  // order_line: ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount
+  for (size_t i = 0; i < order_lines; ++i) {
+    (void)data->AddRow(schema.order_line,
+                       {Value::Int(static_cast<int64_t>(i)),
+                        Value::Int(static_cast<int64_t>(i / 3)),  // 3 lines per order
+                        Value::Int(rng.UniformInt(0, static_cast<int64_t>(items) - 1)),
+                        Value::Int(rng.UniformInt(1, 9)),
+                        Value::Double(static_cast<double>(rng.UniformInt(0, 30)) / 100.0)});
+  }
+  // cc_xacts: cx_id, cx_o_id, cx_type, cx_amount, cx_date — exactly one per
+  // order (covering, so the order_payment combine is lossless).
+  const char* cc_types[] = {"VISA", "MASTERCARD", "AMEX", "DISCOVER", "DINERS"};
+  for (size_t i = 0; i < orders; ++i) {
+    (void)data->AddRow(schema.cc_xacts,
+                       {Value::Int(static_cast<int64_t>(i)),
+                        Value::Int(static_cast<int64_t>(i)),
+                        Value::Varchar(cc_types[rng.Index(5)]),
+                        Value::Double(static_cast<double>(rng.UniformInt(500, 50000)) / 100.0),
+                        Value::Int(20080101 + static_cast<int64_t>(i % 365))});
+  }
+  return data;
+}
+
+}  // namespace pse

@@ -1,0 +1,62 @@
+// Deterministic TPC-W data generator.
+//
+// The paper used 100 MB and 1 GB databases; kScale100MB / kScale1GB match
+// those raw-tuple volumes. Because I/O costs are reported in page counts
+// (which scale linearly with data size), the benches default to a 1:20
+// linear scale-down of each (kScaled100MB / kScaled1GB) and honour
+// PSE_FULL_SCALE=1 to run the paper sizes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/logical_database.h"
+#include "tpcw/schema.h"
+
+namespace pse {
+
+/// Cardinality knobs. Derived counts follow TPC-W's ratios: one author per
+/// four items (every author has items), one address per customer, ~1.4
+/// orders per customer, 3 order lines and exactly one cc_xact per order.
+struct TpcwScale {
+  std::string label;
+  size_t num_items = 1000;
+  size_t num_customers = 2000;
+
+  size_t num_authors() const { return std::max<size_t>(1, num_items / 4); }
+  size_t num_addresses() const { return num_customers; }
+  size_t num_orders() const { return num_customers + num_customers / 2; }
+  size_t num_order_lines() const { return num_orders() * 3; }
+  size_t num_countries() const { return 92; }  // per the TPC-W spec
+};
+
+/// Paper-size databases.
+TpcwScale Scale100MB();
+TpcwScale Scale1GB();
+/// 1:20 scale-downs used by default in benches/tests.
+TpcwScale Scaled100MB();
+TpcwScale Scaled1GB();
+/// Tiny (CI-friendly) scale for unit tests.
+TpcwScale ScaleTiny();
+
+/// Resolves a bench-facing scale name ("100mb"/"1gb"), honouring the
+/// PSE_FULL_SCALE environment variable.
+TpcwScale ResolveScale(const std::string& name);
+
+/// Visible-rows plan for per-phase data growth: the orders family (orders,
+/// order_line, cc_xacts — the entities that accumulate during operation)
+/// grows linearly from `initial_fraction` of its generated volume in the
+/// first phase to 100% in the last; all other entities are static. Feed the
+/// result to SimulationConfig::visible_rows.
+std::vector<std::vector<size_t>> TpcwGrowthPlan(const TpcwSchema& schema,
+                                                const TpcwScale& scale, size_t phases,
+                                                double initial_fraction = 0.5);
+
+/// Generates the entity-level data. Deterministic in (scale, seed).
+/// Coverage invariants (required by the denormalizing combines): every
+/// author has at least one item; every order has exactly one cc_xact.
+std::unique_ptr<LogicalDatabase> GenerateTpcwData(const TpcwSchema& schema,
+                                                  const TpcwScale& scale, uint64_t seed = 42);
+
+}  // namespace pse

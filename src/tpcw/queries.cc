@@ -1,0 +1,112 @@
+#include "tpcw/queries.h"
+
+#include "core/logical_query.h"
+
+namespace pse {
+
+std::vector<std::pair<std::string, std::string>> TpcwOldQuerySql() {
+  return {
+      // O1 customer admin lookup by username prefix: full customer row —
+      // the split makes this a two-fragment join scan.
+      {"O1",
+       "SELECT c_uname, c_fname, c_lname, c_phone, c_discount, c_data FROM customer "
+       "WHERE c_uname LIKE 'user12%'"},
+      // O2 product detail: point lookup + author join.
+      {"O2",
+       "SELECT i_title, i_cost, i_stock, a_fname, a_lname FROM item "
+       "JOIN author ON i_a_id = a_id WHERE i_id = 123"},
+      // O3 author search: pure author scan — hurt badly once author is
+      // denormalized into the (much larger) item glossary.
+      {"O3",
+       "SELECT a_id, a_fname, a_lname, a_bio FROM author WHERE a_lname LIKE 'ln2%'"},
+      // O4 customer login: single point read of the customer row — the
+      // customer split forces two index lookups instead of one.
+      {"O4",
+       "SELECT c_uname, c_email, c_discount FROM customer WHERE c_id = 77"},
+      // O5 best sellers: order_line aggregate (indifferent to every op).
+      {"O5",
+       "SELECT ol_i_id, SUM(ol_qty) AS total_qty FROM order_line "
+       "GROUP BY ol_i_id ORDER BY 2 DESC LIMIT 50"},
+      // O6 order status by customer: orders scan — hurt when orders is
+      // folded into the wider order_payment table.
+      {"O6",
+       "SELECT o_id, o_date, o_status, o_total FROM orders WHERE o_c_id = 211"},
+      // O7 order lines of one order.
+      {"O7",
+       "SELECT ol_id, ol_qty, ol_discount FROM order_line WHERE ol_o_id = 55"},
+      // O8 shipping address + country: three-way join on source — actually
+      // HELPED by the address/country combine (mixed effects are the
+      // point).
+      {"O8",
+       "SELECT addr_street, addr_city, addr_zip, co_name FROM customer "
+       "JOIN address ON c_addr_id = addr_id JOIN country ON addr_co_id = co_id "
+       "WHERE c_id = 77"},
+      // O9 new-products browse: item scan on one subject (narrow item table
+      // is ideal; denormalizing author into item widens the scan). Carries
+      // the workload's slow-fading frequency row, so the glossary combine
+      // stays expensive for old users deep into the migration.
+      {"O9",
+       "SELECT i_id, i_title, i_pub_date FROM item WHERE i_subject = 'SUBJ5' "
+       "ORDER BY 3 DESC LIMIT 50"},
+      // O10 payment records of one order: cc_xacts scan — hurt by the
+      // order_payment combine (wider rows).
+      {"O10",
+       "SELECT cx_type, cx_amount, cx_date FROM cc_xacts WHERE cx_o_id = 99"},
+  };
+}
+
+std::vector<std::pair<std::string, std::string>> TpcwNewQuerySql() {
+  return {
+      // N1 glossary browse: selective range over the one-stop glossary.
+      {"N1",
+       "SELECT i_title, a_fname, a_lname, i_abstract FROM item_glossary "
+       "WHERE i_id BETWEEN 100 AND 199"},
+      // N2 glossary detail: single point read replaces a 3-table gather.
+      {"N2",
+       "SELECT i_title, i_abstract, a_bio, i_cost FROM item_glossary WHERE i_id = 42"},
+      // N3 subject browse incl. author and abstract.
+      {"N3",
+       "SELECT i_id, i_title, a_lname, i_abstract FROM item_glossary "
+       "WHERE i_subject = 'SUBJ3' AND i_cost < 30.0"},
+      // N4 profile fetch incl. the NEW loyalty tier.
+      {"N4",
+       "SELECT c_uname, c_fname, c_lname, c_email, c_tier FROM customer_profile "
+       "WHERE c_id = 77"},
+      // N5 account panel: narrow billing fragment.
+      {"N5",
+       "SELECT c_discount, c_data FROM customer_account WHERE c_id = 211"},
+      // N6 address card: one-stop address + country.
+      {"N6",
+       "SELECT addr_street, addr_city, addr_zip, co_name, co_currency FROM address_full "
+       "WHERE addr_id = 33"},
+      // N7 payment receipt: one-stop payment + order.
+      {"N7",
+       "SELECT cx_amount, cx_date, o_date, o_total FROM order_payment WHERE cx_id = 99"},
+      // N8 order history incl. payment, per customer.
+      {"N8",
+       "SELECT o_date, o_total, cx_amount FROM order_payment WHERE o_c_id = 211"},
+      // N9 author page from the glossary.
+      {"N9",
+       "SELECT i_id, i_title, i_abstract FROM item_glossary WHERE a_lname LIKE 'ln1%'"},
+      // N10 product-page sales panel: point gather of one glossary item and
+      // its order lines (one-stop on the object schema).
+      {"N10",
+       "SELECT ol_qty, ol_discount, i_title, i_abstract FROM order_line "
+       "JOIN item_glossary ON ol_i_id = i_id WHERE i_id = 177"},
+  };
+}
+
+Result<std::vector<WorkloadQuery>> BuildTpcwWorkload(const TpcwSchema& schema) {
+  std::vector<WorkloadQuery> out;
+  for (const auto& [name, sql] : TpcwOldQuerySql()) {
+    PSE_ASSIGN_OR_RETURN(LogicalQuery q, LiftSqlToLogical(sql, schema.source, name));
+    out.emplace_back(std::move(q), /*is_old=*/true);
+  }
+  for (const auto& [name, sql] : TpcwNewQuerySql()) {
+    PSE_ASSIGN_OR_RETURN(LogicalQuery q, LiftSqlToLogical(sql, schema.object, name));
+    out.emplace_back(std::move(q), /*is_old=*/false);
+  }
+  return out;
+}
+
+}  // namespace pse

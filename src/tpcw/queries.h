@@ -1,0 +1,27 @@
+// The experiment's query workload: ten old-version queries (written against
+// the source schema) and ten new-version queries (written against the
+// object schema), mirroring Section IV.A. The paper does not list its
+// queries; these span the TPC-W interactions (browse, detail, login, best
+// sellers, order status, ...) with deliberately mixed sensitivity to each
+// migration operator, which is what gives the schedule optimization room to
+// work (see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "tpcw/schema.h"
+
+namespace pse {
+
+/// The raw SQL of the ten old-version queries (O1..O10).
+std::vector<std::pair<std::string, std::string>> TpcwOldQuerySql();
+/// The raw SQL of the ten new-version queries (N1..N10).
+std::vector<std::pair<std::string, std::string>> TpcwNewQuerySql();
+
+/// Lifts all twenty queries into the workload (old bound to source, new to
+/// object). Order: O1..O10 then N1..N10.
+Result<std::vector<WorkloadQuery>> BuildTpcwWorkload(const TpcwSchema& schema);
+
+}  // namespace pse

@@ -1,0 +1,107 @@
+#include "tpcw/schema.h"
+
+#include <cassert>
+
+namespace pse {
+
+std::unique_ptr<TpcwSchema> BuildTpcwSchema() {
+  auto out = std::make_unique<TpcwSchema>();
+  LogicalSchema& L = out->logical;
+
+  // --- entities and attributes (TPC-W naming) ---
+  out->country = L.AddEntity("country", "co_id");
+  AttrId co_name = *L.AddAttribute(out->country, "co_name", TypeId::kVarchar, 16);
+  AttrId co_currency = *L.AddAttribute(out->country, "co_currency", TypeId::kVarchar, 8);
+  AttrId co_exchange = *L.AddAttribute(out->country, "co_exchange", TypeId::kDouble);
+
+  out->author = L.AddEntity("author", "a_id");
+  AttrId a_fname = *L.AddAttribute(out->author, "a_fname", TypeId::kVarchar, 12);
+  AttrId a_lname = *L.AddAttribute(out->author, "a_lname", TypeId::kVarchar, 12);
+  AttrId a_bio = *L.AddAttribute(out->author, "a_bio", TypeId::kVarchar, 80);
+
+  out->item = L.AddEntity("item", "i_id");
+  AttrId i_title = *L.AddAttribute(out->item, "i_title", TypeId::kVarchar, 24);
+  AttrId i_a_id = *L.AddForeignKey(out->item, "i_a_id", out->author);
+  AttrId i_pub_date = *L.AddAttribute(out->item, "i_pub_date", TypeId::kInt64);
+  AttrId i_subject = *L.AddAttribute(out->item, "i_subject", TypeId::kVarchar, 8);
+  AttrId i_desc = *L.AddAttribute(out->item, "i_desc", TypeId::kVarchar, 100);
+  AttrId i_cost = *L.AddAttribute(out->item, "i_cost", TypeId::kDouble);
+  AttrId i_stock = *L.AddAttribute(out->item, "i_stock", TypeId::kInt64);
+  // New in the object schema: the paper's book-abstract example.
+  AttrId i_abstract =
+      *L.AddAttribute(out->item, "i_abstract", TypeId::kVarchar, 120, /*is_new=*/true);
+
+  out->address = L.AddEntity("address", "addr_id");
+  AttrId addr_street = *L.AddAttribute(out->address, "addr_street", TypeId::kVarchar, 24);
+  AttrId addr_city = *L.AddAttribute(out->address, "addr_city", TypeId::kVarchar, 16);
+  AttrId addr_zip = *L.AddAttribute(out->address, "addr_zip", TypeId::kVarchar, 8);
+  AttrId addr_co_id = *L.AddForeignKey(out->address, "addr_co_id", out->country);
+
+  out->customer = L.AddEntity("customer", "c_id");
+  AttrId c_uname = *L.AddAttribute(out->customer, "c_uname", TypeId::kVarchar, 16);
+  AttrId c_fname = *L.AddAttribute(out->customer, "c_fname", TypeId::kVarchar, 12);
+  AttrId c_lname = *L.AddAttribute(out->customer, "c_lname", TypeId::kVarchar, 12);
+  AttrId c_email = *L.AddAttribute(out->customer, "c_email", TypeId::kVarchar, 24);
+  AttrId c_phone = *L.AddAttribute(out->customer, "c_phone", TypeId::kVarchar, 12);
+  AttrId c_since = *L.AddAttribute(out->customer, "c_since", TypeId::kInt64);
+  AttrId c_discount = *L.AddAttribute(out->customer, "c_discount", TypeId::kDouble);
+  AttrId c_addr_id = *L.AddForeignKey(out->customer, "c_addr_id", out->address);
+  AttrId c_data = *L.AddAttribute(out->customer, "c_data", TypeId::kVarchar, 200);
+  // New in the object schema: loyalty tier.
+  AttrId c_tier = *L.AddAttribute(out->customer, "c_tier", TypeId::kInt64, 0, /*is_new=*/true);
+
+  out->orders = L.AddEntity("orders", "o_id");
+  AttrId o_c_id = *L.AddForeignKey(out->orders, "o_c_id", out->customer);
+  AttrId o_date = *L.AddAttribute(out->orders, "o_date", TypeId::kInt64);
+  AttrId o_total = *L.AddAttribute(out->orders, "o_total", TypeId::kDouble);
+  AttrId o_status = *L.AddAttribute(out->orders, "o_status", TypeId::kVarchar, 10);
+
+  out->order_line = L.AddEntity("order_line", "ol_id");
+  AttrId ol_o_id = *L.AddForeignKey(out->order_line, "ol_o_id", out->orders);
+  AttrId ol_i_id = *L.AddForeignKey(out->order_line, "ol_i_id", out->item);
+  AttrId ol_qty = *L.AddAttribute(out->order_line, "ol_qty", TypeId::kInt64);
+  AttrId ol_discount = *L.AddAttribute(out->order_line, "ol_discount", TypeId::kDouble);
+
+  out->cc_xacts = L.AddEntity("cc_xacts", "cx_id");
+  AttrId cx_o_id = *L.AddForeignKey(out->cc_xacts, "cx_o_id", out->orders);
+  AttrId cx_type = *L.AddAttribute(out->cc_xacts, "cx_type", TypeId::kVarchar, 10);
+  AttrId cx_amount = *L.AddAttribute(out->cc_xacts, "cx_amount", TypeId::kDouble);
+  AttrId cx_date = *L.AddAttribute(out->cc_xacts, "cx_date", TypeId::kInt64);
+
+  // --- source schema: normalized, one table per entity ---
+  PhysicalSchema& src = out->source;
+  src = PhysicalSchema(&L);
+  (void)src.AddTable("country", out->country, {co_name, co_currency, co_exchange});
+  (void)src.AddTable("author", out->author, {a_fname, a_lname, a_bio});
+  (void)src.AddTable("item", out->item,
+                     {i_title, i_a_id, i_pub_date, i_subject, i_desc, i_cost, i_stock});
+  (void)src.AddTable("address", out->address, {addr_street, addr_city, addr_zip, addr_co_id});
+  (void)src.AddTable("customer", out->customer,
+                     {c_uname, c_fname, c_lname, c_email, c_phone, c_since, c_discount,
+                      c_addr_id, c_data});
+  (void)src.AddTable("orders", out->orders, {o_c_id, o_date, o_total, o_status});
+  (void)src.AddTable("order_line", out->order_line, {ol_o_id, ol_i_id, ol_qty, ol_discount});
+  (void)src.AddTable("cc_xacts", out->cc_xacts, {cx_o_id, cx_type, cx_amount, cx_date});
+
+  // --- object schema: the new version's layout ---
+  PhysicalSchema& obj = out->object;
+  obj = PhysicalSchema(&L);
+  (void)obj.AddTable("item_glossary", out->item,
+                     {i_title, i_a_id, i_pub_date, i_subject, i_desc, i_cost, i_stock,
+                      i_abstract, a_fname, a_lname, a_bio});
+  (void)obj.AddTable("customer_profile", out->customer,
+                     {c_uname, c_fname, c_lname, c_email, c_phone, c_since, c_tier});
+  (void)obj.AddTable("customer_account", out->customer, {c_discount, c_addr_id, c_data});
+  (void)obj.AddTable("address_full", out->address,
+                     {addr_street, addr_city, addr_zip, addr_co_id, co_name, co_currency,
+                      co_exchange});
+  (void)obj.AddTable("order_payment", out->cc_xacts,
+                     {cx_o_id, cx_type, cx_amount, cx_date, o_c_id, o_date, o_total, o_status});
+  (void)obj.AddTable("order_line", out->order_line, {ol_o_id, ol_i_id, ol_qty, ol_discount});
+
+  assert(out->source.Validate().ok());
+  assert(out->object.Validate().ok());
+  return out;
+}
+
+}  // namespace pse

@@ -1,0 +1,56 @@
+// TPC-W bookstore schemas (the paper's Fig 7, rebuilt from the TPC-W spec
+// plus the paper's in-text examples).
+//
+// Source schema = the classical normalized TPC-W subset:
+//   country, author, item, address, customer, orders, order_line, cc_xacts
+//
+// Object schema = the "new application version":
+//   item_glossary     = item x author + NEW i_abstract   (CombineTable x2 +
+//                       CreateTable — the paper's book/author/abstract
+//                       examples)
+//   customer_profile  = identity columns + NEW c_tier    (SplitTable +
+//                       CreateTable + CombineTable)
+//   customer_account  = billing columns                  (the split's other
+//                       half)
+//   address_full      = address x country                (CombineTable)
+//   order_payment     = cc_xacts x orders                (CombineTable; the
+//                       1:1 payment-per-order invariant keeps order-anchored
+//                       queries exact)
+//   order_line        = unchanged
+#pragma once
+
+#include <memory>
+
+#include "core/logical_schema.h"
+#include "core/physical_schema.h"
+
+namespace pse {
+
+/// The TPC-W logical universe plus both physical schema versions.
+/// PhysicalSchema points into `logical`, so this struct is heap-allocated
+/// and immovable.
+struct TpcwSchema {
+  TpcwSchema() = default;
+  TpcwSchema(const TpcwSchema&) = delete;
+  TpcwSchema& operator=(const TpcwSchema&) = delete;
+
+  LogicalSchema logical;
+  PhysicalSchema source;
+  PhysicalSchema object;
+
+  // Entity handles.
+  EntityId country = kInvalidId;
+  EntityId author = kInvalidId;
+  EntityId item = kInvalidId;
+  EntityId address = kInvalidId;
+  EntityId customer = kInvalidId;
+  EntityId orders = kInvalidId;
+  EntityId order_line = kInvalidId;
+  EntityId cc_xacts = kInvalidId;
+};
+
+/// Builds the schemas. Never fails for the built-in definition (checked by
+/// an internal Validate; a violation would be a programming error).
+std::unique_ptr<TpcwSchema> BuildTpcwSchema();
+
+}  // namespace pse

@@ -1,0 +1,142 @@
+#include "tpcw/workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pse {
+
+namespace {
+// Fig 9, by query: five per-phase frequencies for O1..O10 then N1..N10.
+// (The paper's N10 row is cut off in the text; it mirrors O10 reversed,
+// matching every other N row.)
+constexpr double kFig9[20][5] = {
+    // old
+    {50, 40, 30, 20, 10},  // O1
+    {12, 8, 5, 3, 2},      // O2
+    {40, 35, 30, 10, 5},   // O3
+    {7, 6, 5, 1, 1},       // O4
+    {30, 28, 12, 6, 4},    // O5
+    {22, 20, 10, 6, 2},    // O6
+    {70, 30, 25, 15, 10},  // O7
+    {30, 10, 5, 3, 2},     // O8
+    {45, 43, 41, 40, 11},  // O9
+    {40, 38, 35, 32, 15},  // O10
+    // new (mirrors)
+    {10, 20, 30, 40, 50},  // N1
+    {2, 3, 5, 8, 12},      // N2
+    {5, 10, 30, 35, 40},   // N3
+    {1, 1, 5, 6, 7},       // N4
+    {4, 6, 12, 28, 30},    // N5
+    {2, 6, 10, 20, 22},    // N6
+    {10, 15, 25, 30, 70},  // N7
+    {2, 3, 5, 10, 30},     // N8
+    {11, 40, 41, 43, 45},  // N9
+    {15, 32, 35, 38, 40},  // N10
+};
+}  // namespace
+
+std::vector<std::vector<double>> Fig9IrregularFrequencies() {
+  std::vector<std::vector<double>> out(5, std::vector<double>(20));
+  for (size_t p = 0; p < 5; ++p) {
+    for (size_t q = 0; q < 20; ++q) out[p][q] = kFig9[q][p];
+  }
+  return out;
+}
+
+namespace {
+/// Total stream volume of query q over the whole migration (Fig 9 row sum).
+/// Schedules with a different number of points redistribute this SAME
+/// volume — "the queries are partitioned into more groups" — which is what
+/// makes Overall-Cost fall as migration points increase (Fig 8(e)/(f)).
+double RowTotal(size_t q) {
+  double total = 0;
+  for (size_t p = 0; p < 5; ++p) total += kFig9[q][p];
+  return total;
+}
+
+/// Scales one query's per-phase series so it sums to the Fig 9 row total.
+void NormalizeRow(std::vector<std::vector<double>>* out, size_t q) {
+  double sum = 0;
+  for (auto& phase : *out) sum += phase[q];
+  if (sum <= 0) return;
+  double scale = RowTotal(q) / sum;
+  for (auto& phase : *out) phase[q] *= scale;
+}
+}  // namespace
+
+std::vector<std::vector<double>> IrregularFrequencies(size_t points, uint64_t seed) {
+  if (points == 5) return Fig9IrregularFrequencies();
+  std::vector<std::vector<double>> out;
+  if (points == 3) {
+    // Subsample start / middle / end columns of Fig 9, then restore the
+    // row totals (each of the 3 phases covers a longer stretch of the
+    // migration, so it carries proportionally more queries).
+    auto five = Fig9IrregularFrequencies();
+    out = {five[0], five[2], five[4]};
+  } else {
+    // General case: random-rate monotone series anchored at Fig 9 ends.
+    Rng rng(seed);
+    out.assign(points, std::vector<double>(20));
+    for (size_t q = 0; q < 20; ++q) {
+      double start = kFig9[q][0];
+      double end = kFig9[q][4];
+      // Random interior cut points, sorted so the series stays monotone.
+      std::vector<double> fractions{0.0, 1.0};
+      for (size_t p = 0; p + 2 < points; ++p) fractions.push_back(rng.UniformDouble());
+      std::sort(fractions.begin(), fractions.end());
+      for (size_t p = 0; p < points; ++p) {
+        out[p][q] = start + (end - start) * fractions[p];
+      }
+    }
+  }
+  for (size_t q = 0; q < 20; ++q) NormalizeRow(&out, q);
+  return out;
+}
+
+std::vector<std::vector<double>> RegularFrequencies(size_t points) {
+  // The workload is ONE fixed stream whose mix drifts linearly over the
+  // migration window [0, 1]; with `points` phases, phase p carries the
+  // stream integral over its window (midpoint sampling x window volume).
+  // This makes schedules with different point counts partitions of the SAME
+  // stream, which is what lets finer migration schedules only ever lower
+  // the overall cost (Fig 8(e)/(f)).
+  std::vector<std::vector<double>> out(points, std::vector<double>(20));
+  for (size_t q = 0; q < 20; ++q) {
+    double start = kFig9[q][0];
+    double end = kFig9[q][4];
+    for (size_t p = 0; p < points; ++p) {
+      double t = (static_cast<double>(p) + 0.5) / static_cast<double>(points);
+      out[p][q] = start + (end - start) * t;
+    }
+    NormalizeRow(&out, q);
+  }
+  return out;
+}
+
+std::string FrequenciesToTable(const std::vector<std::vector<double>>& freqs) {
+  if (freqs.empty()) return "";
+  const size_t phases = freqs.size();
+  std::string out = "Workload ";
+  char buf[64];
+  for (size_t p = 0; p < phases; ++p) {
+    std::snprintf(buf, sizeof(buf), " P%zu-P%zu", p, p + 1);
+    out += buf;
+  }
+  out += "\n";
+  const size_t nq = freqs[0].size();
+  for (size_t q = 0; q < nq; ++q) {
+    std::string name = q < nq / 2 ? "O" + std::to_string(q + 1)
+                                  : "N" + std::to_string(q - nq / 2 + 1);
+    std::snprintf(buf, sizeof(buf), "%-9s", name.c_str());
+    out += buf;
+    for (size_t p = 0; p < phases; ++p) {
+      std::snprintf(buf, sizeof(buf), " %6.0f", freqs[p][q]);
+      out += buf;
+    }
+    out += "\n";
+    if (q + 1 == nq / 2) out += "\n";  // blank line between old and new
+  }
+  return out;
+}
+
+}  // namespace pse

@@ -1,0 +1,33 @@
+// Workload frequency schedules (Section IV.C / Fig 9).
+//
+// Frequencies index the BuildTpcwWorkload order: O1..O10 then N1..N10.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pse {
+
+/// The paper's Fig 9 irregular-frequency matrix, verbatim: 5 phases
+/// (P0-P1 .. P4-P5) x 20 queries.
+std::vector<std::vector<double>> Fig9IrregularFrequencies();
+
+/// Irregular schedule for an arbitrary number of migration points. For 5
+/// points this is exactly Fig 9; for fewer, phase columns are subsampled
+/// (start / middle / end); for other counts, random-rate decreasing
+/// (old) / increasing (new) series are drawn deterministically from `seed`,
+/// anchored at Fig 9's start and end values.
+std::vector<std::vector<double>> IrregularFrequencies(size_t points, uint64_t seed = 2009);
+
+/// Regular (determinate-rate) schedule: per query, linear interpolation
+/// between Fig 9's first-phase and last-phase frequencies over `points`
+/// phases. Used by the Fig 8(e)/(f) Overall-Cost experiments.
+std::vector<std::vector<double>> RegularFrequencies(size_t points);
+
+/// Formats a frequency matrix as the paper's Fig 9 table.
+std::string FrequenciesToTable(const std::vector<std::vector<double>>& freqs);
+
+}  // namespace pse

@@ -1,0 +1,61 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+TableSchema MakeSchema() {
+  return TableSchema("book",
+                     {Column("book_id", TypeId::kInt64, 0, false),
+                      Column("title", TypeId::kVarchar, 40),
+                      Column("price", TypeId::kDouble)},
+                     {"book_id"});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  TableSchema s = MakeSchema();
+  EXPECT_EQ(s.name(), "book");
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.column(1).name, "title");
+  ASSERT_EQ(s.key_columns().size(), 1u);
+  EXPECT_EQ(s.key_columns()[0], "book_id");
+}
+
+TEST(SchemaTest, ColumnIndexCaseInsensitive) {
+  TableSchema s = MakeSchema();
+  auto r = s.ColumnIndex("TITLE");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+  EXPECT_FALSE(s.ColumnIndex("nope").ok());
+  EXPECT_TRUE(s.HasColumn("price"));
+  EXPECT_FALSE(s.HasColumn("qty"));
+}
+
+TEST(SchemaTest, EstimatedTupleWidthCountsAllColumns) {
+  TableSchema s = MakeSchema();
+  // 8 (int) + 44 (varchar avg 40 + 4 len) + 8 (double) + 1 bitmap + 4 slot.
+  EXPECT_EQ(s.EstimatedTupleWidth(), 8u + 44u + 8u + 1u + 4u);
+}
+
+TEST(SchemaTest, AddColumn) {
+  TableSchema s = MakeSchema();
+  s.AddColumn(Column("stock", TypeId::kInt64));
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_TRUE(s.HasColumn("stock"));
+}
+
+TEST(SchemaTest, ToStringMentionsColumnsAndKey) {
+  std::string str = MakeSchema().ToString();
+  EXPECT_NE(str.find("book("), std::string::npos);
+  EXPECT_NE(str.find("title VARCHAR"), std::string::npos);
+  EXPECT_NE(str.find("KEY(book_id)"), std::string::npos);
+}
+
+TEST(SchemaTest, VarcharWidthDefaultsWhenUnset) {
+  Column c("note", TypeId::kVarchar);
+  EXPECT_EQ(c.EstimatedWidth(), TypeFixedWidth(TypeId::kVarchar) + 4);
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,91 @@
+#include "catalog/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+TEST(ValueTest, Constructors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_FALSE(Value::Int(1).is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Varchar("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+  EXPECT_TRUE(Value::Null(TypeId::kVarchar).is_null());
+  EXPECT_EQ(Value::Null(TypeId::kVarchar).type(), TypeId::kVarchar);
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Varchar("abc").Compare(Value::Varchar("abd")), 0);
+  EXPECT_EQ(Value::Varchar("x").Compare(Value::Varchar("x")), 0);
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null(TypeId::kInt64).Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null(TypeId::kInt64).Compare(Value::Null(TypeId::kVarchar)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null(TypeId::kInt64)), 0);
+}
+
+TEST(ValueTest, SqlEqualsNullSemantics) {
+  EXPECT_FALSE(Value::Null(TypeId::kInt64).SqlEquals(Value::Null(TypeId::kInt64)));
+  EXPECT_FALSE(Value::Null(TypeId::kInt64).SqlEquals(Value::Int(1)));
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::Int(1)));
+  EXPECT_FALSE(Value::Int(1).SqlEquals(Value::Int(2)));
+}
+
+TEST(ValueTest, HashConsistentWithCompare) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::Null(TypeId::kInt64).Hash(), Value::Null(TypeId::kVarchar).Hash());
+  EXPECT_EQ(Value::Varchar("abc").Hash(), Value::Varchar("abc").Hash());
+}
+
+TEST(ValueTest, CastIntToDouble) {
+  auto r = Value::Int(3).CastTo(TypeId::kDouble);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsDouble(), 3.0);
+}
+
+TEST(ValueTest, CastStringToInt) {
+  auto ok = Value::Varchar("123").CastTo(TypeId::kInt64);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->AsInt(), 123);
+  auto bad = Value::Varchar("12x").CastTo(TypeId::kInt64);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ValueTest, CastNullYieldsNullOfTargetType) {
+  auto r = Value::Null(TypeId::kInt64).CastTo(TypeId::kVarchar);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+  EXPECT_EQ(r->type(), TypeId::kVarchar);
+}
+
+TEST(ValueTest, CastToVarchar) {
+  auto r = Value::Int(-5).CastTo(TypeId::kVarchar);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "-5");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(1).ToString(), "1");
+  EXPECT_EQ(Value::Null(TypeId::kInt64).ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Varchar("v").ToString(), "v");
+}
+
+}  // namespace
+}  // namespace pse

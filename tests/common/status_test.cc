@@ -1,0 +1,106 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::InvalidArgument("bad");
+  Status t = s;
+  EXPECT_TRUE(t.IsInvalidArgument());
+  EXPECT_EQ(t.message(), "bad");
+  EXPECT_TRUE(s.IsInvalidArgument());  // source untouched
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::IOError("disk gone");
+  Status t = std::move(s);
+  EXPECT_EQ(t.code(), StatusCode::kIOError);
+  EXPECT_EQ(t.message(), "disk gone");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ResourceExhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::ConstraintViolation("").code(), StatusCode::kConstraintViolation);
+}
+
+Result<int> ReturnsValue() { return 42; }
+Result<int> ReturnsError() { return Status::Internal("boom"); }
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r = ReturnsValue();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, ErrorAccess) {
+  Result<int> r = ReturnsError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<std::string> Concat(bool fail) {
+  if (fail) return Status::InvalidArgument("no");
+  return std::string("hello");
+}
+
+Status UseAssignOrReturn(bool fail, std::string* out) {
+  PSE_ASSIGN_OR_RETURN(std::string v, Concat(fail));
+  *out = v + "!";
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  std::string out;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, "hello!");
+  Status s = UseAssignOrReturn(true, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+Status UseReturnNotOk(bool fail) {
+  PSE_RETURN_NOT_OK(fail ? Status::IOError("x") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(UseReturnNotOk(false).ok());
+  EXPECT_EQ(UseReturnNotOk(true).code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, MoveValueUnsafeTransfersOwnership) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = r.MoveValueUnsafe();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,99 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("HeLLo123"), "hello123");
+  EXPECT_EQ(ToUpper("HeLLo123"), "HELLO123");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> v{"x", "y", "z"};
+  EXPECT_EQ(Join(v, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(LikeMatchTest, ExactMatch) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+}
+
+TEST(LikeMatchTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "%z%"));
+}
+
+TEST(LikeMatchTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("caat", "c_t"));
+  EXPECT_TRUE(LikeMatch("abc", "___"));
+  EXPECT_FALSE(LikeMatch("ab", "___"));
+}
+
+TEST(LikeMatchTest, MixedWildcards) {
+  EXPECT_TRUE(LikeMatch("database systems", "d%_ systems"));
+  EXPECT_TRUE(LikeMatch("aXbYc", "a_b_c"));
+  EXPECT_TRUE(LikeMatch("abc", "%a%b%c%"));
+  EXPECT_FALSE(LikeMatch("acb", "%a%b%c%"));
+}
+
+TEST(LikeMatchTest, BacktrackingStress) {
+  // Patterns that defeat naive exponential matchers.
+  std::string s(50, 'a');
+  EXPECT_TRUE(LikeMatch(s, "%a%a%a%a%a%a%a%a%a%a%"));
+  EXPECT_FALSE(LikeMatch(s, "%a%a%a%a%a%b%"));
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(100ull * 1024 * 1024), "100.0 MiB");
+  EXPECT_EQ(FormatBytes(1ull << 30), "1.0 GiB");
+}
+
+TEST(StringUtilTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace pse

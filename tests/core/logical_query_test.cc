@@ -1,0 +1,115 @@
+#include "core/logical_query.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+TEST(LiftTest, SingleTableSelect) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical("SELECT u_name, u_addr FROM user WHERE u_id < 5", s.source, "Q1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->anchor, s.user);
+  EXPECT_EQ(q->name, "Q1");
+  ASSERT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].expr->ToString(), "u_name");
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_EQ(q->filters[0]->ToString(), "u_id < 5");
+}
+
+TEST(LiftTest, FkJoinAnchorsAtManySide) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical(
+      "SELECT b_title, a_name FROM book JOIN author ON b_a_id = a_id WHERE b_cost > 10",
+      s.source);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->anchor, s.book);
+  EXPECT_EQ(q->select.size(), 2u);
+}
+
+TEST(LiftTest, QueryOnObjectSchemaDenormalizedTable) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical("SELECT b_title, a_name, b_abstract FROM glossary", s.object);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->anchor, s.book);
+}
+
+TEST(LiftTest, FragmentKeyJoinLifts) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical(
+      "SELECT u_name, u_addr FROM user_gen g JOIN user_rest r ON g.u_id = r.u_id", s.object);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->anchor, s.user);
+}
+
+TEST(LiftTest, AggregatesAndGroupByLift) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical(
+      "SELECT a_name, COUNT(*) AS n, AVG(b_cost) AS avg_cost FROM book JOIN author ON "
+      "b_a_id = a_id GROUP BY a_name ORDER BY 2 DESC LIMIT 3",
+      s.source);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->anchor, s.book);
+  ASSERT_EQ(q->select.size(), 3u);
+  EXPECT_EQ(q->select[1].agg, AggFunc::kCountStar);
+  EXPECT_EQ(q->select[2].agg, AggFunc::kAvg);
+  ASSERT_EQ(q->group_by.size(), 1u);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_TRUE(q->order_by[0].desc);
+  EXPECT_EQ(q->limit, 3);
+}
+
+TEST(LiftTest, NonRelationshipJoinRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  // Joining book cost to user bday is no FK relationship.
+  auto q = LiftSqlToLogical("SELECT b_title FROM book JOIN user ON b_cost = u_bday", s.source);
+  ASSERT_FALSE(q.ok());
+}
+
+TEST(LiftTest, NoCommonAnchorRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  // user and book are unrelated: a cross join cannot anchor.
+  auto q = LiftSqlToLogical("SELECT u_name FROM user JOIN book ON u_id = b_id", s.source);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(LiftTest, NonSelectRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  EXPECT_FALSE(LiftSqlToLogical("DELETE FROM user", s.source).ok());
+}
+
+TEST(LiftTest, CloneIsDeep) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical("SELECT u_name FROM user WHERE u_id = 1", s.source, "orig");
+  ASSERT_TRUE(q.ok());
+  LogicalQuery copy = q->Clone();
+  EXPECT_EQ(copy.name, "orig");
+  EXPECT_EQ(copy.select[0].expr->ToString(), q->select[0].expr->ToString());
+  EXPECT_NE(copy.select[0].expr.get(), q->select[0].expr.get());
+}
+
+TEST(LiftTest, ToStringMentionsAnchor) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto q = LiftSqlToLogical("SELECT u_name FROM user", s.source, "QX");
+  ASSERT_TRUE(q.ok());
+  std::string str = q->ToString(s.logical);
+  EXPECT_NE(str.find("QX"), std::string::npos);
+  EXPECT_NE(str.find("anchor=user"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pse

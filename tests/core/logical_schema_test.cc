@@ -1,0 +1,102 @@
+#include "core/logical_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+TEST(LogicalSchemaTest, EntitiesAndAttributes) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  EXPECT_EQ(s.logical.num_entities(), 3u);
+  EXPECT_EQ(s.logical.entity(s.book).name, "book");
+  EXPECT_TRUE(s.logical.attr(s.b_id).is_key);
+  EXPECT_FALSE(s.logical.attr(s.b_title).is_key);
+  EXPECT_TRUE(s.logical.attr(s.b_abstract).is_new);
+  ASSERT_TRUE(s.logical.attr(s.b_a_id).references.has_value());
+  EXPECT_EQ(*s.logical.attr(s.b_a_id).references, s.author);
+}
+
+TEST(LogicalSchemaTest, LookupByName) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto e = s.logical.EntityByName("AUTHOR");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, s.author);
+  auto a = s.logical.AttrByName("b_title");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, s.b_title);
+  EXPECT_FALSE(s.logical.EntityByName("nope").ok());
+  EXPECT_FALSE(s.logical.AttrByName("nope").ok());
+}
+
+TEST(LogicalSchemaTest, DuplicateAttributeRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  EXPECT_TRUE(s.logical.AddAttribute(s.book, "b_title", TypeId::kVarchar).status()
+                  .IsAlreadyExists());
+}
+
+TEST(LogicalSchemaTest, Reachability) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  EXPECT_TRUE(s.logical.Reaches(s.book, s.author));
+  EXPECT_FALSE(s.logical.Reaches(s.author, s.book));
+  EXPECT_TRUE(s.logical.Reaches(s.book, s.book));
+  EXPECT_FALSE(s.logical.Reaches(s.user, s.book));
+}
+
+TEST(LogicalSchemaTest, FkPathSingleHop) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto path = s.logical.FkPath(s.book, s.author);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0], s.b_a_id);
+  auto self = s.logical.FkPath(s.book, s.book);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->empty());
+  EXPECT_FALSE(s.logical.FkPath(s.author, s.book).ok());
+}
+
+TEST(LogicalSchemaTest, MultiHopFkPath) {
+  LogicalSchema L;
+  EntityId c = L.AddEntity("customer", "c_id");
+  EntityId o = L.AddEntity("orders", "o_id");
+  EntityId ol = L.AddEntity("order_line", "ol_id");
+  AttrId o_c = *L.AddForeignKey(o, "o_c_id", c);
+  AttrId ol_o = *L.AddForeignKey(ol, "ol_o_id", o);
+  auto path = L.FkPath(ol, c);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0], ol_o);
+  EXPECT_EQ((*path)[1], o_c);
+}
+
+TEST(LogicalSchemaTest, CommonAnchor) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto anchor = s.logical.CommonAnchor({s.book, s.author});
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(*anchor, s.book);
+  auto solo = s.logical.CommonAnchor({s.user});
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(*solo, s.user);
+  EXPECT_FALSE(s.logical.CommonAnchor({s.user, s.book}).ok());
+}
+
+TEST(LogicalStatsTest, ResizeMatchesSchema) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  LogicalStats stats;
+  stats.Resize(s.logical);
+  EXPECT_EQ(stats.entity_rows.size(), s.logical.num_entities());
+  EXPECT_EQ(stats.attrs.size(), s.logical.num_attributes());
+}
+
+}  // namespace
+}  // namespace pse

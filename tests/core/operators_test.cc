@@ -1,0 +1,198 @@
+#include "core/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+MigrationOperator CreateAbstract(const Bookstore& s, int id = 0) {
+  MigrationOperator op;
+  op.kind = OperatorKind::kCreateTable;
+  op.id = id;
+  op.create_entity = s.book;
+  op.create_attrs = {s.b_abstract};
+  return op;
+}
+
+MigrationOperator SplitUser(const Bookstore& s, int id = 1) {
+  MigrationOperator op;
+  op.kind = OperatorKind::kSplitTable;
+  op.id = id;
+  op.split_moved = {s.u_addr};
+  op.split_moved_anchor = s.user;
+  return op;
+}
+
+MigrationOperator CombineBookAuthor(const Bookstore& s, int id = 2) {
+  MigrationOperator op;
+  op.kind = OperatorKind::kCombineTable;
+  op.id = id;
+  op.combine_left_rep = s.b_title;
+  op.combine_right_rep = s.a_name;
+  return op;
+}
+
+TEST(OperatorsTest, CreateTableAddsFragment) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  ASSERT_TRUE(ApplyOperator(CreateAbstract(s), &schema).ok());
+  EXPECT_EQ(schema.tables().size(), 4u);
+  auto t = schema.TableOfNonKeyAttr(s.b_abstract);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(schema.tables()[*t].anchor, s.book);
+  EXPECT_TRUE(schema.tables()[*t].Contains(s.b_id));  // the FD key
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(OperatorsTest, CreateTwiceRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  ASSERT_TRUE(ApplyOperator(CreateAbstract(s, 0), &schema).ok());
+  EXPECT_FALSE(ApplyOperator(CreateAbstract(s, 5), &schema).ok());
+}
+
+TEST(OperatorsTest, SplitTableSeparatesAttrs) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  ASSERT_TRUE(ApplyOperator(SplitUser(s), &schema).ok());
+  EXPECT_EQ(schema.tables().size(), 4u);
+  auto addr_t = schema.TableOfNonKeyAttr(s.u_addr);
+  auto name_t = schema.TableOfNonKeyAttr(s.u_name);
+  ASSERT_TRUE(addr_t.ok());
+  ASSERT_TRUE(name_t.ok());
+  EXPECT_NE(*addr_t, *name_t);
+  // Both sides keep the key (the paper's created reference).
+  EXPECT_TRUE(schema.tables()[*addr_t].Contains(s.u_id));
+  EXPECT_TRUE(schema.tables()[*name_t].Contains(s.u_id));
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(OperatorsTest, SplitAllAttrsRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  MigrationOperator op;
+  op.kind = OperatorKind::kSplitTable;
+  op.id = 9;
+  op.split_moved = {s.u_name, s.u_bday, s.u_addr};  // nothing left behind
+  op.split_moved_anchor = s.user;
+  EXPECT_FALSE(ApplyOperator(op, &schema).ok());
+}
+
+TEST(OperatorsTest, SplitNonColocatedRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  MigrationOperator op;
+  op.kind = OperatorKind::kSplitTable;
+  op.id = 9;
+  op.split_moved = {s.u_name, s.b_title};  // different tables
+  op.split_moved_anchor = s.user;
+  EXPECT_FALSE(ApplyOperator(op, &schema).ok());
+}
+
+TEST(OperatorsTest, CombineAcrossRelationship) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  ASSERT_TRUE(ApplyOperator(CombineBookAuthor(s), &schema).ok());
+  EXPECT_EQ(schema.tables().size(), 2u);
+  auto t = schema.TableOfNonKeyAttr(s.a_name);
+  ASSERT_TRUE(t.ok());
+  // Result anchored at the many side (book) with the reference FK present.
+  EXPECT_EQ(schema.tables()[*t].anchor, s.book);
+  EXPECT_TRUE(schema.tables()[*t].Contains(s.b_a_id));
+  EXPECT_TRUE(schema.tables()[*t].Contains(s.a_id));
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(OperatorsTest, CombineUnrelatedRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  MigrationOperator op;
+  op.kind = OperatorKind::kCombineTable;
+  op.id = 9;
+  op.combine_left_rep = s.u_name;  // user table
+  op.combine_right_rep = s.b_title;  // book table: no relationship
+  EXPECT_FALSE(ApplyOperator(op, &schema).ok());
+}
+
+TEST(OperatorsTest, CombineSameTableRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  MigrationOperator op;
+  op.kind = OperatorKind::kCombineTable;
+  op.id = 9;
+  op.combine_left_rep = s.u_name;
+  op.combine_right_rep = s.u_addr;  // same table
+  EXPECT_FALSE(ApplyOperator(op, &schema).ok());
+}
+
+TEST(OperatorsTest, CombineVerticalFragments) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  ASSERT_TRUE(ApplyOperator(SplitUser(s), &schema).ok());
+  // Re-combine the two user fragments.
+  MigrationOperator op;
+  op.kind = OperatorKind::kCombineTable;
+  op.id = 7;
+  op.combine_left_rep = s.u_name;
+  op.combine_right_rep = s.u_addr;
+  ASSERT_TRUE(ApplyOperator(op, &schema).ok());
+  auto t = schema.TableOfNonKeyAttr(s.u_name);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(schema.tables()[*t].Contains(s.u_addr));
+  EXPECT_EQ(schema.tables()[*t].anchor, s.user);
+}
+
+TEST(OperatorsTest, FailedOperatorLeavesSchemaUntouched) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  PhysicalSchema before = schema;
+  MigrationOperator op;
+  op.kind = OperatorKind::kCombineTable;
+  op.id = 9;
+  op.combine_left_rep = s.u_name;
+  op.combine_right_rep = s.b_title;
+  ASSERT_FALSE(ApplyOperator(op, &schema).ok());
+  EXPECT_TRUE(schema.EquivalentTo(before));
+}
+
+TEST(OperatorsTest, FullSequenceReachesObject) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema schema = s.source;
+  std::vector<MigrationOperator> ops{CreateAbstract(s, 0), SplitUser(s, 1),
+                                     CombineBookAuthor(s, 2)};
+  // Also need to merge the created abstract fragment into the glossary.
+  MigrationOperator merge_abstract;
+  merge_abstract.kind = OperatorKind::kCombineTable;
+  merge_abstract.id = 3;
+  merge_abstract.combine_left_rep = s.b_title;
+  merge_abstract.combine_right_rep = s.b_abstract;
+  ops.push_back(merge_abstract);
+  ASSERT_TRUE(ApplyOperators(ops, &schema).ok());
+  EXPECT_TRUE(schema.EquivalentTo(s.object)) << schema.ToString();
+}
+
+TEST(OperatorsTest, ToStringMentionsKindAndAttrs) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  EXPECT_NE(CreateAbstract(s).ToString(s.logical).find("Create"), std::string::npos);
+  EXPECT_NE(SplitUser(s).ToString(s.logical).find("u_addr"), std::string::npos);
+  EXPECT_NE(CombineBookAuthor(s).ToString(s.logical).find("Combine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,122 @@
+#include "core/physical_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+TEST(PhysicalSchemaTest, PaperSchemasValidate) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  EXPECT_TRUE(s.source.Validate().ok()) << s.source.Validate().ToString();
+  EXPECT_TRUE(s.object.Validate().ok()) << s.object.Validate().ToString();
+}
+
+TEST(PhysicalSchemaTest, CompleteAttrSetAddsKeys) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto attrs = PhysicalSchema::CompleteAttrSet(s.logical, s.book, {s.b_title, s.a_name});
+  // Must contain b_id (anchor key) and a_id (embedded entity key).
+  EXPECT_NE(std::find(attrs.begin(), attrs.end(), s.b_id), attrs.end());
+  EXPECT_NE(std::find(attrs.begin(), attrs.end(), s.a_id), attrs.end());
+}
+
+TEST(PhysicalSchemaTest, NonKeyAttrLocation) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto t = s.source.TableOfNonKeyAttr(s.b_title);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(s.source.tables()[*t].name, "book");
+  // b_abstract is new: absent from source, present in object.
+  EXPECT_FALSE(s.source.TableOfNonKeyAttr(s.b_abstract).ok());
+  EXPECT_TRUE(s.object.TableOfNonKeyAttr(s.b_abstract).ok());
+}
+
+TEST(PhysicalSchemaTest, KeyAttrsInMultipleTables) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  // u_id is the key of both user fragments in the object schema.
+  auto tables = s.object.TablesWithAttr(s.u_id);
+  EXPECT_EQ(tables.size(), 2u);
+}
+
+TEST(PhysicalSchemaTest, MissingChainFkRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema bad(&s.logical);
+  // Embed a_name into a book-anchored table WITHOUT the b_a_id chain FK.
+  PhysicalTable t;
+  t.name = "broken";
+  t.anchor = s.book;
+  t.attrs = {s.b_id, s.b_title, s.a_id, s.a_name};
+  bad.AddRawTable(std::move(t));
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(PhysicalSchemaTest, DuplicateNonKeyAttrRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema bad(&s.logical);
+  ASSERT_TRUE(bad.AddTable("t1", s.user, {s.u_name}).ok());
+  ASSERT_TRUE(bad.AddTable("t2", s.user, {s.u_name, s.u_addr}).ok());
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(PhysicalSchemaTest, UnjustifiedKeyRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema bad(&s.logical);
+  PhysicalTable t;
+  t.name = "weird";
+  t.anchor = s.user;
+  t.attrs = {s.u_id, s.u_name, s.a_id};  // a_id has no author attrs with it
+  bad.AddRawTable(std::move(t));
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(PhysicalSchemaTest, ToTableSchemaShape) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto glossary_idx = s.object.TableByName("glossary");
+  ASSERT_TRUE(glossary_idx.ok());
+  TableSchema ts = s.object.ToTableSchema(*glossary_idx);
+  EXPECT_EQ(ts.name(), "glossary");
+  // Anchor key first, not nullable.
+  EXPECT_EQ(ts.column(0).name, "b_id");
+  EXPECT_FALSE(ts.column(0).nullable);
+  ASSERT_EQ(ts.key_columns().size(), 1u);
+  EXPECT_EQ(ts.key_columns()[0], "b_id");
+  // All glossary attrs present as columns.
+  EXPECT_TRUE(ts.HasColumn("a_name"));
+  EXPECT_TRUE(ts.HasColumn("b_abstract"));
+  EXPECT_TRUE(ts.HasColumn("a_id"));
+}
+
+TEST(PhysicalSchemaTest, EquivalenceIgnoresNames) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  PhysicalSchema renamed(&s.logical);
+  ASSERT_TRUE(
+      renamed.AddTable("x1", s.book, {s.b_title, s.b_cost, s.b_a_id, s.a_name, s.a_bio,
+                                      s.b_abstract})
+          .ok());
+  ASSERT_TRUE(renamed.AddTable("x2", s.user, {s.u_name, s.u_bday}).ok());
+  ASSERT_TRUE(renamed.AddTable("x3", s.user, {s.u_addr}).ok());
+  EXPECT_TRUE(renamed.EquivalentTo(s.object));
+  EXPECT_FALSE(renamed.EquivalentTo(s.source));
+}
+
+TEST(PhysicalSchemaTest, ToStringListsTables) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  std::string str = s.source.ToString();
+  EXPECT_NE(str.find("book"), std::string::npos);
+  EXPECT_NE(str.find("anchor=author"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pse

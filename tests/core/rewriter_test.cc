@@ -1,0 +1,238 @@
+#include "core/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/logical_database.h"
+#include "core/mapping.h"
+#include "core/virtual_catalog.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+LogicalQuery SimpleQuery(const Bookstore& s, EntityId anchor,
+                         std::vector<std::string> select_attrs, ExprPtr filter = nullptr) {
+  LogicalQuery q;
+  q.anchor = anchor;
+  for (auto& a : select_attrs) {
+    q.select.emplace_back(Col(a), AggFunc::kNone, a);
+  }
+  if (filter) q.filters.push_back(std::move(filter));
+  (void)s;
+  return q;
+}
+
+/// Materializes `schema`, rewrites `q` onto it, executes, and returns rows
+/// sorted for order-insensitive comparison.
+std::vector<Row> RunOn(const Bookstore& s, const LogicalDatabase& data,
+                       const PhysicalSchema& schema, const LogicalQuery& q) {
+  Database db(512);
+  EXPECT_TRUE(data.Materialize(&db, schema).ok());
+  auto bound = RewriteQuery(q, schema);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString() << "\nschema:\n" << schema.ToString();
+  if (!bound.ok()) return {};
+  DatabaseCatalogView view(&db);
+  auto plan = PlanQuery(*bound, view);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  if (!plan.ok()) return {};
+  auto rows = ExecutePlan(**plan, &db);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  if (!rows.ok()) return {};
+  std::vector<Row> out = *rows;
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return out;
+}
+
+TEST(RewriterTest, DirectFragmentAccess) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  LogicalQuery q = SimpleQuery(s, s.user, {"u_name"});
+  auto bound = RewriteQuery(q, s.source);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->tables.size(), 1u);
+  EXPECT_EQ(bound->tables[0].table, "user");
+  EXPECT_FALSE(bound->tables[0].distinct);
+}
+
+TEST(RewriterTest, SplitFragmentsJoinOnKey) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  // u_name and u_addr live in different fragments of the object schema.
+  LogicalQuery q = SimpleQuery(s, s.user, {"u_name", "u_addr"});
+  auto bound = RewriteQuery(q, s.object);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->tables.size(), 2u);
+  ASSERT_EQ(bound->joins.size(), 1u);
+  EXPECT_EQ(bound->joins[0].left_column, "u_id");
+  EXPECT_EQ(bound->joins[0].right_column, "u_id");
+}
+
+TEST(RewriterTest, ParentFragmentJoinsFkToKey) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  // Book query touching author attrs on the source schema -> fk join.
+  LogicalQuery q = SimpleQuery(s, s.book, {"b_title", "a_name"});
+  auto bound = RewriteQuery(q, s.source);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->tables.size(), 2u);
+  ASSERT_EQ(bound->joins.size(), 1u);
+  EXPECT_EQ(bound->joins[0].left_column, "b_a_id");
+  EXPECT_EQ(bound->joins[0].right_column, "a_id");
+}
+
+TEST(RewriterTest, DenormalizedAccessNeedsNoJoin) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  LogicalQuery q = SimpleQuery(s, s.book, {"b_title", "a_name"});
+  auto bound = RewriteQuery(q, s.object);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->tables.size(), 1u);
+  EXPECT_TRUE(bound->joins.empty());
+  EXPECT_EQ(bound->tables[0].table, "glossary");
+}
+
+TEST(RewriterTest, ChildDenormalizedAccessUsesDistinct) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  // Author-anchored query on the object schema: author lives inside
+  // glossary (anchored at book) -> DISTINCT access.
+  LogicalQuery q = SimpleQuery(s, s.author, {"a_name"});
+  auto bound = RewriteQuery(q, s.object);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->tables.size(), 1u);
+  EXPECT_EQ(bound->tables[0].table, "glossary");
+  EXPECT_TRUE(bound->tables[0].distinct);
+  EXPECT_EQ(bound->tables[0].distinct_key, "a_id");
+}
+
+TEST(RewriterTest, MissingNewAttrIsBindError) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  LogicalQuery q = SimpleQuery(s, s.book, {"b_abstract"});
+  auto bound = RewriteQuery(q, s.source);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_TRUE(bound.status().IsBindError());
+}
+
+TEST(RewriterTest, UnrelatedAnchorRejected) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  LogicalQuery q = SimpleQuery(s, s.user, {"b_title"});
+  EXPECT_FALSE(RewriteQuery(q, s.source).ok());
+}
+
+// --- result-equivalence tests: the heart of correct rewriting ---
+
+TEST(RewriterTest, EquivalenceAcrossSourceAndObject) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(6, 8, 20);
+
+  std::vector<LogicalQuery> queries;
+  queries.push_back(SimpleQuery(s, s.book, {"b_title", "a_name"},
+                                Cmp(CompareOp::kGt, Col("b_cost"), Const(Value::Double(20.0)))));
+  queries.push_back(SimpleQuery(s, s.author, {"a_name", "a_bio"}));
+  queries.push_back(SimpleQuery(s, s.user, {"u_name", "u_addr"},
+                                Cmp(CompareOp::kLt, Col("u_id"), Const(Value::Int(10)))));
+  // Aggregate: books per author.
+  {
+    LogicalQuery q;
+    q.anchor = s.book;
+    q.group_by.push_back(Col("a_name"));
+    q.select.emplace_back(Col("a_name"), AggFunc::kNone, "a_name");
+    q.select.emplace_back(nullptr, AggFunc::kCountStar, "n");
+    q.select.emplace_back(Col("b_cost"), AggFunc::kSum, "total_cost");
+    queries.push_back(std::move(q));
+  }
+  // Point lookup through the key.
+  queries.push_back(SimpleQuery(s, s.book, {"b_title"},
+                                Cmp(CompareOp::kEq, Col("b_id"), Const(Value::Int(17)))));
+
+  for (const auto& q : queries) {
+    std::vector<Row> on_source = RunOn(s, *data, s.source, q);
+    std::vector<Row> on_object = RunOn(s, *data, s.object, q);
+    ASSERT_FALSE(on_source.empty());
+    ASSERT_EQ(on_source.size(), on_object.size());
+    for (size_t i = 0; i < on_source.size(); ++i) {
+      EXPECT_TRUE(RowEq()(on_source[i], on_object[i]))
+          << RowToString(on_source[i]) << " vs " << RowToString(on_object[i]);
+    }
+  }
+}
+
+// Property: on EVERY intermediate schema (random dependency-closed subsets
+// of the operator set), every query returns the same result as on source.
+class RewriterEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewriterEquivalenceProperty, IntermediateSchemasPreserveResults) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(5, 6, 12);
+  auto opset = ComputeOperatorSet(s.source, s.object);
+  ASSERT_TRUE(opset.ok());
+  auto topo = opset->TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+
+  std::vector<LogicalQuery> queries;
+  queries.push_back(SimpleQuery(s, s.book, {"b_title", "a_name", "b_cost"}));
+  queries.push_back(SimpleQuery(s, s.author, {"a_name"}));
+  queries.push_back(SimpleQuery(s, s.user, {"u_name", "u_bday", "u_addr"}));
+  {
+    LogicalQuery q;
+    q.anchor = s.book;
+    q.group_by.push_back(Col("a_id"));
+    q.select.emplace_back(Col("a_id"), AggFunc::kNone, "a_id");
+    q.select.emplace_back(Col("b_cost"), AggFunc::kMax, "max_cost");
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<std::vector<Row>> baselines;
+  for (const auto& q : queries) baselines.push_back(RunOn(s, *data, s.source, q));
+
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 8; ++iter) {
+    // Random dependency-closed prefix: walk the topo order, keep each op
+    // with probability 1/2 IF its deps are kept.
+    std::vector<bool> keep(opset->size(), false);
+    PhysicalSchema schema = s.source;
+    for (int i : *topo) {
+      bool deps_ok = true;
+      for (int d : opset->deps[static_cast<size_t>(i)]) {
+        if (!keep[static_cast<size_t>(d)]) deps_ok = false;
+      }
+      if (deps_ok && rng.Bernoulli(0.5)) {
+        keep[static_cast<size_t>(i)] = true;
+        ASSERT_TRUE(ApplyOperator(opset->ops[static_cast<size_t>(i)], &schema).ok());
+      }
+    }
+    ASSERT_TRUE(schema.Validate().ok());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      std::vector<Row> rows = RunOn(s, *data, schema, queries[qi]);
+      ASSERT_EQ(rows.size(), baselines[qi].size())
+          << "query " << qi << " on\n"
+          << schema.ToString();
+      for (size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_TRUE(RowEq()(rows[r], baselines[qi][r]))
+            << "query " << qi << ": " << RowToString(rows[r]) << " vs "
+            << RowToString(baselines[qi][r]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterEquivalenceProperty, ::testing::Values(3, 33, 333));
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,108 @@
+#include "core/virtual_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/cost_model.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+class VirtualCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bs_ = Bookstore::Make();
+    stats_.Resize(bs_->logical);
+    stats_.entity_rows[bs_->author] = 100;
+    stats_.entity_rows[bs_->book] = 5000;
+    stats_.entity_rows[bs_->user] = 2000;
+    stats_.attrs[bs_->a_id] = LogicalAttrStats{100, 0, 99, 0.0};
+    stats_.attrs[bs_->b_id] = LogicalAttrStats{5000, 0, 4999, 0.0};
+    stats_.attrs[bs_->b_a_id] = LogicalAttrStats{100, 0, 99, 0.0};
+    stats_.attrs[bs_->b_cost] = LogicalAttrStats{40, {}, {}, 0.1};
+  }
+
+  std::unique_ptr<Bookstore> bs_;
+  LogicalStats stats_;
+};
+
+TEST_F(VirtualCatalogTest, TableRowsFollowAnchorCardinality) {
+  VirtualSchemaCatalog catalog(&bs_->object, &stats_);
+  auto glossary = catalog.GetStats("glossary");
+  ASSERT_TRUE(glossary.ok());
+  EXPECT_EQ((*glossary)->row_count, 5000u);  // anchored at book
+  auto user_gen = catalog.GetStats("user_gen");
+  ASSERT_TRUE(user_gen.ok());
+  EXPECT_EQ((*user_gen)->row_count, 2000u);
+}
+
+TEST_F(VirtualCatalogTest, PagesScaleWithWidth) {
+  VirtualSchemaCatalog src(&bs_->source, &stats_);
+  VirtualSchemaCatalog obj(&bs_->object, &stats_);
+  // The glossary (book + author attrs + abstract) is wider than book alone.
+  double book_pages = CostModel::TablePages(**src.GetStats("book"));
+  double glossary_pages = CostModel::TablePages(**obj.GetStats("glossary"));
+  EXPECT_GT(glossary_pages, book_pages);
+}
+
+TEST_F(VirtualCatalogTest, EmbeddedAttrStatsScaled) {
+  VirtualSchemaCatalog catalog(&bs_->object, &stats_);
+  auto glossary = catalog.GetStats("glossary");
+  ASSERT_TRUE(glossary.ok());
+  // a_id keeps its NDV (100) even though the table has 5000 rows.
+  const ColumnStatistics* a_id = (*glossary)->Column("a_id");
+  ASSERT_NE(a_id, nullptr);
+  EXPECT_EQ(a_id->num_distinct, 100u);
+  // NDV can never exceed the table's rows.
+  VirtualSchemaCatalog src(&bs_->source, &stats_);
+  auto author = src.GetStats("author");
+  const ColumnStatistics* a_id_src = (*author)->Column("a_id");
+  EXPECT_EQ(a_id_src->num_distinct, 100u);
+}
+
+TEST_F(VirtualCatalogTest, NullCountScalesToAnchorRows) {
+  VirtualSchemaCatalog catalog(&bs_->source, &stats_);
+  auto book = catalog.GetStats("book");
+  const ColumnStatistics* cost = (*book)->Column("b_cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->null_count, 500u);  // 10% of 5000
+}
+
+TEST_F(VirtualCatalogTest, MinMaxPropagated) {
+  VirtualSchemaCatalog catalog(&bs_->source, &stats_);
+  auto book = catalog.GetStats("book");
+  const ColumnStatistics* id = (*book)->Column("b_id");
+  ASSERT_NE(id, nullptr);
+  ASSERT_TRUE(id->min.has_value());
+  EXPECT_EQ(id->min->AsInt(), 0);
+  EXPECT_EQ(id->max->AsInt(), 4999);
+}
+
+TEST_F(VirtualCatalogTest, KeyAndFkIndexesReported) {
+  VirtualSchemaCatalog catalog(&bs_->source, &stats_);
+  EXPECT_TRUE(catalog.HasIndex("book", "b_id"));     // anchor key
+  EXPECT_TRUE(catalog.HasIndex("book", "b_a_id"));   // FK
+  EXPECT_FALSE(catalog.HasIndex("book", "b_title"));
+  EXPECT_FALSE(catalog.HasIndex("book", "a_name"));  // not in this table
+  EXPECT_FALSE(catalog.HasIndex("missing", "b_id"));
+}
+
+TEST_F(VirtualCatalogTest, UnknownTableIsNotFound) {
+  VirtualSchemaCatalog catalog(&bs_->source, &stats_);
+  EXPECT_TRUE(catalog.GetSchema("nope").status().IsNotFound());
+  EXPECT_TRUE(catalog.GetStats("nope").status().IsNotFound());
+}
+
+TEST_F(VirtualCatalogTest, SchemaShapeMatchesPhysical) {
+  VirtualSchemaCatalog catalog(&bs_->object, &stats_);
+  auto ts = catalog.GetSchema("glossary");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)->key_columns()[0], "b_id");
+  EXPECT_TRUE((*ts)->HasColumn("b_abstract"));
+  EXPECT_TRUE((*ts)->HasColumn("a_bio"));
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,117 @@
+#include "core/workload_collector.h"
+
+#include <gtest/gtest.h>
+
+#include "tpcw/workloads.h"
+
+namespace pse {
+namespace {
+
+TEST(WorkloadCollectorTest, RecordAndClose) {
+  WorkloadCollector c(3);
+  ASSERT_TRUE(c.Record(0, 5).ok());
+  ASSERT_TRUE(c.Record(2).ok());
+  ASSERT_TRUE(c.Record(2).ok());
+  c.CloseWindow();
+  auto last = c.LastWindow();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ((*last)[0], 5);
+  EXPECT_EQ((*last)[1], 0);
+  EXPECT_EQ((*last)[2], 2);
+  // The tally restarts.
+  c.CloseWindow();
+  last = c.LastWindow();
+  EXPECT_EQ((*last)[0], 0);
+}
+
+TEST(WorkloadCollectorTest, BadRecordRejected) {
+  WorkloadCollector c(2);
+  EXPECT_FALSE(c.Record(2).ok());
+  EXPECT_FALSE(c.Record(0, -1).ok());
+}
+
+TEST(WorkloadCollectorTest, NoWindowsIsError) {
+  WorkloadCollector c(2);
+  EXPECT_FALSE(c.LastWindow().ok());
+  EXPECT_FALSE(c.Forecast(3).ok());
+}
+
+TEST(WorkloadCollectorTest, SingleWindowForecastsFlat) {
+  WorkloadCollector c(2);
+  ASSERT_TRUE(c.Record(0, 10).ok());
+  ASSERT_TRUE(c.Record(1, 4).ok());
+  c.CloseWindow();
+  auto forecast = c.Forecast(3);
+  ASSERT_TRUE(forecast.ok());
+  for (const auto& phase : *forecast) {
+    EXPECT_DOUBLE_EQ(phase[0], 10);
+    EXPECT_DOUBLE_EQ(phase[1], 4);
+  }
+}
+
+TEST(WorkloadCollectorTest, LinearTrendExtrapolatedExactly) {
+  WorkloadCollector c(2);
+  // Query 0 falls 50, 40, 30; query 1 rises 5, 10, 15.
+  for (int w = 0; w < 3; ++w) {
+    ASSERT_TRUE(c.Record(0, 50 - 10 * w).ok());
+    ASSERT_TRUE(c.Record(1, 5 + 5 * w).ok());
+    c.CloseWindow();
+  }
+  auto forecast = c.Forecast(2);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR((*forecast)[0][0], 20.0, 1e-9);
+  EXPECT_NEAR((*forecast)[1][0], 10.0, 1e-9);
+  EXPECT_NEAR((*forecast)[0][1], 20.0, 1e-9);
+  EXPECT_NEAR((*forecast)[1][1], 25.0, 1e-9);
+}
+
+TEST(WorkloadCollectorTest, ForecastClampsAtZero) {
+  WorkloadCollector c(1);
+  for (int w = 0; w < 3; ++w) {
+    ASSERT_TRUE(c.Record(0, 20 - 10 * w).ok());  // 20, 10, 0
+    c.CloseWindow();
+  }
+  auto forecast = c.Forecast(3);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_DOUBLE_EQ((*forecast)[0][0], 0.0);   // -10 clamped
+  EXPECT_DOUBLE_EQ((*forecast)[2][0], 0.0);
+}
+
+TEST(WorkloadCollectorTest, RegularScheduleForecastIsExact) {
+  // Feed the first 3 phases of the regular 5-point TPC-W schedule; the
+  // forecast of phases 4-5 must match the schedule (it IS linear).
+  auto schedule = RegularFrequencies(5);
+  WorkloadCollector c(20);
+  for (size_t p = 0; p < 3; ++p) {
+    for (size_t q = 0; q < 20; ++q) {
+      ASSERT_TRUE(c.Record(q, schedule[p][q]).ok());
+    }
+    c.CloseWindow();
+  }
+  auto forecast = c.Forecast(2);
+  ASSERT_TRUE(forecast.ok());
+  std::vector<std::vector<double>> actual{schedule[3], schedule[4]};
+  EXPECT_LT(WorkloadCollector::ForecastError(*forecast, actual), 1e-6);
+}
+
+TEST(WorkloadCollectorTest, IrregularScheduleForecastIsApproximate) {
+  auto schedule = Fig9IrregularFrequencies();
+  WorkloadCollector c(20);
+  for (size_t p = 0; p < 3; ++p) {
+    for (size_t q = 0; q < 20; ++q) {
+      ASSERT_TRUE(c.Record(q, schedule[p][q]).ok());
+    }
+    c.CloseWindow();
+  }
+  auto forecast = c.Forecast(2);
+  ASSERT_TRUE(forecast.ok());
+  std::vector<std::vector<double>> actual{schedule[3], schedule[4]};
+  double err = WorkloadCollector::ForecastError(*forecast, actual);
+  // Imperfect (the paper's point about imprecise trends) but in the right
+  // ballpark: average miss below 12 queries per phase entry.
+  EXPECT_GT(err, 0.5);
+  EXPECT_LT(err, 12.0);
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,197 @@
+#include "engine/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+/// Resolves names "c0", "c1", ... to positions 0, 1, ...
+ColumnResolver TestResolver() {
+  return [](const std::string& name) -> Result<size_t> {
+    if (name.size() >= 2 && name[0] == 'c') {
+      return static_cast<size_t>(std::stoul(name.substr(1)));
+    }
+    return Status::BindError("unknown column " + name);
+  };
+}
+
+Row TestRow() {
+  return {Value::Int(10), Value::Varchar("hello"), Value::Double(2.5),
+          Value::Null(TypeId::kInt64), Value::Bool(true)};
+}
+
+Value MustEval(const ExprPtr& e, const Row& row) {
+  auto r = e->Eval(row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value();
+}
+
+TEST(ExprTest, ColumnRefRequiresResolution) {
+  auto e = Col("c0");
+  EXPECT_FALSE(e->Eval(TestRow()).ok());
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  EXPECT_EQ(MustEval(e, TestRow()).AsInt(), 10);
+}
+
+TEST(ExprTest, ConstantEval) {
+  auto e = Const(Value::Varchar("k"));
+  EXPECT_EQ(MustEval(e, TestRow()).AsString(), "k");
+}
+
+TEST(ExprTest, CompareOperators) {
+  struct Case {
+    CompareOp op;
+    int64_t rhs;
+    bool expect;
+  };
+  for (const auto& c : std::initializer_list<Case>{{CompareOp::kEq, 10, true},
+                                                   {CompareOp::kEq, 9, false},
+                                                   {CompareOp::kNe, 9, true},
+                                                   {CompareOp::kLt, 11, true},
+                                                   {CompareOp::kLe, 10, true},
+                                                   {CompareOp::kGt, 10, false},
+                                                   {CompareOp::kGe, 10, true}}) {
+    auto e = Cmp(c.op, Col("c0"), Const(Value::Int(c.rhs)));
+    ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+    EXPECT_EQ(MustEval(e, TestRow()).AsBool(), c.expect)
+        << CompareOpToString(c.op) << " " << c.rhs;
+  }
+}
+
+TEST(ExprTest, CompareWithNullYieldsNull) {
+  auto e = Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1)));
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(e, TestRow()).is_null());
+}
+
+TEST(ExprTest, ThreeValuedAnd) {
+  // false AND NULL = false; true AND NULL = NULL.
+  auto f_and_null = And(Cmp(CompareOp::kEq, Col("c0"), Const(Value::Int(0))),
+                        Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1))));
+  ASSERT_TRUE(f_and_null->Resolve(TestResolver()).ok());
+  Value v = MustEval(f_and_null, TestRow());
+  ASSERT_FALSE(v.is_null());
+  EXPECT_FALSE(v.AsBool());
+
+  auto t_and_null = And(Cmp(CompareOp::kEq, Col("c0"), Const(Value::Int(10))),
+                        Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1))));
+  ASSERT_TRUE(t_and_null->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(t_and_null, TestRow()).is_null());
+}
+
+TEST(ExprTest, ThreeValuedOr) {
+  // true OR NULL = true; false OR NULL = NULL.
+  auto t_or_null = std::make_unique<LogicExpr>(
+      LogicOp::kOr, Cmp(CompareOp::kEq, Col("c0"), Const(Value::Int(10))),
+      Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1))));
+  ExprPtr e1 = std::move(t_or_null);
+  ASSERT_TRUE(e1->Resolve(TestResolver()).ok());
+  Value v = MustEval(e1, TestRow());
+  ASSERT_FALSE(v.is_null());
+  EXPECT_TRUE(v.AsBool());
+
+  ExprPtr e2 = std::make_unique<LogicExpr>(
+      LogicOp::kOr, Cmp(CompareOp::kEq, Col("c0"), Const(Value::Int(0))),
+      Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1))));
+  ASSERT_TRUE(e2->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(e2, TestRow()).is_null());
+}
+
+TEST(ExprTest, NotSemantics) {
+  ExprPtr e = std::make_unique<NotExpr>(Cmp(CompareOp::kEq, Col("c0"), Const(Value::Int(10))));
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  EXPECT_FALSE(MustEval(e, TestRow()).AsBool());
+  ExprPtr n = std::make_unique<NotExpr>(Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1))));
+  ASSERT_TRUE(n->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(n, TestRow()).is_null());
+}
+
+TEST(ExprTest, Arithmetic) {
+  ExprPtr add = std::make_unique<ArithExpr>(ArithOp::kAdd, Col("c0"), Const(Value::Int(5)));
+  ASSERT_TRUE(add->Resolve(TestResolver()).ok());
+  EXPECT_EQ(MustEval(add, TestRow()).AsInt(), 15);
+
+  ExprPtr mul = std::make_unique<ArithExpr>(ArithOp::kMul, Col("c2"), Const(Value::Int(4)));
+  ASSERT_TRUE(mul->Resolve(TestResolver()).ok());
+  EXPECT_EQ(MustEval(mul, TestRow()).AsDouble(), 10.0);
+
+  ExprPtr div = std::make_unique<ArithExpr>(ArithOp::kDiv, Col("c0"), Const(Value::Int(4)));
+  ASSERT_TRUE(div->Resolve(TestResolver()).ok());
+  EXPECT_EQ(MustEval(div, TestRow()).AsDouble(), 2.5);
+
+  ExprPtr div0 = std::make_unique<ArithExpr>(ArithOp::kDiv, Col("c0"), Const(Value::Int(0)));
+  ASSERT_TRUE(div0->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(div0, TestRow()).is_null());
+}
+
+TEST(ExprTest, LikeEval) {
+  ExprPtr e = std::make_unique<LikeExpr>(Col("c1"), "hel%");
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(e, TestRow()).AsBool());
+  ExprPtr n = std::make_unique<LikeExpr>(Col("c1"), "hel%", /*negated=*/true);
+  ASSERT_TRUE(n->Resolve(TestResolver()).ok());
+  EXPECT_FALSE(MustEval(n, TestRow()).AsBool());
+}
+
+TEST(ExprTest, IsNullEval) {
+  ExprPtr is_null = std::make_unique<IsNullExpr>(Col("c3"), false);
+  ASSERT_TRUE(is_null->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(is_null, TestRow()).AsBool());
+  ExprPtr not_null = std::make_unique<IsNullExpr>(Col("c0"), true);
+  ASSERT_TRUE(not_null->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(not_null, TestRow()).AsBool());
+}
+
+TEST(ExprTest, InListEval) {
+  ExprPtr e = std::make_unique<InListExpr>(
+      Col("c0"), std::vector<Value>{Value::Int(1), Value::Int(10)});
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(e, TestRow()).AsBool());
+  ExprPtr miss = std::make_unique<InListExpr>(Col("c0"), std::vector<Value>{Value::Int(2)});
+  ASSERT_TRUE(miss->Resolve(TestResolver()).ok());
+  EXPECT_FALSE(MustEval(miss, TestRow()).AsBool());
+}
+
+TEST(ExprTest, CloneIsDeepAndKeepsResolution) {
+  auto e = Cmp(CompareOp::kLt, Col("c0"), Const(Value::Int(100)));
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  auto c = e->Clone();
+  e.reset();
+  EXPECT_TRUE(MustEval(c, TestRow()).AsBool());
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = And(Eq("a", Value::Int(1)),
+               Cmp(CompareOp::kGt, Col("b"), Col("c")));
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "a");
+  EXPECT_EQ(cols[1], "b");
+  EXPECT_EQ(cols[2], "c");
+}
+
+TEST(ExprTest, AndAllHelpers) {
+  EXPECT_EQ(AndAll({}), nullptr);
+  std::vector<ExprPtr> one;
+  one.push_back(Eq("c0", Value::Int(10)));
+  auto e = AndAll(std::move(one));
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  EXPECT_TRUE(MustEval(e, TestRow()).AsBool());
+}
+
+TEST(ExprTest, EvalPredicateTreatsNullAsFalse) {
+  auto e = Cmp(CompareOp::kEq, Col("c3"), Const(Value::Int(1)));
+  ASSERT_TRUE(e->Resolve(TestResolver()).ok());
+  auto r = EvalPredicate(*e, TestRow());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(ExprTest, ToStringRoundTrips) {
+  auto e = And(Eq("x", Value::Int(3)), Cmp(CompareOp::kGe, Col("y"), Const(Value::Double(1.5))));
+  EXPECT_EQ(e->ToString(), "(x = 3 AND y >= 1.5)");
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/catalog_view.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "tests/engine/engine_test_util.h"
+
+namespace pse {
+namespace {
+
+class PlannerExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::MakeBookstore();
+    ASSERT_NE(db_, nullptr);
+    view_ = std::make_unique<DatabaseCatalogView>(db_.get());
+  }
+
+  Result<std::vector<Row>> Run(const BoundQuery& q) {
+    PSE_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(q, *view_));
+    return ExecutePlan(*plan, db_.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<DatabaseCatalogView> view_;
+};
+
+SelectItem Plain(const std::string& col, const std::string& name) {
+  return SelectItem(Col(col), AggFunc::kNone, name);
+}
+
+TEST_F(PlannerExecutorTest, SingleTableScan) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id", "title"}));
+  q.select_items.push_back(Plain("book.book_id", "id"));
+  q.select_items.push_back(Plain("book.title", "title"));
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 100u);
+}
+
+TEST_F(PlannerExecutorTest, FilterPushdown) {
+  BoundQuery q;
+  TableAccess t("book", {"book_id", "price"});
+  t.filters.push_back(Cmp(CompareOp::kGt, Col("price"), Const(Value::Double(40.0))));
+  q.tables.push_back(std::move(t));
+  q.select_items.push_back(Plain("book.book_id", "id"));
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // price = 5 + (b % 40); price > 40 needs b % 40 >= 36: b in {36..39, 76..79}.
+  EXPECT_EQ(rows->size(), 8u);
+}
+
+TEST_F(PlannerExecutorTest, IndexScanChosenForKeyEquality) {
+  BoundQuery q;
+  TableAccess t("book", {"book_id", "title"});
+  t.filters.push_back(Eq("book_id", Value::Int(42)));
+  q.tables.push_back(std::move(t));
+  q.select_items.push_back(Plain("book.title", "title"));
+  auto plan = PlanQuery(q, *view_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Root is Project; the scan below must be an index scan with [42, 42].
+  const PlanNode* scan = plan->get();
+  while (!scan->children.empty()) scan = scan->children[0].get();
+  EXPECT_EQ(scan->kind, PlanNode::Kind::kIndexScan);
+  EXPECT_EQ(scan->lo, 42);
+  EXPECT_EQ(scan->hi, 42);
+  auto rows = ExecutePlan(**plan, db_.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "title-42");
+}
+
+TEST_F(PlannerExecutorTest, IndexScanRangeBounds) {
+  BoundQuery q;
+  TableAccess t("book", {"book_id"});
+  t.filters.push_back(Cmp(CompareOp::kGe, Col("book_id"), Const(Value::Int(10))));
+  t.filters.push_back(Cmp(CompareOp::kLt, Col("book_id"), Const(Value::Int(20))));
+  q.tables.push_back(std::move(t));
+  q.select_items.push_back(Plain("book.book_id", "id"));
+  auto plan = PlanQuery(q, *view_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const PlanNode* scan = plan->get();
+  while (!scan->children.empty()) scan = scan->children[0].get();
+  ASSERT_EQ(scan->kind, PlanNode::Kind::kIndexScan);
+  EXPECT_EQ(scan->lo, 10);
+  EXPECT_EQ(scan->hi, 19);
+  auto rows = ExecutePlan(**plan, db_.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(PlannerExecutorTest, TwoWayJoin) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id", "title", "author_id"}));
+  q.tables.push_back(TableAccess("author", {"author_id", "name"}));
+  q.joins.push_back(EquiJoin{0, 1, "author_id", "author_id"});
+  q.select_items.push_back(Plain("book.title", "title"));
+  q.select_items.push_back(Plain("author.name", "name"));
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 100u);  // every book joins exactly one author
+}
+
+TEST_F(PlannerExecutorTest, ThreeWayJoinWithFilter) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("sale", {"sale_id", "book_id", "qty"}));
+  q.tables.push_back(TableAccess("book", {"book_id", "author_id"}));
+  q.tables.push_back(TableAccess("author", {"author_id", "name"}));
+  q.joins.push_back(EquiJoin{0, 1, "book_id", "book_id"});
+  q.joins.push_back(EquiJoin{1, 2, "author_id", "author_id"});
+  q.global_filters.push_back(Eq("author.name", Value::Varchar("author-3")));
+  q.select_items.push_back(Plain("sale.sale_id", "sale_id"));
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // author-3 wrote books 3, 13, ..., 93 (10 books), each with 3 sales.
+  EXPECT_EQ(rows->size(), 30u);
+}
+
+TEST_F(PlannerExecutorTest, DisconnectedJoinGraphRejected) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id"}));
+  q.tables.push_back(TableAccess("author", {"author_id"}));
+  q.select_items.push_back(Plain("book.book_id", "id"));
+  auto rows = Run(q);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsBindError());
+}
+
+TEST_F(PlannerExecutorTest, GroupByWithAggregates) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id", "author_id", "price"}));
+  q.group_by.push_back(Col("book.author_id"));
+  q.select_items.push_back(Plain("book.author_id", "author_id"));
+  q.select_items.emplace_back(nullptr, AggFunc::kCountStar, "n");
+  q.select_items.emplace_back(Col("book.price"), AggFunc::kSum, "total");
+  q.select_items.emplace_back(Col("book.price"), AggFunc::kMax, "max_price");
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 10u);
+  for (const auto& r : *rows) {
+    EXPECT_EQ(r[1].AsInt(), 10);  // 10 books per author
+    EXPECT_GT(r[2].AsDouble(), 0.0);
+    EXPECT_GE(r[3].AsDouble(), 5.0);
+  }
+}
+
+TEST_F(PlannerExecutorTest, ScalarAggregateOnEmptyInput) {
+  BoundQuery q;
+  TableAccess t("book", {"book_id", "price"});
+  t.filters.push_back(Eq("book_id", Value::Int(-5)));
+  q.tables.push_back(std::move(t));
+  q.select_items.emplace_back(nullptr, AggFunc::kCountStar, "n");
+  q.select_items.emplace_back(Col("book.price"), AggFunc::kSum, "total");
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 0);
+  EXPECT_TRUE((*rows)[0][1].is_null());
+}
+
+TEST_F(PlannerExecutorTest, UngroupedSelectItemRejected) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id", "author_id"}));
+  q.group_by.push_back(Col("book.author_id"));
+  q.select_items.push_back(Plain("book.book_id", "id"));  // not grouped!
+  auto rows = Run(q);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(PlannerExecutorTest, OrderByAndLimit) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id", "price"}));
+  q.select_items.push_back(Plain("book.book_id", "id"));
+  q.select_items.push_back(Plain("book.price", "price"));
+  q.order_by.push_back(OrderKey{1, /*desc=*/true});
+  q.order_by.push_back(OrderKey{0, /*desc=*/false});
+  q.limit = 5;
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 5u);
+  // Max price is 5 + 39 = 44 at book ids 36, 76 (b % 40 == 39).
+  EXPECT_EQ((*rows)[0][1].AsDouble(), 44.0);
+  EXPECT_LE((*rows)[0][0].AsInt(), (*rows)[1][0].AsInt());
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_GE((*rows)[i - 1][1].AsDouble(), (*rows)[i][1].AsDouble());
+  }
+}
+
+TEST_F(PlannerExecutorTest, SelectDistinct) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"author_id"}));
+  q.select_items.push_back(Plain("book.author_id", "author_id"));
+  q.select_distinct = true;
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(PlannerExecutorTest, DistinctTableAccessDeduplicates) {
+  // Reading author_id out of book with distinct access = the 10 authors.
+  BoundQuery q;
+  TableAccess t("book", {"author_id"});
+  t.distinct = true;
+  t.distinct_key = "author_id";
+  q.tables.push_back(std::move(t));
+  q.select_items.push_back(Plain("book.author_id", "author_id"));
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(PlannerExecutorTest, JoinCycleBecomesResidualFilter) {
+  // Redundant second join condition between the same tables.
+  BoundQuery q;
+  q.tables.push_back(TableAccess("book", {"book_id", "author_id"}));
+  q.tables.push_back(TableAccess("author", {"author_id", "country_id", "name"}));
+  q.joins.push_back(EquiJoin{0, 1, "author_id", "author_id"});
+  q.joins.push_back(EquiJoin{0, 1, "author_id", "author_id"});
+  q.select_items.push_back(Plain("book.book_id", "id"));
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 100u);
+}
+
+TEST_F(PlannerExecutorTest, ArithmeticProjection) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("sale", {"sale_id", "qty"}));
+  q.select_items.emplace_back(
+      std::make_unique<ArithExpr>(ArithOp::kMul, Col("sale.qty"), Const(Value::Int(100))),
+      AggFunc::kNone, "cents");
+  q.limit = 3;
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  for (const auto& r : *rows) {
+    EXPECT_EQ(r[0].AsInt() % 100, 0);
+    EXPECT_GE(r[0].AsInt(), 100);
+  }
+}
+
+TEST_F(PlannerExecutorTest, AvgAndMinAggregates) {
+  BoundQuery q;
+  q.tables.push_back(TableAccess("sale", {"book_id", "qty"}));
+  q.group_by.push_back(Col("sale.book_id"));
+  q.select_items.push_back(Plain("sale.book_id", "book_id"));
+  q.select_items.emplace_back(Col("sale.qty"), AggFunc::kAvg, "avg_qty");
+  q.select_items.emplace_back(Col("sale.qty"), AggFunc::kMin, "min_qty");
+  auto rows = Run(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 100u);
+  for (const auto& r : *rows) {
+    EXPECT_GE(r[1].AsDouble(), 1.0);
+    EXPECT_LE(r[1].AsDouble(), 5.0);
+    EXPECT_GE(r[2].AsInt(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace pse

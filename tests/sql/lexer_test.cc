@@ -1,0 +1,72 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Tokenize("SELECT a, b FROM t WHERE a = 1;");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = *r;
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[2].type, TokenType::kComma);
+  EXPECT_EQ(toks.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  auto r = Tokenize("42 3.14");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*r)[0].int_value, 42);
+  EXPECT_EQ((*r)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[1].float_value, 3.14);
+}
+
+TEST(LexerTest, StringsWithEscapedQuote) {
+  auto r = Tokenize("'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kString);
+  EXPECT_EQ((*r)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto r = Tokenize("= <> != < <= > >= + - * / . ( )");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenType> want{TokenType::kEq, TokenType::kNe, TokenType::kNe,
+                              TokenType::kLt, TokenType::kLe, TokenType::kGt,
+                              TokenType::kGe, TokenType::kPlus, TokenType::kMinus,
+                              TokenType::kStar, TokenType::kSlash, TokenType::kDot,
+                              TokenType::kLParen, TokenType::kRParen, TokenType::kEnd};
+  ASSERT_EQ(r->size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ((*r)[i].type, want[i]) << i;
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto r = Tokenize("SELECT -- comment here\n 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);  // SELECT, 1, END
+  EXPECT_EQ((*r)[1].int_value, 1);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, QualifiedName) {
+  auto r = Tokenize("t.col");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].text, "t");
+  EXPECT_EQ((*r)[1].type, TokenType::kDot);
+  EXPECT_EQ((*r)[2].text, "col");
+}
+
+}  // namespace
+}  // namespace pse

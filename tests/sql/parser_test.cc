@@ -1,0 +1,216 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace pse {
+namespace {
+
+Statement MustParse(const std::string& sql) {
+  auto r = ParseSql(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(*r) : Statement{};
+}
+
+TEST(ParserTest, SimpleSelect) {
+  Statement s = MustParse("SELECT a, b FROM t");
+  ASSERT_EQ(s.kind, Statement::Kind::kSelect);
+  ASSERT_EQ(s.select->items.size(), 2u);
+  EXPECT_EQ(s.select->items[0].expr->ToString(), "a");
+  ASSERT_EQ(s.select->from.size(), 1u);
+  EXPECT_EQ(s.select->from[0].table, "t");
+}
+
+TEST(ParserTest, SelectStar) {
+  Statement s = MustParse("SELECT * FROM t");
+  ASSERT_EQ(s.select->items.size(), 1u);
+  EXPECT_TRUE(s.select->items[0].star);
+}
+
+TEST(ParserTest, DistinctAndAliases) {
+  Statement s = MustParse("SELECT DISTINCT a AS x, b y FROM t u");
+  EXPECT_TRUE(s.select->distinct);
+  EXPECT_EQ(s.select->items[0].alias, "x");
+  EXPECT_EQ(s.select->items[1].alias, "y");
+  EXPECT_EQ(s.select->from[0].alias, "u");
+}
+
+TEST(ParserTest, Aggregates) {
+  Statement s = MustParse("SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d) FROM t");
+  ASSERT_EQ(s.select->items.size(), 5u);
+  EXPECT_EQ(s.select->items[0].agg, AggFunc::kCountStar);
+  EXPECT_EQ(s.select->items[1].agg, AggFunc::kSum);
+  EXPECT_EQ(s.select->items[2].agg, AggFunc::kAvg);
+  EXPECT_EQ(s.select->items[3].agg, AggFunc::kMin);
+  EXPECT_EQ(s.select->items[4].agg, AggFunc::kMax);
+}
+
+TEST(ParserTest, JoinOn) {
+  Statement s = MustParse(
+      "SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.id INNER JOIN t3 ON t2.x = t3.x");
+  ASSERT_EQ(s.select->from.size(), 3u);
+  ASSERT_EQ(s.select->conjuncts.size(), 2u);
+  EXPECT_EQ(s.select->conjuncts[0]->ToString(), "t1.id = t2.id");
+}
+
+TEST(ParserTest, CommaJoinWithWhere) {
+  Statement s = MustParse("SELECT a FROM t1, t2 WHERE t1.id = t2.id AND t1.v > 3");
+  ASSERT_EQ(s.select->from.size(), 2u);
+  ASSERT_EQ(s.select->conjuncts.size(), 1u);
+}
+
+TEST(ParserTest, WhereOperatorsPrecedence) {
+  Statement s = MustParse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  // AND binds tighter: a=1 OR (b=2 AND c=3).
+  EXPECT_EQ(s.select->conjuncts[0]->ToString(), "(a = 1 OR (b = 2 AND c = 3))");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  Statement s = MustParse("SELECT a + b * 2 FROM t");
+  EXPECT_EQ(s.select->items[0].expr->ToString(), "(a + (b * 2))");
+}
+
+TEST(ParserTest, BetweenDesugars) {
+  Statement s = MustParse("SELECT a FROM t WHERE a BETWEEN 1 AND 5");
+  EXPECT_EQ(s.select->conjuncts[0]->ToString(), "(a >= 1 AND a <= 5)");
+}
+
+TEST(ParserTest, LikeInIsNull) {
+  Statement s = MustParse(
+      "SELECT a FROM t WHERE a LIKE 'x%' AND b NOT LIKE '%y' AND c IN (1, 2) AND d IS NOT NULL");
+  std::string str = s.select->conjuncts[0]->ToString();
+  EXPECT_NE(str.find("a LIKE 'x%'"), std::string::npos);
+  EXPECT_NE(str.find("b NOT LIKE '%y'"), std::string::npos);
+  EXPECT_NE(str.find("c IN (1, 2)"), std::string::npos);
+  EXPECT_NE(str.find("d IS NOT NULL"), std::string::npos);
+}
+
+TEST(ParserTest, GroupByOrderByLimit) {
+  Statement s = MustParse(
+      "SELECT a, COUNT(*) AS n FROM t GROUP BY a ORDER BY n DESC, 1 ASC LIMIT 10");
+  ASSERT_EQ(s.select->group_by.size(), 1u);
+  ASSERT_EQ(s.select->order_by.size(), 2u);
+  EXPECT_TRUE(s.select->order_by[0].desc);
+  EXPECT_FALSE(s.select->order_by[0].position.has_value());
+  ASSERT_TRUE(s.select->order_by[1].position.has_value());
+  EXPECT_EQ(*s.select->order_by[1].position, 1);
+  EXPECT_EQ(s.select->limit, 10);
+}
+
+TEST(ParserTest, HavingClause) {
+  Statement s = MustParse(
+      "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING n > 5 ORDER BY 1");
+  ASSERT_NE(s.select->having, nullptr);
+  EXPECT_EQ(s.select->having->ToString(), "n > 5");
+  Statement no_having = MustParse("SELECT a FROM t GROUP BY a");
+  EXPECT_EQ(no_having.select->having, nullptr);
+}
+
+TEST(ParserTest, NegativeNumbersAndNull) {
+  Statement s = MustParse("SELECT a FROM t WHERE a > -5 AND b IS NULL");
+  std::string str = s.select->conjuncts[0]->ToString();
+  EXPECT_NE(str.find("a > -5"), std::string::npos);
+}
+
+TEST(ParserTest, Insert) {
+  Statement s = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)");
+  ASSERT_EQ(s.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(s.insert->table, "t");
+  ASSERT_EQ(s.insert->columns.size(), 2u);
+  ASSERT_EQ(s.insert->rows.size(), 2u);
+  EXPECT_EQ(s.insert->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(s.insert->rows[0][1].AsString(), "x");
+  EXPECT_TRUE(s.insert->rows[1][1].is_null());
+}
+
+TEST(ParserTest, InsertPositional) {
+  Statement s = MustParse("INSERT INTO t VALUES (1, 2.5, 'z')");
+  EXPECT_TRUE(s.insert->columns.empty());
+  ASSERT_EQ(s.insert->rows[0].size(), 3u);
+}
+
+TEST(ParserTest, Update) {
+  Statement s = MustParse("UPDATE t SET a = a + 1, b = 'v' WHERE id = 3");
+  ASSERT_EQ(s.kind, Statement::Kind::kUpdate);
+  ASSERT_EQ(s.update->assignments.size(), 2u);
+  EXPECT_EQ(s.update->assignments[0].first, "a");
+  ASSERT_NE(s.update->where, nullptr);
+}
+
+TEST(ParserTest, Delete) {
+  Statement s = MustParse("DELETE FROM t WHERE a < 5");
+  ASSERT_EQ(s.kind, Statement::Kind::kDelete);
+  EXPECT_EQ(s.del->table, "t");
+  ASSERT_NE(s.del->where, nullptr);
+  Statement all = MustParse("DELETE FROM t");
+  EXPECT_EQ(all.del->where, nullptr);
+}
+
+TEST(ParserTest, CreateTable) {
+  Statement s = MustParse(
+      "CREATE TABLE book (book_id BIGINT NOT NULL, title VARCHAR(60), price DOUBLE, "
+      "in_print BOOLEAN, PRIMARY KEY (book_id))");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateTable);
+  const TableSchema& schema = s.create_table->schema;
+  EXPECT_EQ(schema.name(), "book");
+  ASSERT_EQ(schema.num_columns(), 4u);
+  EXPECT_EQ(schema.column(0).type, TypeId::kInt64);
+  EXPECT_FALSE(schema.column(0).nullable);
+  EXPECT_EQ(schema.column(1).type, TypeId::kVarchar);
+  EXPECT_EQ(schema.column(1).avg_width, 60u);
+  EXPECT_EQ(schema.column(2).type, TypeId::kDouble);
+  EXPECT_EQ(schema.column(3).type, TypeId::kBoolean);
+  ASSERT_EQ(schema.key_columns().size(), 1u);
+  EXPECT_EQ(schema.key_columns()[0], "book_id");
+}
+
+TEST(ParserTest, CreateIndex) {
+  Statement s = MustParse("CREATE INDEX idx ON t (col)");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateIndex);
+  EXPECT_EQ(s.create_index->table, "t");
+  EXPECT_EQ(s.create_index->column, "col");
+  Statement anon = MustParse("CREATE INDEX ON t (col)");
+  EXPECT_EQ(anon.create_index->column, "col");
+}
+
+TEST(ParserTest, Analyze) {
+  Statement s = MustParse("ANALYZE book");
+  ASSERT_EQ(s.kind, Statement::Kind::kAnalyze);
+  EXPECT_EQ(s.analyze->table, "book");
+  Statement all = MustParse("ANALYZE");
+  EXPECT_EQ(all.analyze->table, "");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a t").ok());               // missing FROM
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());    // dangling WHERE
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES 1").ok());   // missing parens
+  EXPECT_FALSE(ParseSql("SELECT a FROM t LIMIT x").ok());  // non-int limit
+  EXPECT_FALSE(ParseSql("SELECT a FROM t; garbage").ok()); // trailing junk
+  EXPECT_FALSE(ParseSql("UPDATE t SET").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a FANCYTYPE)").ok());
+}
+
+TEST(ParserTest, DdlRoundTrip) {
+  TableSchema schema("book",
+                     {Column("book_id", TypeId::kInt64, 0, false),
+                      Column("title", TypeId::kVarchar, 60),
+                      Column("price", TypeId::kDouble)},
+                     {"book_id"});
+  Statement s = MustParse(schema.ToDdl());
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateTable);
+  const TableSchema& back = s.create_table->schema;
+  EXPECT_EQ(back.name(), "book");
+  ASSERT_EQ(back.num_columns(), 3u);
+  EXPECT_EQ(back.column(0).type, TypeId::kInt64);
+  EXPECT_FALSE(back.column(0).nullable);
+  EXPECT_EQ(back.column(1).avg_width, 60u);
+  EXPECT_EQ(back.key_columns()[0], "book_id");
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseSql("SELECT a FROM t;").ok());
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,122 @@
+// Clock (second-chance) replacement: correctness parity with LRU and the
+// second-chance behavior itself.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+
+namespace pse {
+namespace {
+
+TEST(ClockPolicyTest, WritesSurviveEviction) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 2, ReplacementPolicy::kClock);
+  PageId pid;
+  {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    pid = g->page_id();
+    std::memset(g->mutable_data(), 0x3C, kPageSize);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+  }
+  auto g = pool.FetchPage(pid);
+  ASSERT_TRUE(g.ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(static_cast<uint8_t>(g->data()[i]), 0x3C);
+  }
+}
+
+TEST(ClockPolicyTest, AllPinnedIsResourceExhausted) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 2, ReplacementPolicy::kClock);
+  auto g1 = pool.NewPage();
+  auto g2 = pool.NewPage();
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto g3 = pool.NewPage();
+  ASSERT_FALSE(g3.ok());
+  EXPECT_EQ(g3.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ClockPolicyTest, SecondChanceProtectsReReferencedPage) {
+  // Clock cannot guarantee any single eviction spares the hottest page (a
+  // full sweep with every bit set evicts whatever sits under the hand), but
+  // across many evictions a page re-referenced before each allocation must
+  // survive far more often than it is evicted, while never-referenced pages
+  // churn constantly.
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 4, ReplacementPolicy::kClock);
+  PageId hot;
+  {
+    auto g = pool.NewPage();
+    hot = g->page_id();
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto g = pool.NewPage();
+  }
+  int hot_misses = 0;
+  for (int round = 0; round < 20; ++round) {
+    dm.ResetStats();
+    { auto g = pool.FetchPage(hot); }
+    if (dm.stats().page_reads > 0) ++hot_misses;
+    { auto g = pool.NewPage(); }  // forces an eviction every round
+  }
+  // Without the ref bit the hot page would miss nearly every round (the
+  // allocations flood the 4-frame pool); with it, misses are rare.
+  EXPECT_LE(hot_misses, 6) << "second chance is not protecting the hot page";
+}
+
+TEST(ClockPolicyTest, RandomWorkloadMatchesLruContent) {
+  // Same random page access pattern through both policies; the *contents*
+  // read back must be identical (policies only change WHICH pages stay
+  // cached, never what data a fetch returns).
+  Rng rng(77);
+  InMemoryDiskManager dm_lru, dm_clock;
+  BufferPool lru(&dm_lru, 8, ReplacementPolicy::kLru);
+  BufferPool clock(&dm_clock, 8, ReplacementPolicy::kClock);
+  std::vector<PageId> pages_lru, pages_clock;
+  for (int i = 0; i < 32; ++i) {
+    auto gl = lru.NewPage();
+    auto gc = clock.NewPage();
+    ASSERT_TRUE(gl.ok());
+    ASSERT_TRUE(gc.ok());
+    std::memset(gl->mutable_data(), i, kPageSize);
+    std::memset(gc->mutable_data(), i, kPageSize);
+    pages_lru.push_back(gl->page_id());
+    pages_clock.push_back(gc->page_id());
+  }
+  for (int step = 0; step < 500; ++step) {
+    size_t i = rng.Index(pages_lru.size());
+    auto gl = lru.FetchPage(pages_lru[i]);
+    auto gc = clock.FetchPage(pages_clock[i]);
+    ASSERT_TRUE(gl.ok());
+    ASSERT_TRUE(gc.ok());
+    ASSERT_EQ(gl->data()[0], gc->data()[0]) << "step " << step;
+    ASSERT_EQ(static_cast<size_t>(static_cast<uint8_t>(gl->data()[0])), i);
+  }
+}
+
+TEST(ClockPolicyTest, DeleteAndReuseFrames) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 4, ReplacementPolicy::kClock);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    pages.push_back(g->page_id());
+  }
+  ASSERT_TRUE(pool.DeletePage(pages[1]).ok());
+  // The freed frame is reused without evicting anything else.
+  uint64_t evictions_before = pool.stats().evictions;
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(pool.stats().evictions, evictions_before);
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,90 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace pse {
+namespace {
+
+TEST(InMemoryDiskManagerTest, AllocateReadWrite) {
+  InMemoryDiskManager dm;
+  PageId p = dm.AllocatePage();
+  char buf[kPageSize];
+  std::memset(buf, 0xAB, kPageSize);
+  ASSERT_TRUE(dm.WritePage(p, buf).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(dm.ReadPage(p, out).ok());
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+}
+
+TEST(InMemoryDiskManagerTest, UnwrittenPageReadsZeros) {
+  InMemoryDiskManager dm;
+  PageId p = dm.AllocatePage();
+  char out[kPageSize];
+  std::memset(out, 0xFF, kPageSize);
+  ASSERT_TRUE(dm.ReadPage(p, out).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+}
+
+TEST(InMemoryDiskManagerTest, OutOfRangeAccessFails) {
+  InMemoryDiskManager dm;
+  char buf[kPageSize] = {};
+  EXPECT_FALSE(dm.ReadPage(5, buf).ok());
+  EXPECT_FALSE(dm.WritePage(5, buf).ok());
+}
+
+TEST(InMemoryDiskManagerTest, StatsCountIo) {
+  InMemoryDiskManager dm;
+  PageId p = dm.AllocatePage();
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(dm.WritePage(p, buf).ok());
+  ASSERT_TRUE(dm.WritePage(p, buf).ok());
+  ASSERT_TRUE(dm.ReadPage(p, buf).ok());
+  EXPECT_EQ(dm.stats().page_writes, 2u);
+  EXPECT_EQ(dm.stats().page_reads, 1u);
+  EXPECT_EQ(dm.stats().pages_allocated, 1u);
+  EXPECT_EQ(dm.stats().TotalIo(), 3u);
+  dm.ResetStats();
+  EXPECT_EQ(dm.stats().TotalIo(), 0u);
+}
+
+TEST(FileDiskManagerTest, PersistsAcrossReopen) {
+  std::string path = testing::TempDir() + "/pse_fdm_test.db";
+  std::remove(path.c_str());
+  char buf[kPageSize];
+  std::memset(buf, 0x5C, kPageSize);
+  PageId p;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    p = (*dm)->AllocatePage();
+    ASSERT_TRUE((*dm)->WritePage(p, buf).ok());
+  }
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ((*dm)->NumAllocatedPages(), 1u);
+    char out[kPageSize];
+    ASSERT_TRUE((*dm)->ReadPage(p, out).ok());
+    EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, ReadBeyondEofZeroFills) {
+  std::string path = testing::TempDir() + "/pse_fdm_eof.db";
+  std::remove(path.c_str());
+  auto dm = FileDiskManager::Open(path);
+  ASSERT_TRUE(dm.ok());
+  PageId p = (*dm)->AllocatePage();
+  char out[kPageSize];
+  std::memset(out, 0x11, kPageSize);
+  ASSERT_TRUE((*dm)->ReadPage(p, out).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pse
