@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_estimator.dir/bench_cost_estimator.cc.o"
+  "CMakeFiles/bench_cost_estimator.dir/bench_cost_estimator.cc.o.d"
+  "bench_cost_estimator"
+  "bench_cost_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

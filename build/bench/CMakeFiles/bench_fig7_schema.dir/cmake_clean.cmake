@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_schema.dir/bench_fig7_schema.cc.o"
+  "CMakeFiles/bench_fig7_schema.dir/bench_fig7_schema.cc.o.d"
+  "bench_fig7_schema"
+  "bench_fig7_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_laa_scaling.dir/bench_laa_scaling.cc.o"
+  "CMakeFiles/bench_laa_scaling.dir/bench_laa_scaling.cc.o.d"
+  "bench_laa_scaling"
+  "bench_laa_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_migration.dir/bookstore_migration.cpp.o"
+  "CMakeFiles/bookstore_migration.dir/bookstore_migration.cpp.o.d"
+  "bookstore_migration"
+  "bookstore_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_planner.cpp" "examples/CMakeFiles/workload_planner.dir/workload_planner.cpp.o" "gcc" "examples/CMakeFiles/workload_planner.dir/workload_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcw/CMakeFiles/pse_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pse_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/pse_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pse_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_planner.dir/workload_planner.cpp.o"
+  "CMakeFiles/workload_planner.dir/workload_planner.cpp.o.d"
+  "workload_planner"
+  "workload_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

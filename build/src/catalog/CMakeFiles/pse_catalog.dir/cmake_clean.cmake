@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_catalog.dir/schema.cc.o"
+  "CMakeFiles/pse_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/pse_catalog.dir/tuple.cc.o"
+  "CMakeFiles/pse_catalog.dir/tuple.cc.o.d"
+  "CMakeFiles/pse_catalog.dir/type.cc.o"
+  "CMakeFiles/pse_catalog.dir/type.cc.o.d"
+  "CMakeFiles/pse_catalog.dir/value.cc.o"
+  "CMakeFiles/pse_catalog.dir/value.cc.o.d"
+  "libpse_catalog.a"
+  "libpse_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

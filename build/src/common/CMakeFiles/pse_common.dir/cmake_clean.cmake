@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_common.dir/rng.cc.o"
+  "CMakeFiles/pse_common.dir/rng.cc.o.d"
+  "CMakeFiles/pse_common.dir/status.cc.o"
+  "CMakeFiles/pse_common.dir/status.cc.o.d"
+  "CMakeFiles/pse_common.dir/string_util.cc.o"
+  "CMakeFiles/pse_common.dir/string_util.cc.o.d"
+  "libpse_common.a"
+  "libpse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

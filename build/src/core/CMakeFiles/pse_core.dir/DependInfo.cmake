@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/logical_database.cc" "src/core/CMakeFiles/pse_core.dir/logical_database.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/logical_database.cc.o.d"
+  "/root/repo/src/core/logical_query.cc" "src/core/CMakeFiles/pse_core.dir/logical_query.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/logical_query.cc.o.d"
+  "/root/repo/src/core/logical_schema.cc" "src/core/CMakeFiles/pse_core.dir/logical_schema.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/logical_schema.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/core/CMakeFiles/pse_core.dir/mapping.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/mapping.cc.o.d"
+  "/root/repo/src/core/migration_executor.cc" "src/core/CMakeFiles/pse_core.dir/migration_executor.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/migration_executor.cc.o.d"
+  "/root/repo/src/core/migration_planner.cc" "src/core/CMakeFiles/pse_core.dir/migration_planner.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/migration_planner.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/pse_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/physical_schema.cc" "src/core/CMakeFiles/pse_core.dir/physical_schema.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/physical_schema.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "src/core/CMakeFiles/pse_core.dir/rewriter.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/rewriter.cc.o.d"
+  "/root/repo/src/core/schema_advisor.cc" "src/core/CMakeFiles/pse_core.dir/schema_advisor.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/schema_advisor.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/core/CMakeFiles/pse_core.dir/simulation.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/simulation.cc.o.d"
+  "/root/repo/src/core/virtual_catalog.cc" "src/core/CMakeFiles/pse_core.dir/virtual_catalog.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/virtual_catalog.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/pse_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/workload.cc.o.d"
+  "/root/repo/src/core/workload_collector.cc" "src/core/CMakeFiles/pse_core.dir/workload_collector.cc.o" "gcc" "src/core/CMakeFiles/pse_core.dir/workload_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/pse_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/pse_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pse_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

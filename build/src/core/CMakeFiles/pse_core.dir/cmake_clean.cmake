@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_core.dir/logical_database.cc.o"
+  "CMakeFiles/pse_core.dir/logical_database.cc.o.d"
+  "CMakeFiles/pse_core.dir/logical_query.cc.o"
+  "CMakeFiles/pse_core.dir/logical_query.cc.o.d"
+  "CMakeFiles/pse_core.dir/logical_schema.cc.o"
+  "CMakeFiles/pse_core.dir/logical_schema.cc.o.d"
+  "CMakeFiles/pse_core.dir/mapping.cc.o"
+  "CMakeFiles/pse_core.dir/mapping.cc.o.d"
+  "CMakeFiles/pse_core.dir/migration_executor.cc.o"
+  "CMakeFiles/pse_core.dir/migration_executor.cc.o.d"
+  "CMakeFiles/pse_core.dir/migration_planner.cc.o"
+  "CMakeFiles/pse_core.dir/migration_planner.cc.o.d"
+  "CMakeFiles/pse_core.dir/operators.cc.o"
+  "CMakeFiles/pse_core.dir/operators.cc.o.d"
+  "CMakeFiles/pse_core.dir/physical_schema.cc.o"
+  "CMakeFiles/pse_core.dir/physical_schema.cc.o.d"
+  "CMakeFiles/pse_core.dir/rewriter.cc.o"
+  "CMakeFiles/pse_core.dir/rewriter.cc.o.d"
+  "CMakeFiles/pse_core.dir/schema_advisor.cc.o"
+  "CMakeFiles/pse_core.dir/schema_advisor.cc.o.d"
+  "CMakeFiles/pse_core.dir/simulation.cc.o"
+  "CMakeFiles/pse_core.dir/simulation.cc.o.d"
+  "CMakeFiles/pse_core.dir/virtual_catalog.cc.o"
+  "CMakeFiles/pse_core.dir/virtual_catalog.cc.o.d"
+  "CMakeFiles/pse_core.dir/workload.cc.o"
+  "CMakeFiles/pse_core.dir/workload.cc.o.d"
+  "CMakeFiles/pse_core.dir/workload_collector.cc.o"
+  "CMakeFiles/pse_core.dir/workload_collector.cc.o.d"
+  "libpse_core.a"
+  "libpse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bound_query.cc" "src/engine/CMakeFiles/pse_engine.dir/bound_query.cc.o" "gcc" "src/engine/CMakeFiles/pse_engine.dir/bound_query.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/pse_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/pse_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/pse_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/pse_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/pse_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/pse_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/pse_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/pse_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/pse_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/pse_engine.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/pse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pse_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

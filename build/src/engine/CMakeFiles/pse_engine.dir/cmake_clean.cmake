@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_engine.dir/bound_query.cc.o"
+  "CMakeFiles/pse_engine.dir/bound_query.cc.o.d"
+  "CMakeFiles/pse_engine.dir/cost_model.cc.o"
+  "CMakeFiles/pse_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/pse_engine.dir/executor.cc.o"
+  "CMakeFiles/pse_engine.dir/executor.cc.o.d"
+  "CMakeFiles/pse_engine.dir/expr.cc.o"
+  "CMakeFiles/pse_engine.dir/expr.cc.o.d"
+  "CMakeFiles/pse_engine.dir/plan.cc.o"
+  "CMakeFiles/pse_engine.dir/plan.cc.o.d"
+  "CMakeFiles/pse_engine.dir/planner.cc.o"
+  "CMakeFiles/pse_engine.dir/planner.cc.o.d"
+  "libpse_engine.a"
+  "libpse_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpse_engine.a"
+)

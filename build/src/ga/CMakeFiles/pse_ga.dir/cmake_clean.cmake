@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_ga.dir/genetic.cc.o"
+  "CMakeFiles/pse_ga.dir/genetic.cc.o.d"
+  "libpse_ga.a"
+  "libpse_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

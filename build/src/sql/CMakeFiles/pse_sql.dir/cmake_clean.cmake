@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_sql.dir/binder.cc.o"
+  "CMakeFiles/pse_sql.dir/binder.cc.o.d"
+  "CMakeFiles/pse_sql.dir/lexer.cc.o"
+  "CMakeFiles/pse_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/pse_sql.dir/parser.cc.o"
+  "CMakeFiles/pse_sql.dir/parser.cc.o.d"
+  "CMakeFiles/pse_sql.dir/session.cc.o"
+  "CMakeFiles/pse_sql.dir/session.cc.o.d"
+  "libpse_sql.a"
+  "libpse_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

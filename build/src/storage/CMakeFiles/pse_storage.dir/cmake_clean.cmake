@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/pse_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/pse_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/pse_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/pse_storage.dir/database.cc.o"
+  "CMakeFiles/pse_storage.dir/database.cc.o.d"
+  "CMakeFiles/pse_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/pse_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/pse_storage.dir/persistence.cc.o"
+  "CMakeFiles/pse_storage.dir/persistence.cc.o.d"
+  "CMakeFiles/pse_storage.dir/table_heap.cc.o"
+  "CMakeFiles/pse_storage.dir/table_heap.cc.o.d"
+  "libpse_storage.a"
+  "libpse_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pse_tpcw.dir/datagen.cc.o"
+  "CMakeFiles/pse_tpcw.dir/datagen.cc.o.d"
+  "CMakeFiles/pse_tpcw.dir/queries.cc.o"
+  "CMakeFiles/pse_tpcw.dir/queries.cc.o.d"
+  "CMakeFiles/pse_tpcw.dir/schema.cc.o"
+  "CMakeFiles/pse_tpcw.dir/schema.cc.o.d"
+  "CMakeFiles/pse_tpcw.dir/workloads.cc.o"
+  "CMakeFiles/pse_tpcw.dir/workloads.cc.o.d"
+  "libpse_tpcw.a"
+  "libpse_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pse_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/executor_simulation_test.cc" "tests/CMakeFiles/core_test.dir/core/executor_simulation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/executor_simulation_test.cc.o.d"
+  "/root/repo/tests/core/logical_query_test.cc" "tests/CMakeFiles/core_test.dir/core/logical_query_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/logical_query_test.cc.o.d"
+  "/root/repo/tests/core/logical_schema_test.cc" "tests/CMakeFiles/core_test.dir/core/logical_schema_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/logical_schema_test.cc.o.d"
+  "/root/repo/tests/core/mapping_test.cc" "tests/CMakeFiles/core_test.dir/core/mapping_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/mapping_test.cc.o.d"
+  "/root/repo/tests/core/migration_io_test.cc" "tests/CMakeFiles/core_test.dir/core/migration_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/migration_io_test.cc.o.d"
+  "/root/repo/tests/core/operators_test.cc" "tests/CMakeFiles/core_test.dir/core/operators_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/operators_test.cc.o.d"
+  "/root/repo/tests/core/physical_schema_test.cc" "tests/CMakeFiles/core_test.dir/core/physical_schema_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/physical_schema_test.cc.o.d"
+  "/root/repo/tests/core/planner_test.cc" "tests/CMakeFiles/core_test.dir/core/planner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/planner_test.cc.o.d"
+  "/root/repo/tests/core/rewriter_test.cc" "tests/CMakeFiles/core_test.dir/core/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rewriter_test.cc.o.d"
+  "/root/repo/tests/core/schema_advisor_test.cc" "tests/CMakeFiles/core_test.dir/core/schema_advisor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/schema_advisor_test.cc.o.d"
+  "/root/repo/tests/core/virtual_catalog_test.cc" "tests/CMakeFiles/core_test.dir/core/virtual_catalog_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/virtual_catalog_test.cc.o.d"
+  "/root/repo/tests/core/workload_collector_test.cc" "tests/CMakeFiles/core_test.dir/core/workload_collector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_collector_test.cc.o.d"
+  "/root/repo/tests/core/workload_test.cc" "tests/CMakeFiles/core_test.dir/core/workload_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcw/CMakeFiles/pse_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pse_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/pse_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pse_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/executor_simulation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/executor_simulation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/logical_query_test.cc.o"
+  "CMakeFiles/core_test.dir/core/logical_query_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/logical_schema_test.cc.o"
+  "CMakeFiles/core_test.dir/core/logical_schema_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/mapping_test.cc.o"
+  "CMakeFiles/core_test.dir/core/mapping_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/migration_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/migration_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/operators_test.cc.o"
+  "CMakeFiles/core_test.dir/core/operators_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/physical_schema_test.cc.o"
+  "CMakeFiles/core_test.dir/core/physical_schema_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/planner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/planner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rewriter_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rewriter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/schema_advisor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/schema_advisor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/virtual_catalog_test.cc.o"
+  "CMakeFiles/core_test.dir/core/virtual_catalog_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/workload_collector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/workload_collector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/workload_test.cc.o"
+  "CMakeFiles/core_test.dir/core/workload_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/cost_model_test.cc" "tests/CMakeFiles/engine_test.dir/engine/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/cost_model_test.cc.o.d"
+  "/root/repo/tests/engine/differential_test.cc" "tests/CMakeFiles/engine_test.dir/engine/differential_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/differential_test.cc.o.d"
+  "/root/repo/tests/engine/expr_test.cc" "tests/CMakeFiles/engine_test.dir/engine/expr_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/expr_test.cc.o.d"
+  "/root/repo/tests/engine/inlj_test.cc" "tests/CMakeFiles/engine_test.dir/engine/inlj_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/inlj_test.cc.o.d"
+  "/root/repo/tests/engine/planner_executor_test.cc" "tests/CMakeFiles/engine_test.dir/engine/planner_executor_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/planner_executor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pse_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

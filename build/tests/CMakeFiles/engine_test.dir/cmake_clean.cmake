@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/cost_model_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/cost_model_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/differential_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/differential_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/expr_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/expr_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/inlj_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/inlj_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/planner_executor_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/planner_executor_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_test.dir/ga/genetic_test.cc.o"
+  "CMakeFiles/ga_test.dir/ga/genetic_test.cc.o.d"
+  "ga_test"
+  "ga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/bplus_tree_test.cc" "tests/CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/clock_policy_test.cc" "tests/CMakeFiles/storage_test.dir/storage/clock_policy_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/clock_policy_test.cc.o.d"
+  "/root/repo/tests/storage/database_test.cc" "tests/CMakeFiles/storage_test.dir/storage/database_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/database_test.cc.o.d"
+  "/root/repo/tests/storage/disk_manager_test.cc" "tests/CMakeFiles/storage_test.dir/storage/disk_manager_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/disk_manager_test.cc.o.d"
+  "/root/repo/tests/storage/failure_injection_test.cc" "tests/CMakeFiles/storage_test.dir/storage/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/failure_injection_test.cc.o.d"
+  "/root/repo/tests/storage/persistence_test.cc" "tests/CMakeFiles/storage_test.dir/storage/persistence_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/persistence_test.cc.o.d"
+  "/root/repo/tests/storage/table_heap_test.cc" "tests/CMakeFiles/storage_test.dir/storage/table_heap_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/table_heap_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/pse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pse_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

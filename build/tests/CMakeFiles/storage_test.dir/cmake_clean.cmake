@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/clock_policy_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/clock_policy_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/database_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/database_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/disk_manager_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/disk_manager_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/failure_injection_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/failure_injection_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/persistence_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/persistence_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/table_heap_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/table_heap_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

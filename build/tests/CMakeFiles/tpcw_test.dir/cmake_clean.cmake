@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_test.dir/tpcw/tpcw_integration_test.cc.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/tpcw_integration_test.cc.o.d"
+  "CMakeFiles/tpcw_test.dir/tpcw/tpcw_test.cc.o"
+  "CMakeFiles/tpcw_test.dir/tpcw/tpcw_test.cc.o.d"
+  "tpcw_test"
+  "tpcw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
