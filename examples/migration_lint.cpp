@@ -1,0 +1,206 @@
+// migration_lint — static verification of migration plans from the command
+// line. Runs the analysis verifier (operator-set well-formedness,
+// information preservation, workload lint) over a chosen scenario and
+// prints every diagnostic; the exit code is the number of errors (capped),
+// so it slots into shell pipelines and CI gates.
+//
+// Usage: migration_lint [scenario]
+//   tpcw        TPC-W source -> object migration + 20-query workload (default)
+//   bookstore   the paper's Fig 7 miniature bookstore migration
+//   bad-fd      seeded-invalid: CreateTable with a dangling FD reference
+//   bad-split   seeded-invalid: SplitTable that is not lossless-join
+//   bad-query   seeded-invalid: workload query unanswerable on the object
+//               schema (and at every intermediate)
+//   all         every scenario in sequence
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "analysis/verifier.h"
+#include "core/mapping.h"
+#include "tpcw/queries.h"
+#include "tpcw/schema.h"
+
+using namespace pse;
+
+namespace {
+
+/// The paper's Fig 7 miniature: author/book/user with a combine, a split,
+/// and a new attribute. Mirrors the shared test fixture but stays
+/// self-contained so the example builds without the test tree.
+struct Bookstore {
+  LogicalSchema logical;
+  EntityId author = kInvalidId, book = kInvalidId, user = kInvalidId;
+  AttrId a_name{}, a_bio{}, b_title{}, b_cost{}, b_a_id{}, b_abstract{};
+  AttrId u_name{}, u_bday{}, u_addr{};
+  PhysicalSchema source;
+  PhysicalSchema object;
+
+  static std::unique_ptr<Bookstore> Make() {
+    auto out = std::make_unique<Bookstore>();
+    Bookstore& s = *out;
+    LogicalSchema& L = s.logical;
+    s.author = L.AddEntity("author", "a_id");
+    s.book = L.AddEntity("book", "b_id");
+    s.user = L.AddEntity("user", "u_id");
+    s.a_name = *L.AddAttribute(s.author, "a_name", TypeId::kVarchar, 16);
+    s.a_bio = *L.AddAttribute(s.author, "a_bio", TypeId::kVarchar, 40);
+    s.b_title = *L.AddAttribute(s.book, "b_title", TypeId::kVarchar, 24);
+    s.b_cost = *L.AddAttribute(s.book, "b_cost", TypeId::kDouble);
+    s.b_a_id = *L.AddForeignKey(s.book, "b_a_id", s.author);
+    s.b_abstract = *L.AddAttribute(s.book, "b_abstract", TypeId::kVarchar, 60, /*is_new=*/true);
+    s.u_name = *L.AddAttribute(s.user, "u_name", TypeId::kVarchar, 16);
+    s.u_bday = *L.AddAttribute(s.user, "u_bday", TypeId::kInt64);
+    s.u_addr = *L.AddAttribute(s.user, "u_addr", TypeId::kVarchar, 32);
+    s.source = PhysicalSchema(&L);
+    (void)s.source.AddTable("author", s.author, {s.a_name, s.a_bio});
+    (void)s.source.AddTable("book", s.book, {s.b_title, s.b_cost, s.b_a_id});
+    (void)s.source.AddTable("user", s.user, {s.u_name, s.u_bday, s.u_addr});
+    s.object = PhysicalSchema(&L);
+    (void)s.object.AddTable("glossary", s.book,
+                            {s.b_title, s.b_cost, s.b_a_id, s.a_name, s.a_bio, s.b_abstract});
+    (void)s.object.AddTable("user_gen", s.user, {s.u_name, s.u_bday});
+    (void)s.object.AddTable("user_rest", s.user, {s.u_addr});
+    return out;
+  }
+};
+
+int Report(const char* title, const DiagnosticReport& report) {
+  std::printf("== %s ==\n", title);
+  if (report.diagnostics().empty()) {
+    std::printf("clean: no diagnostics\n\n");
+  } else {
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return static_cast<int>(report.errors());
+}
+
+int LintTpcw() {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  if (!queries.ok() || !opset.ok()) {
+    std::fprintf(stderr, "scenario setup failed\n");
+    return 1;
+  }
+  VerifyInput input;
+  input.source = &schema->source;
+  input.object = &schema->object;
+  input.opset = &*opset;
+  input.queries = &*queries;
+  return Report("tpcw: source -> object with the 20-query workload",
+                VerifyMigration(input));
+}
+
+int LintBookstore() {
+  auto bs = Bookstore::Make();
+  auto opset = ComputeOperatorSet(bs->source, bs->object);
+  if (!opset.ok()) {
+    std::fprintf(stderr, "scenario setup failed: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  VerifyInput input;
+  input.source = &bs->source;
+  input.object = &bs->object;
+  input.opset = &*opset;
+  return Report("bookstore: the paper's Fig 7 migration", VerifyMigration(input));
+}
+
+int LintBadFd() {
+  auto bs = Bookstore::Make();
+  auto opset = ComputeOperatorSet(bs->source, bs->object);
+  if (!opset.ok()) return 1;
+  // Corrupt the first create: point its FD at an attribute of another
+  // entity, plus one attribute id outside the logical schema entirely.
+  for (auto& op : opset->ops) {
+    if (op.kind == OperatorKind::kCreateTable) {
+      op.create_attrs = {bs->u_addr, bs->logical.num_attributes() + 7};
+      break;
+    }
+  }
+  VerifyInput input;
+  input.source = &bs->source;
+  input.object = &bs->object;
+  input.opset = &*opset;
+  return Report("bad-fd: CreateTable whose FD references dangle", VerifyMigration(input));
+}
+
+int LintBadSplit() {
+  auto bs = Bookstore::Make();
+  // A split of the user table whose moved fragment is anchored at `author`:
+  // author's key does not determine u_addr, so the split cannot be joined
+  // back losslessly.
+  OperatorSet opset;
+  MigrationOperator op;
+  op.kind = OperatorKind::kSplitTable;
+  op.id = 0;
+  op.split_moved = {bs->u_addr};
+  op.split_moved_anchor = bs->author;
+  opset.ops.push_back(op);
+  opset.deps.emplace_back();
+  VerifyInput input;
+  input.source = &bs->source;
+  input.object = &bs->object;
+  input.opset = &opset;
+  return Report("bad-split: SplitTable that is not lossless-join", VerifyMigration(input));
+}
+
+int LintBadQuery() {
+  auto bs = Bookstore::Make();
+  // b_extra exists in the logical schema but no physical schema stores it:
+  // any query touching it is unanswerable everywhere.
+  AttrId b_extra = *bs->logical.AddAttribute(bs->book, "b_extra", TypeId::kInt64, 0,
+                                             /*is_new=*/true);
+  (void)b_extra;
+  auto opset = ComputeOperatorSet(bs->source, bs->object);
+  if (!opset.ok()) return 1;
+  LogicalQuery q;
+  q.name = "Nx";
+  q.anchor = bs->book;
+  q.select.emplace_back(std::make_unique<ColumnRefExpr>("b_extra"), AggFunc::kNone, "b_extra");
+  std::vector<WorkloadQuery> queries;
+  queries.emplace_back(std::move(q), /*old=*/false);
+  VerifyInput input;
+  input.source = &bs->source;
+  input.object = &bs->object;
+  input.opset = &*opset;
+  input.queries = &queries;
+  return Report("bad-query: workload query no schema can answer", VerifyMigration(input));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = argc > 1 ? argv[1] : "tpcw";
+  int errors = 0;
+  bool known = false;
+  if (scenario == "tpcw" || scenario == "all") {
+    errors += LintTpcw();
+    known = true;
+  }
+  if (scenario == "bookstore" || scenario == "all") {
+    errors += LintBookstore();
+    known = true;
+  }
+  if (scenario == "bad-fd" || scenario == "all") {
+    errors += LintBadFd();
+    known = true;
+  }
+  if (scenario == "bad-split" || scenario == "all") {
+    errors += LintBadSplit();
+    known = true;
+  }
+  if (scenario == "bad-query" || scenario == "all") {
+    errors += LintBadQuery();
+    known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr,
+                 "unknown scenario '%s' (expected tpcw, bookstore, bad-fd, bad-split, "
+                 "bad-query, or all)\n",
+                 scenario.c_str());
+    return 2;
+  }
+  return errors > 100 ? 100 : errors;
+}

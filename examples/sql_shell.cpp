@@ -8,14 +8,20 @@
 //                                # its catalog, checkpoints on exit
 //
 // Statements end with ';' (or end of line in argv mode). EXPLAIN SELECT ...
-// prints the physical plan. ".tables" lists tables, ".quit" exits.
+// prints the physical plan. ".tables" lists tables, ".verify" statically
+// verifies the built-in TPC-W source->object migration (operator set,
+// information preservation, workload answerability), ".quit" exits.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "analysis/verifier.h"
 #include "common/string_util.h"
+#include "core/mapping.h"
 #include "sql/session.h"
+#include "tpcw/queries.h"
+#include "tpcw/schema.h"
 
 using namespace pse;
 
@@ -39,6 +45,35 @@ void PrintResult(const ExecResult& result) {
   }
 }
 
+/// `.verify`: statically verify the built-in TPC-W source->object migration.
+int RunVerifyDemo() {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  if (!queries.ok()) {
+    std::printf("error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  if (!opset.ok()) {
+    std::printf("error: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  VerifyInput input;
+  input.source = &schema->source;
+  input.object = &schema->object;
+  input.opset = &*opset;
+  input.queries = &*queries;
+  DiagnosticReport report = VerifyMigration(input);
+  std::printf("TPC-W source -> object migration: %zu operators, %zu queries\n",
+              opset->size(), queries->size());
+  if (report.diagnostics().empty()) {
+    std::printf("verifies clean: no diagnostics\n");
+  } else {
+    std::printf("%s", report.ToString().c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int RunStatement(Session* session, const std::string& stmt) {
   std::string trimmed(Trim(stmt));
   if (trimmed.empty()) return 0;
@@ -46,6 +81,7 @@ int RunStatement(Session* session, const std::string& stmt) {
     for (const auto& name : session->db()->TableNames()) std::printf("%s\n", name.c_str());
     return 0;
   }
+  if (trimmed == ".verify") return RunVerifyDemo();
   if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
     auto plan = session->Explain(trimmed.substr(8));
     if (!plan.ok()) {
@@ -119,7 +155,7 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  std::printf("ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .quit)\n");
+  std::printf("ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .quit)\n");
   std::string buffer, line;
   while (true) {
     std::printf(buffer.empty() ? "sql> " : "...> ");

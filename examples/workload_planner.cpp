@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/verifier.h"
 #include "bench/bench_util.h"
 #include "core/mapping.h"
 
@@ -24,6 +25,24 @@ int main(int argc, char** argv) {
   }
   auto freqs = RegularFrequencies(points);
   std::vector<LogicalStats> stats{inst.data->ComputeStats()};
+
+  // Static verification before any planning: an ill-formed operator set or
+  // an unanswerable workload should be rejected here, not at execution time.
+  VerifyInput verify;
+  verify.source = &inst.schema->source;
+  verify.object = &inst.schema->object;
+  verify.opset = &*opset;
+  verify.queries = &inst.queries;
+  verify.phase_freqs = &freqs;
+  DiagnosticReport report = VerifyMigration(verify);
+  if (!report.diagnostics().empty()) {
+    std::printf("static verification of the migration plan:\n%s\n",
+                report.ToString().c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "refusing to plan an unverifiable migration\n");
+    return 1;
+  }
 
   MigrationContext ctx;
   ctx.current = &inst.schema->source;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-command gate: sanitized build + full test suite + static lint.
+#
+#   scripts/check.sh            # ASan+UBSan build, ctest, clang-tidy, format
+#   scripts/check.sh --fast     # skip the lint passes (build + test only)
+#
+# clang-tidy and clang-format passes are skipped with a notice when the
+# tools are not installed; the sanitizer build and tests always run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [ "${1:-}" = "--fast" ]; then fast=1; fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+build_dir="build-check"
+
+echo "== check: configuring sanitized build ($build_dir, address+undefined) =="
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPROGSCHEMA_SANITIZE=address,undefined \
+  -DPROGSCHEMA_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+echo "== check: building =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== check: running tests under ASan+UBSan =="
+(cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+
+if [ "$fast" -eq 1 ]; then
+  echo "== check: OK (fast mode, lint skipped) =="
+  exit 0
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== check: clang-tidy over src/ =="
+  mapfile -t tidy_files < <(git ls-files 'src/*.cc')
+  clang-tidy -p "$build_dir" --quiet "${tidy_files[@]}"
+else
+  echo "== check: clang-tidy not found; skipping lint =="
+fi
+
+scripts/format-check.sh
+
+echo "== check: OK =="

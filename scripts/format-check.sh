@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Verifies that all tracked C++ sources satisfy .clang-format.
+# Skips (exit 0) with a notice when clang-format is not installed, so the
+# check degrades gracefully on minimal toolchains.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format-check: clang-format not found; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h' '*.hpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "format-check: no C++ sources tracked"
+  exit 0
+fi
+
+echo "format-check: checking ${#files[@]} files with $(clang-format --version)"
+clang-format --dry-run -Werror "${files[@]}"
+echo "format-check: OK"

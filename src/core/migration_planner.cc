@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/verifier.h"
 #include "core/virtual_catalog.h"
 #include "engine/cost_model.h"
 
 namespace pse {
+
+namespace {
+
+/// Cheap static gate run before any candidate costing: operator-set
+/// well-formedness only (arity, cycles, dangling references, one clean
+/// symbolic replay of the remaining operators, convergence to the object
+/// schema). Preservation subset enumeration and workload lint are the
+/// callers' concern (VerifyMigration with full options).
+Status GateContext(const MigrationContext& ctx) {
+  VerifyOptions gate;
+  gate.check_preservation = false;
+  gate.check_workload = false;
+  return VerifyContext(ctx, gate).ToStatus();
+}
+
+}  // namespace
 
 std::vector<int> MigrationContext::RemainingOps() const {
   std::vector<int> out;
@@ -94,6 +111,7 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
   if (current_phase >= ctx.num_phases() || observed_phase >= ctx.num_phases()) {
     return Status::InvalidArgument("phase out of range");
   }
+  PSE_RETURN_NOT_OK(GateContext(ctx));
   const std::vector<double>& freqs = (*ctx.phase_freqs)[observed_phase];
   const LogicalStats& stats = ctx.StatsAt(observed_phase);
   CostOptions cost_options;
@@ -230,6 +248,7 @@ Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
   if (current_phase >= ctx.num_phases()) {
     return Status::InvalidArgument("phase out of range");
   }
+  PSE_RETURN_NOT_OK(GateContext(ctx));
   GaaResult result;
   result.remaining_ops = ctx.RemainingOps();
   const size_t m = result.remaining_ops.size();
@@ -311,6 +330,7 @@ std::vector<int> GaaResult::ApplyNow() const {
 
 Result<GaaResult> PlanExhaustiveGlobal(const MigrationContext& ctx, size_t current_phase,
                                        const GaaOptions& options, size_t max_ops) {
+  PSE_RETURN_NOT_OK(GateContext(ctx));
   GaaResult result;
   result.remaining_ops = ctx.RemainingOps();
   const size_t m = result.remaining_ops.size();

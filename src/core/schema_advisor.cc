@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "analysis/verifier.h"
+
 namespace pse {
 
 namespace {
@@ -161,6 +163,30 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     cost = best_cost;
   }
   result.final_cost = cost;
+
+  // 3. Static verification of the recommendation: the improving steps form a
+  // sequential operator set from the seed; it must be well-formed, preserve
+  // every seed attribute, and leave the whole workload answerable.
+  OperatorSet step_opset;
+  for (size_t i = 0; i < result.steps.size(); ++i) {
+    step_opset.ops.push_back(result.steps[i].op);
+    step_opset.deps.emplace_back();
+    if (i > 0) step_opset.deps.back().push_back(static_cast<int>(i) - 1);
+  }
+  std::vector<std::vector<double>> one_phase{freqs};
+  VerifyInput verify;
+  verify.source = &seed;
+  verify.object = &result.schema;
+  verify.opset = &step_opset;
+  verify.queries = &queries;
+  verify.phase_freqs = &one_phase;
+  VerifyOptions verify_options;
+  verify_options.check_source_answerability = false;  // seed may lack created attrs
+  DiagnosticReport report = VerifyMigration(verify, verify_options);
+  if (!report.ok()) {
+    return Status::Internal("advisor produced an unverifiable migration:\n" +
+                            report.ToString());
+  }
   return result;
 }
 

@@ -1,0 +1,106 @@
+// Integration: the planner refuses ill-formed operator sets through the
+// verification gate, and the advisor's output passes its own verification.
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.h"
+#include "core/migration_planner.h"
+#include "core/schema_advisor.h"
+#include "engine/expr.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+class AnalysisIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bs_ = Bookstore::Make();
+    data_ = bs_->MakeData(10, 20, 50);
+    stats_.push_back(data_->ComputeStats());
+    auto opset = ComputeOperatorSet(bs_->source, bs_->object);
+    ASSERT_TRUE(opset.ok());
+    opset_ = std::make_unique<OperatorSet>(std::move(*opset));
+
+    LogicalQuery old_q;
+    old_q.anchor = bs_->author;
+    old_q.select.emplace_back(Col("a_name"), AggFunc::kNone, "a_name");
+    queries_.emplace_back(std::move(old_q), /*is_old=*/true);
+    LogicalQuery new_q;
+    new_q.anchor = bs_->book;
+    new_q.select.emplace_back(Col("b_title"), AggFunc::kNone, "b_title");
+    new_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "b_abstract");
+    queries_.emplace_back(std::move(new_q), /*is_old=*/false);
+  }
+
+  MigrationContext MakeContext(const std::vector<std::vector<double>>* freqs) {
+    MigrationContext ctx;
+    ctx.current = &bs_->source;
+    ctx.object = &bs_->object;
+    ctx.opset = opset_.get();
+    ctx.applied.assign(opset_->size(), false);
+    ctx.phase_freqs = freqs;
+    ctx.phase_stats = &stats_;
+    ctx.queries = &queries_;
+    return ctx;
+  }
+
+  std::unique_ptr<Bookstore> bs_;
+  std::unique_ptr<LogicalDatabase> data_;
+  std::vector<LogicalStats> stats_;
+  std::unique_ptr<OperatorSet> opset_;
+  std::vector<WorkloadQuery> queries_;
+};
+
+TEST_F(AnalysisIntegrationTest, LaaRejectsCyclicOperatorSet) {
+  ASSERT_GE(opset_->size(), 2u);
+  opset_->deps[0].push_back(1);
+  opset_->deps[1].push_back(0);
+  std::vector<std::vector<double>> freqs{{10, 10}};
+  auto laa = SelectOpsLaa(MakeContext(&freqs), 0);
+  ASSERT_FALSE(laa.ok());
+  EXPECT_TRUE(laa.status().IsInvalidArgument()) << laa.status().ToString();
+  EXPECT_NE(laa.status().message().find("OPSET_DEP_CYCLE"), std::string::npos)
+      << laa.status().ToString();
+}
+
+TEST_F(AnalysisIntegrationTest, GaaRejectsCyclicOperatorSet) {
+  ASSERT_GE(opset_->size(), 2u);
+  opset_->deps[0].push_back(1);
+  opset_->deps[1].push_back(0);
+  std::vector<std::vector<double>> freqs{{10, 10}, {5, 20}};
+  GaaOptions options;
+  options.ga.population_size = 8;
+  options.ga.generations = 4;
+  auto gaa = PlanGaa(MakeContext(&freqs), 0, options);
+  ASSERT_FALSE(gaa.ok());
+  EXPECT_NE(gaa.status().message().find("OPSET_DEP_CYCLE"), std::string::npos)
+      << gaa.status().ToString();
+}
+
+TEST_F(AnalysisIntegrationTest, LaaStillPlansWellFormedSets) {
+  std::vector<std::vector<double>> freqs{{10, 10}};
+  auto laa = SelectOpsLaa(MakeContext(&freqs), 0);
+  EXPECT_TRUE(laa.ok()) << laa.status().ToString();
+}
+
+TEST_F(AnalysisIntegrationTest, VerifyContextAcceptsPlannerContext) {
+  std::vector<std::vector<double>> freqs{{10, 10}};
+  MigrationContext ctx = MakeContext(&freqs);
+  DiagnosticReport report = VerifyContext(ctx);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(AnalysisIntegrationTest, AdvisorOutputPassesVerification) {
+  // AdviseSchema verifies its own recommendation before returning; an ok
+  // status therefore implies the step sequence replays cleanly and the
+  // workload stays answerable on the recommended design.
+  std::vector<double> freqs{5.0, 20.0};
+  auto advice = AdviseSchema(bs_->source, stats_[0], queries_, freqs);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_TRUE(advice->schema.Validate().ok());
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,93 @@
+// DiagnosticReport mechanics: tallies, code lookup, status conversion,
+// stable code names (part of the tool surface — DESIGN.md documents them).
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostic.h"
+
+namespace pse {
+namespace {
+
+TEST(DiagnosticTest, EmptyReportIsOk) {
+  DiagnosticReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.warnings(), 0u);
+  EXPECT_EQ(report.notes(), 0u);
+  EXPECT_EQ(report.ToString(), "");
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(DiagnosticTest, TalliesBySeverity) {
+  DiagnosticReport report;
+  report.AddError(DiagCode::kOpsetDepCycle, "op#1", "cycle");
+  report.AddWarning(DiagCode::kPreserveCombineCoverage, "op#2", "coverage");
+  report.AddNote(DiagCode::kWorkloadUnanswerableIntermediate, "query 'N1'", "deferred");
+  report.AddError(DiagCode::kPreserveSplitLossy, "op#3", "lossy");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.errors(), 2u);
+  EXPECT_EQ(report.warnings(), 1u);
+  EXPECT_EQ(report.notes(), 1u);
+  EXPECT_EQ(report.diagnostics().size(), 4u);
+}
+
+TEST(DiagnosticTest, HasCodeAndWithCode) {
+  DiagnosticReport report;
+  report.AddError(DiagCode::kOpsetDanglingRef, "op#0", "a");
+  report.AddError(DiagCode::kOpsetDanglingRef, "op#4", "b");
+  EXPECT_TRUE(report.HasCode(DiagCode::kOpsetDanglingRef));
+  EXPECT_FALSE(report.HasCode(DiagCode::kOpsetDepCycle));
+  EXPECT_EQ(report.WithCode(DiagCode::kOpsetDanglingRef).size(), 2u);
+  EXPECT_EQ(report.WithCode(DiagCode::kOpsetReapply).size(), 0u);
+}
+
+TEST(DiagnosticTest, ToStatusCarriesFirstError) {
+  DiagnosticReport report;
+  report.AddWarning(DiagCode::kPreserveCombineCoverage, "op#2", "first warning");
+  report.AddError(DiagCode::kOpsetNoConvergence, "", "does not converge");
+  Status s = report.ToStatus();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("OPSET_NO_CONVERGENCE"), std::string::npos);
+  EXPECT_NE(s.message().find("does not converge"), std::string::npos);
+}
+
+TEST(DiagnosticTest, DiagnosticToStringFormat) {
+  Diagnostic d{DiagSeverity::kError, DiagCode::kPreserveSplitLossy, "op#3", "not lossless"};
+  EXPECT_EQ(d.ToString(), "error PRESERVE_SPLIT_LOSSY [op#3]: not lossless");
+  Diagnostic no_loc{DiagSeverity::kNote, DiagCode::kWorkloadArity, "", "arity"};
+  EXPECT_EQ(no_loc.ToString(), "note WORKLOAD_ARITY: arity");
+}
+
+TEST(DiagnosticTest, CodeNamesAreStable) {
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOpsetArity), "OPSET_ARITY");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOpsetDepCycle), "OPSET_DEP_CYCLE");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOpsetDanglingRef), "OPSET_DANGLING_REF");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOpsetNotApplicable), "OPSET_NOT_APPLICABLE");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOpsetReapply), "OPSET_REAPPLY");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOpsetNoConvergence), "OPSET_NO_CONVERGENCE");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kSchemaInvalid), "SCHEMA_INVALID");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kPreserveAttrLost), "PRESERVE_ATTR_LOST");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kPreserveSplitLossy), "PRESERVE_SPLIT_LOSSY");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kPreserveCombineCoverage), "PRESERVE_COMBINE_COVERAGE");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kWorkloadArity), "WORKLOAD_ARITY");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kWorkloadUnanswerableSource),
+               "WORKLOAD_UNANSWERABLE_SOURCE");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kWorkloadUnanswerableObject),
+               "WORKLOAD_UNANSWERABLE_OBJECT");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kWorkloadUnanswerableIntermediate),
+               "WORKLOAD_UNANSWERABLE_INTERMEDIATE");
+}
+
+TEST(DiagnosticTest, MergeAccumulates) {
+  DiagnosticReport a, b;
+  a.AddError(DiagCode::kOpsetArity, "", "x");
+  b.AddWarning(DiagCode::kWorkloadArity, "phase 0", "y");
+  b.AddNote(DiagCode::kWorkloadUnanswerableIntermediate, "q", "z");
+  a.Merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 3u);
+  EXPECT_EQ(a.errors(), 1u);
+  EXPECT_EQ(a.warnings(), 1u);
+  EXPECT_EQ(a.notes(), 1u);
+}
+
+}  // namespace
+}  // namespace pse

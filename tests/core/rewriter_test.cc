@@ -32,6 +32,7 @@ LogicalQuery SimpleQuery(const Bookstore& s, EntityId anchor,
 /// sorted for order-insensitive comparison.
 std::vector<Row> RunOn(const Bookstore& s, const LogicalDatabase& data,
                        const PhysicalSchema& schema, const LogicalQuery& q) {
+  (void)s;
   Database db(512);
   EXPECT_TRUE(data.Materialize(&db, schema).ok());
   auto bound = RewriteQuery(q, schema);

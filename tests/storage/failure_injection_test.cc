@@ -84,7 +84,9 @@ TEST(FailureInjectionTest, ScanSurfacesReadFailure) {
   // With zero I/O budget even table creation cannot flush; depending on
   // timing it may succeed (page still cached). Either way nothing crashes
   // and any failure is kIOError.
-  if (!s.ok()) EXPECT_EQ(s.code(), StatusCode::kIOError);
+  if (!s.ok()) {
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
 }
 
 TEST(FailureInjectionTest, FailedOperationsLeaveDatabaseUsable) {
