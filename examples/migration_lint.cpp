@@ -11,12 +11,18 @@
 //   bad-split   seeded-invalid: SplitTable that is not lossless-join
 //   bad-query   seeded-invalid: workload query unanswerable on the object
 //               schema (and at every intermediate)
+//   dead-op     operator no workload query ever touches: the interaction
+//               analysis flags it ANALYSIS_COST_IRRELEVANT_OP (note)
 //   all         every scenario in sequence
+//
+// Scenarios with a workload also print the operator-interaction analysis
+// (footprints, interference clusters, plan-space reduction) as a section.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "analysis/interaction.h"
 #include "analysis/verifier.h"
 #include "core/mapping.h"
 #include "tpcw/queries.h"
@@ -76,6 +82,29 @@ int Report(const char* title, const DiagnosticReport& report) {
   return static_cast<int>(report.errors());
 }
 
+/// Operator-interaction section: the analysis report plus cost-irrelevance
+/// notes, merged into the printed diagnostics. Notes never affect the exit
+/// code.
+int ReportInteractions(const char* title, const LogicalSchema& logical,
+                       const PhysicalSchema& source, const OperatorSet& opset,
+                       const std::vector<WorkloadQuery>& queries) {
+  std::printf("== %s: operator interactions ==\n", title);
+  std::vector<bool> applied(opset.size(), false);
+  auto analysis = AnalyzeInteractions(opset, source, applied, &queries);
+  if (!analysis.ok()) {
+    std::printf("analysis failed: %s\n\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", analysis->ToString(opset, logical, &queries).c_str());
+  DiagnosticReport notes;
+  ReportCostIrrelevantOps(*analysis, opset, logical, &notes);
+  if (!notes.diagnostics().empty()) {
+    std::printf("%s", notes.ToString().c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int LintTpcw() {
   std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
   auto queries = BuildTpcwWorkload(*schema);
@@ -89,8 +118,10 @@ int LintTpcw() {
   input.object = &schema->object;
   input.opset = &*opset;
   input.queries = &*queries;
-  return Report("tpcw: source -> object with the 20-query workload",
-                VerifyMigration(input));
+  int errors = Report("tpcw: source -> object with the 20-query workload",
+                      VerifyMigration(input));
+  errors += ReportInteractions("tpcw", schema->logical, schema->source, *opset, *queries);
+  return errors;
 }
 
 int LintBookstore() {
@@ -169,6 +200,29 @@ int LintBadQuery() {
   return Report("bad-query: workload query no schema can answer", VerifyMigration(input));
 }
 
+int LintDeadOp() {
+  auto bs = Bookstore::Make();
+  auto opset = ComputeOperatorSet(bs->source, bs->object);
+  if (!opset.ok()) return 1;
+  // The workload reads only book/author attributes; the user-table split is
+  // pure data movement no query's cost can ever observe.
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery o1;
+  o1.name = "O1";
+  o1.anchor = bs->book;
+  o1.select.emplace_back(std::make_unique<ColumnRefExpr>("b_title"), AggFunc::kNone, "b_title");
+  o1.select.emplace_back(std::make_unique<ColumnRefExpr>("b_cost"), AggFunc::kNone, "b_cost");
+  queries.emplace_back(std::move(o1), /*old=*/true);
+  LogicalQuery n1;
+  n1.name = "N1";
+  n1.anchor = bs->book;
+  n1.select.emplace_back(std::make_unique<ColumnRefExpr>("b_abstract"), AggFunc::kNone,
+                         "b_abstract");
+  queries.emplace_back(std::move(n1), /*old=*/false);
+  return ReportInteractions("dead-op: user split untouched by the workload", bs->logical,
+                            bs->source, *opset, queries);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,10 +249,14 @@ int main(int argc, char** argv) {
     errors += LintBadQuery();
     known = true;
   }
+  if (scenario == "dead-op" || scenario == "all") {
+    errors += LintDeadOp();
+    known = true;
+  }
   if (!known) {
     std::fprintf(stderr,
                  "unknown scenario '%s' (expected tpcw, bookstore, bad-fd, bad-split, "
-                 "bad-query, or all)\n",
+                 "bad-query, dead-op, or all)\n",
                  scenario.c_str());
     return 2;
   }

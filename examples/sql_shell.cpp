@@ -10,12 +10,15 @@
 // Statements end with ';' (or end of line in argv mode). EXPLAIN SELECT ...
 // prints the physical plan. ".tables" lists tables, ".verify" statically
 // verifies the built-in TPC-W source->object migration (operator set,
-// information preservation, workload answerability), ".quit" exits.
+// information preservation, workload answerability), ".interactions" prints
+// the operator-interaction analysis of that migration (footprints,
+// interference clusters, plan-space reduction), ".quit" exits.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "analysis/interaction.h"
 #include "analysis/verifier.h"
 #include "common/string_util.h"
 #include "core/mapping.h"
@@ -74,6 +77,34 @@ int RunVerifyDemo() {
   return report.ok() ? 0 : 1;
 }
 
+/// `.interactions`: operator-interaction analysis of the TPC-W migration.
+int RunInteractionsDemo() {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  if (!queries.ok()) {
+    std::printf("error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  if (!opset.ok()) {
+    std::printf("error: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<bool> applied(opset->size(), false);
+  auto analysis = AnalyzeInteractions(*opset, schema->source, applied, &*queries);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TPC-W source -> object migration: %zu operators, %zu queries\n",
+              opset->size(), queries->size());
+  std::printf("%s", analysis->ToString(*opset, schema->logical, &*queries).c_str());
+  DiagnosticReport report;
+  ReportCostIrrelevantOps(*analysis, *opset, schema->logical, &report);
+  if (!report.diagnostics().empty()) std::printf("%s", report.ToString().c_str());
+  return 0;
+}
+
 int RunStatement(Session* session, const std::string& stmt) {
   std::string trimmed(Trim(stmt));
   if (trimmed.empty()) return 0;
@@ -82,6 +113,7 @@ int RunStatement(Session* session, const std::string& stmt) {
     return 0;
   }
   if (trimmed == ".verify") return RunVerifyDemo();
+  if (trimmed == ".interactions") return RunInteractionsDemo();
   if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
     auto plan = session->Explain(trimmed.substr(8));
     if (!plan.ok()) {
@@ -155,7 +187,9 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  std::printf("ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .quit)\n");
+  std::printf(
+      "ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .interactions, "
+      ".quit)\n");
   std::string buffer, line;
   while (true) {
     std::printf(buffer.empty() ? "sql> " : "...> ");

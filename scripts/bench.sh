@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the machine-readable benches, leaving their JSON
+# artifacts in the repo root — the project's perf trajectory across PRs.
+#
+#   scripts/bench.sh            # build + run, writes BENCH_laa_scaling.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+build_dir="build-bench"
+
+echo "== bench: configuring Release build ($build_dir) =="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+echo "== bench: building =="
+cmake --build "$build_dir" -j "$jobs" --target bench_laa_scaling >/dev/null
+
+echo "== bench: LAA scaling (pruned vs brute force vs GAA) =="
+"$build_dir"/bench/bench_laa_scaling --json=BENCH_laa_scaling.json
+
+echo "== bench: OK =="

@@ -35,8 +35,13 @@ fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== check: clang-tidy over src/ =="
-  mapfile -t tidy_files < <(git ls-files 'src/*.cc')
+  mapfile -t tidy_files < <(git ls-files 'src/*.cc' ':!src/analysis/*.cc')
   clang-tidy -p "$build_dir" --quiet "${tidy_files[@]}"
+  # The analysis module is held to a stricter bar: any enabled check firing
+  # there fails the gate outright.
+  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ =="
+  mapfile -t strict_files < <(git ls-files 'src/analysis/*.cc')
+  clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${strict_files[@]}"
 else
   echo "== check: clang-tidy not found; skipping lint =="
 fi

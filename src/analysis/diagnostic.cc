@@ -32,6 +32,8 @@ const char* DiagCodeName(DiagCode code) {
       return "WORKLOAD_UNANSWERABLE_OBJECT";
     case DiagCode::kWorkloadUnanswerableIntermediate:
       return "WORKLOAD_UNANSWERABLE_INTERMEDIATE";
+    case DiagCode::kAnalysisCostIrrelevantOp:
+      return "ANALYSIS_COST_IRRELEVANT_OP";
   }
   return "UNKNOWN";
 }

@@ -36,6 +36,8 @@ enum class DiagCode {
   kWorkloadUnanswerableSource,     ///< WORKLOAD_UNANSWERABLE_SOURCE
   kWorkloadUnanswerableObject,     ///< WORKLOAD_UNANSWERABLE_OBJECT
   kWorkloadUnanswerableIntermediate, ///< WORKLOAD_UNANSWERABLE_INTERMEDIATE
+  // -- interaction analysis --
+  kAnalysisCostIrrelevantOp,  ///< ANALYSIS_COST_IRRELEVANT_OP: no query touches op
 };
 
 const char* DiagCodeName(DiagCode code);

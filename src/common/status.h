@@ -130,6 +130,8 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // Unchecked by contract: callers gate on ok() first (see class comment).
+  // NOLINTBEGIN(bugprone-unchecked-optional-access)
   const T& ValueOrDie() const& { return *value_; }
   T& ValueOrDie() & { return *value_; }
   T&& MoveValueUnsafe() { return std::move(*value_); }
@@ -138,6 +140,7 @@ class Result {
   T& operator*() & { return *value_; }
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
+  // NOLINTEND(bugprone-unchecked-optional-access)
 
  private:
   Status status_;

@@ -100,14 +100,10 @@ Result<double> EstimateOperatorIo(const MigrationOperator& op, const PhysicalSch
 }
 
 Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase,
-                               size_t observed_phase, size_t max_ops) {
+                               size_t observed_phase, size_t max_ops,
+                               const AnalysisOptions& analysis) {
   std::vector<int> remaining = ctx.RemainingOps();
   const size_t m = remaining.size();
-  if (m > max_ops) {
-    return Status::ResourceExhausted(
-        "LAA is exhaustive (2^m); m=" + std::to_string(m) + " exceeds the guard of " +
-        std::to_string(max_ops) + " — use GAA");
-  }
   if (current_phase >= ctx.num_phases() || observed_phase >= ctx.num_phases()) {
     return Status::InvalidArgument("phase out of range");
   }
@@ -118,25 +114,97 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
   cost_options.fallback_schema = ctx.object;
 
   LaaResult result;
-  double best = std::numeric_limits<double>::infinity();
   std::vector<int> best_subset;
-  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
-    std::vector<int> subset;
-    for (size_t b = 0; b < m; ++b) {
-      if (mask & (1ull << b)) subset.push_back(remaining[b]);
+
+  if (!analysis.prune_laa) {
+    // Classic exhaustive sweep (Algorithm 1 verbatim).
+    if (m > max_ops) {
+      return Status::ResourceExhausted(
+          "LAA is exhaustive (2^m); m=" + std::to_string(m) + " exceeds the guard of " +
+          std::to_string(max_ops) + " — use GAA or enable interaction-analysis pruning");
     }
-    if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
-    PSE_ASSIGN_OR_RETURN(PhysicalSchema schema, ApplySubset(ctx, subset));
-    PSE_ASSIGN_OR_RETURN(double cost, EstimateWorkloadCost(schema, stats, *ctx.queries, freqs,
-                                                           cost_options));
+    double best = std::numeric_limits<double>::infinity();
+    for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+      std::vector<int> subset;
+      for (size_t b = 0; b < m; ++b) {
+        if (mask & (1ull << b)) subset.push_back(remaining[b]);
+      }
+      if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
+      PSE_ASSIGN_OR_RETURN(PhysicalSchema schema, ApplySubset(ctx, subset));
+      PSE_ASSIGN_OR_RETURN(double cost, EstimateWorkloadCost(schema, stats, *ctx.queries, freqs,
+                                                             cost_options));
+      ++result.schemas_evaluated;
+      // Paper's Algorithm 1 uses Min >= TempCost: on ties, the later (here:
+      // larger/more-progressed) subset wins, pushing the migration forward.
+      if (cost <= best) {
+        best = cost;
+        best_subset = subset;
+      }
+    }
+    result.best_cost = best;
+    result.schemas_exhaustive = static_cast<double>(result.schemas_evaluated);
+  } else {
+    // Cluster-wise enumeration: exact because C(Schema) decomposes over
+    // queries and every query's cost term is confined to one interference
+    // cluster (see interaction.h and DESIGN.md §12), so the argmin over the
+    // product space factorizes into independent per-cluster argmins.
+    PSE_ASSIGN_OR_RETURN(
+        InteractionAnalysis ia,
+        AnalyzeInteractions(*ctx.opset, *ctx.current, ctx.applied, ctx.queries));
+    for (const InteractionCluster& cluster : ia.clusters) {
+      if (cluster.ops.size() > max_ops || cluster.ops.size() > 63) {
+        return Status::ResourceExhausted(
+            "LAA cluster-wise enumeration: largest interference cluster has " +
+            std::to_string(cluster.ops.size()) + " operators, exceeding the guard of " +
+            std::to_string(max_ops) + " — use GAA");
+      }
+    }
+    result.schemas_exhaustive = ia.closed_subsets_total;
+    // Queries no remaining operator touches cost the same on every candidate
+    // schema: estimate them once, on the current schema.
+    std::vector<double> residual(freqs.size(), 0.0);
+    for (size_t q : ia.untouched_queries) {
+      if (q < residual.size()) residual[q] = freqs[q];
+    }
+    PSE_ASSIGN_OR_RETURN(double total, EstimateWorkloadCost(*ctx.current, stats, *ctx.queries,
+                                                            residual, cost_options));
     ++result.schemas_evaluated;
-    // Paper's Algorithm 1 uses Min >= TempCost: on ties, the later (here:
-    // larger/more-progressed) subset wins, pushing the migration forward.
-    if (cost <= best) {
-      best = cost;
-      best_subset = subset;
+    for (const InteractionCluster& cluster : ia.clusters) {
+      std::vector<double> masked(freqs.size(), 0.0);
+      for (size_t q : cluster.queries) {
+        if (q < masked.size()) masked[q] = freqs[q];
+      }
+      const size_t k = cluster.ops.size();
+      LaaClusterInfo info;
+      info.ops = cluster.ops;
+      double best = std::numeric_limits<double>::infinity();
+      std::vector<int> cluster_best;
+      for (uint64_t mask = 0; mask < (1ull << k); ++mask) {
+        std::vector<int> subset;
+        for (size_t b = 0; b < k; ++b) {
+          if (mask & (1ull << b)) subset.push_back(cluster.ops[b]);
+        }
+        // Dependencies never cross clusters, so closure is cluster-local.
+        if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
+        PSE_ASSIGN_OR_RETURN(PhysicalSchema schema, ApplySubset(ctx, subset));
+        PSE_ASSIGN_OR_RETURN(double cost, EstimateWorkloadCost(schema, stats, *ctx.queries,
+                                                               masked, cost_options));
+        ++info.schemas_evaluated;
+        if (cost <= best) {  // same tie rule as the exhaustive sweep
+          best = cost;
+          cluster_best = subset;
+        }
+      }
+      info.best_cost = best;
+      info.chosen = cluster_best;
+      result.schemas_evaluated += info.schemas_evaluated;
+      total += best;
+      best_subset.insert(best_subset.end(), cluster_best.begin(), cluster_best.end());
+      result.clusters.push_back(std::move(info));
     }
+    result.best_cost = total;
   }
+
   // Order the winner topologically for application.
   PSE_ASSIGN_OR_RETURN(std::vector<int> topo, ctx.opset->TopologicalOrder());
   std::vector<bool> in_subset(ctx.opset->size(), false);
@@ -144,7 +212,6 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
   for (int i : topo) {
     if (in_subset[static_cast<size_t>(i)]) result.ops_to_apply.push_back(i);
   }
-  result.best_cost = best;
   return result;
 }
 
@@ -310,6 +377,42 @@ Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
     fitness_cache.emplace(c, fitness);
     return fitness;
   };
+
+  if (options.analysis.seed_gaa_from_clusters) {
+    // Seed the population with the greedy trajectory of cluster-wise LAA:
+    // walk the remaining phases, at each point apply the (clairvoyant)
+    // cluster-local optima, and record each op's chosen offset. The GA then
+    // starts from a known-good plan instead of random noise. Best-effort:
+    // when any LAA step fails (e.g. an uncuttable cluster exceeds the
+    // guard), the GA simply starts unseeded.
+    MigrationContext walk = ctx;
+    PhysicalSchema walk_schema = *ctx.current;
+    walk.current = &walk_schema;
+    Chromosome seed_chrom(m, phases_left);  // default: defer past the last phase
+    std::vector<int> pos(ctx.opset->size(), -1);
+    for (size_t i = 0; i < m; ++i) {
+      pos[static_cast<size_t>(result.remaining_ops[i])] = static_cast<int>(i);
+    }
+    bool seeded = true;
+    for (int off = 0; off < phases_left && seeded; ++off) {
+      Result<LaaResult> laa = SelectOpsLaa(walk, current_phase + static_cast<size_t>(off),
+                                           current_phase + static_cast<size_t>(off),
+                                           /*max_ops=*/30, options.analysis);
+      if (!laa.ok()) {
+        seeded = false;
+        break;
+      }
+      for (int op : laa->ops_to_apply) {
+        if (!ApplyOperator(ctx.opset->ops[static_cast<size_t>(op)], &walk_schema).ok()) {
+          seeded = false;
+          break;
+        }
+        seed_chrom[static_cast<size_t>(pos[static_cast<size_t>(op)])] = off;
+        walk.applied[static_cast<size_t>(op)] = true;
+      }
+    }
+    if (seeded) problem.seeds.push_back(std::move(seed_chrom));
+  }
 
   Rng rng(options.seed + current_phase * 7919);
   GaResult ga = RunGa(problem, options.ga, &rng);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/interaction.h"
 #include "core/mapping.h"
 #include "core/workload.h"
 #include "ga/genetic.h"
@@ -50,10 +51,24 @@ Result<double> EstimateOperatorIo(const MigrationOperator& op, const PhysicalSch
 
 // -- LAA --
 
+/// One interference cluster's share of a pruned LAA run.
+struct LaaClusterInfo {
+  std::vector<int> ops;          ///< cluster members, topological order
+  std::vector<int> chosen;       ///< the cluster-local winning subset
+  double best_cost = 0;          ///< cluster-local cost (masked frequencies)
+  size_t schemas_evaluated = 0;  ///< closed subsets enumerated in the cluster
+};
+
 struct LaaResult {
   std::vector<int> ops_to_apply;    ///< dependency-closed subset, topo order
   double best_cost = 0;             ///< estimated phase cost of the winner
-  size_t schemas_evaluated = 0;     ///< the paper's 2^m blow-up, observable
+  size_t schemas_evaluated = 0;     ///< schemas actually costed this run
+  /// Dependency-closed subsets a brute-force sweep would cost — the paper's
+  /// 2^m blow-up the interaction analysis avoids (== schemas_evaluated when
+  /// pruning is off). Double: products of cluster counts can exceed 2^63.
+  double schemas_exhaustive = 0;
+  /// Cluster structure of the pruned run (empty when pruning is off).
+  std::vector<LaaClusterInfo> clusters;
 };
 
 /// Runs LAA at the migration point opening `current_phase`, scoring the
@@ -61,10 +76,17 @@ struct LaaResult {
 /// collector has measured so far. The paper's LAA adapts to the CURRENT
 /// system status, so callers normally pass observed_phase = current_phase-1
 /// (clamped); passing current_phase makes LAA clairvoyant (used by tests
-/// and ablations). m = remaining ops must satisfy m <= max_ops (the
-/// exhaustive search guard).
+/// and ablations).
+///
+/// With `analysis.prune_laa` (the default) the operator-interaction analysis
+/// factorizes the enumeration into independent interference clusters — exact
+/// (tests assert cost equality against brute force) and exponentially
+/// cheaper, so `max_ops` guards the *largest cluster* instead of m and its
+/// default is raised accordingly. With pruning off, the classic exhaustive
+/// sweep runs and `max_ops` guards m itself.
 Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase,
-                               size_t observed_phase, size_t max_ops = 22);
+                               size_t observed_phase, size_t max_ops = 30,
+                               const AnalysisOptions& analysis = {});
 /// Clairvoyant convenience overload (observed == upcoming).
 inline Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase) {
   return SelectOpsLaa(ctx, current_phase, current_phase);
@@ -87,6 +109,10 @@ struct GaaOptions {
   /// Price queries that cannot run yet via the object schema (see
   /// CostOptions).
   double unservable_penalty = 3.0;
+  /// Interaction-analysis toggles; `analysis.seed_gaa_from_clusters` seeds
+  /// the GA population with the greedy trajectory of cluster-wise LAA
+  /// (cluster-local optima per phase), accelerating convergence.
+  AnalysisOptions analysis;
 };
 
 struct GaaResult {

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/interaction.h"
 #include "analysis/verifier.h"
 
 namespace pse {
@@ -132,20 +133,71 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     for (auto& step : result.steps) step.cost_after = cost;
   }
 
+  // Support sets are schema-independent: compute them once for the whole
+  // climb (only used on the relevance-based scoring path).
+  std::vector<std::set<AttrId>> support;
+  if (options.analysis.advisor_query_relevance) {
+    support.reserve(queries.size());
+    for (const auto& wq : queries) support.push_back(QuerySupportAttrs(wq.query, L));
+  }
+
   // 2. Greedy hill-climbing.
   for (size_t step_count = 0; step_count < options.max_steps; ++step_count) {
     std::vector<MigrationOperator> candidates = CandidateOps(result.schema, &next_id);
     double best_cost = cost;
     std::optional<MigrationOperator> best_op;
     PhysicalSchema best_schema;
+    // Relevance path: per-query base costs on the current schema, so each
+    // candidate re-estimates only the queries whose support set intersects
+    // the attributes the operator moves. Any estimation failure falls back
+    // to whole-workload scoring for this step.
+    std::vector<double> base(queries.size(), 0.0);
+    bool use_relevance = options.analysis.advisor_query_relevance;
+    for (size_t q = 0; use_relevance && q < queries.size(); ++q) {
+      if (freqs[q] <= 0) continue;
+      auto c = EstimateQueryCost(queries[q].query, result.schema, stats);
+      if (c.ok()) {
+        base[q] = *c;
+      } else {
+        use_relevance = false;
+      }
+    }
     for (const auto& op : candidates) {
       PhysicalSchema trial = result.schema;
       if (!ApplyOperator(op, &trial).ok()) continue;  // illegal move
-      auto trial_cost = EstimateWorkloadCost(trial, stats, queries, freqs);
-      if (!trial_cost.ok()) continue;
+      double trial_cost_value = 0;
+      if (use_relevance) {
+        std::set<AttrId> delta = SchemaDeltaAttrs(result.schema, trial);
+        trial_cost_value = cost;
+        bool estimable = true;
+        for (size_t q = 0; q < queries.size() && estimable; ++q) {
+          if (freqs[q] <= 0) continue;
+          bool affected = false;
+          for (AttrId a : support[q]) {
+            if (delta.count(a)) {
+              affected = true;
+              break;
+            }
+          }
+          if (!affected) continue;  // placement of everything q touches is unchanged
+          auto c = EstimateQueryCost(queries[q].query, trial, stats);
+          ++result.queries_estimated;
+          if (!c.ok()) {
+            estimable = false;
+            break;
+          }
+          trial_cost_value += (*c - base[q]) * freqs[q];
+        }
+        if (!estimable) continue;
+      } else {
+        auto trial_cost = EstimateWorkloadCost(trial, stats, queries, freqs);
+        if (!trial_cost.ok()) continue;
+        for (double f : freqs) result.queries_estimated += f > 0 ? 1 : 0;
+        trial_cost_value = *trial_cost;
+      }
       ++result.candidates_evaluated;
-      if (*trial_cost < best_cost) {
-        best_cost = *trial_cost;
+      if (trial_cost_value < best_cost) {
+        best_cost = trial_cost_value;
         best_op = op;
         best_schema = std::move(trial);
       }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "analysis/interaction.h"
 #include "core/operators.h"
 #include "core/workload.h"
 
@@ -28,6 +29,12 @@ struct AdvisorOptions {
   /// Also propose CreateTable for workload-referenced attributes that the
   /// seed schema does not store yet.
   bool allow_creates = true;
+  /// Interaction-analysis toggles; `analysis.advisor_query_relevance` scores
+  /// each candidate operator by re-estimating only the queries whose support
+  /// set intersects the attributes the operator moves (delta update), instead
+  /// of re-costing the whole workload per candidate. Exact: the remaining
+  /// queries' plans cannot change.
+  AnalysisOptions analysis;
 };
 
 struct AdvisorStep {
@@ -42,6 +49,10 @@ struct AdvisorResult {
   double final_cost = 0;          ///< C(recommendation)
   std::vector<AdvisorStep> steps; ///< the improving operators, in order
   size_t candidates_evaluated = 0;
+  /// Individual query-cost estimations performed while scoring candidates;
+  /// with `analysis.advisor_query_relevance` this drops from
+  /// candidates × queries to candidates × affected-queries.
+  size_t queries_estimated = 0;
 };
 
 /// Searches for the best physical design for (queries, freqs) reachable

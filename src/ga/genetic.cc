@@ -70,7 +70,7 @@ GaResult RunGa(const GaProblem& problem, const GaConfig& config, Rng* rng) {
   std::vector<Individual> population;
   population.reserve(config.population_size);
   for (size_t i = 0; i < config.population_size; ++i) {
-    Chromosome c = problem.random_chromosome(rng);
+    Chromosome c = i < problem.seeds.size() ? problem.seeds[i] : problem.random_chromosome(rng);
     if (problem.repair) problem.repair(&c, rng);
     double f = problem.fitness(c);
     ++result.evaluations;

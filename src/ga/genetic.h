@@ -40,6 +40,11 @@ struct GaConfig {
 
 /// Problem definition; fitness is maximized.
 struct GaProblem {
+  /// Chromosomes injected verbatim into the initial population (repaired and
+  /// evaluated like any other individual). Lets callers seed the search with
+  /// known-good solutions — e.g. GAA seeding from cluster-local LAA optima.
+  /// Seeds beyond population_size are ignored.
+  std::vector<Chromosome> seeds;
   /// Generates a random (valid) chromosome.
   std::function<Chromosome(Rng*)> random_chromosome;
   /// Fitness; higher is better. Called once per individual per generation.

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tests/core/core_test_util.h"
 
 namespace pse {
@@ -107,22 +109,59 @@ TEST_F(PlannerTest, LaaMovesToObjectWhenNewDominates) {
   EXPECT_TRUE(has_combine);
 }
 
-TEST_F(PlannerTest, LaaEvaluatesWholePowerSetOfClosedSubsets) {
+TEST_F(PlannerTest, LaaExhaustiveModeEvaluatesWholePowerSetOfClosedSubsets) {
   std::vector<std::vector<double>> freqs{{10, 10, 10}};
   MigrationContext ctx = MakeContext(&bs_->source, &freqs);
-  auto laa = SelectOpsLaa(ctx, 0);
+  AnalysisOptions brute;
+  brute.prune_laa = false;
+  auto laa = SelectOpsLaa(ctx, 0, /*observed_phase=*/0, /*max_ops=*/22, brute);
   ASSERT_TRUE(laa.ok());
-  // 4 ops -> at most 2^4 = 16 subsets; dependency closure prunes some.
-  EXPECT_LE(laa->schemas_evaluated, 16u);
-  EXPECT_GE(laa->schemas_evaluated, 5u);
+  // 4 ops, dependency chain create -> combine -> combine plus the free user
+  // split: exactly 4 * 2 = 8 dependency-closed subsets.
+  EXPECT_EQ(laa->schemas_evaluated, 8u);
+  EXPECT_DOUBLE_EQ(laa->schemas_exhaustive, 8.0);
+  EXPECT_TRUE(laa->clusters.empty());
+}
+
+TEST_F(PlannerTest, LaaClusterPruningIsExactOnFixture) {
+  // The interaction analysis splits the bookstore opset into the book/author
+  // chain {create, combine, combine} and the independent user split; pruned
+  // LAA must report that structure and match the brute-force cost exactly.
+  for (const std::vector<double>& phase : std::vector<std::vector<double>>{
+           {100, 1, 50}, {1, 100, 1}, {10, 10, 10}}) {
+    std::vector<std::vector<double>> freqs{phase};
+    MigrationContext ctx = MakeContext(&bs_->source, &freqs);
+    auto pruned = SelectOpsLaa(ctx, 0);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    AnalysisOptions brute_options;
+    brute_options.prune_laa = false;
+    auto brute = SelectOpsLaa(ctx, 0, /*observed_phase=*/0, /*max_ops=*/22, brute_options);
+    ASSERT_TRUE(brute.ok());
+    EXPECT_NEAR(pruned->best_cost, brute->best_cost,
+                1e-6 * std::max(1.0, brute->best_cost));
+    EXPECT_DOUBLE_EQ(pruned->schemas_exhaustive,
+                     static_cast<double>(brute->schemas_evaluated));
+    // 1 residual + 4 chain subsets + 2 split subsets, vs 8 brute.
+    EXPECT_EQ(pruned->schemas_evaluated, 7u);
+    ASSERT_EQ(pruned->clusters.size(), 2u);
+    EXPECT_EQ(pruned->clusters[0].ops.size() + pruned->clusters[1].ops.size(), 4u);
+  }
 }
 
 TEST_F(PlannerTest, LaaGuardsAgainstExponentialBlowup) {
   std::vector<std::vector<double>> freqs{{10, 10, 10}};
   MigrationContext ctx = MakeContext(&bs_->source, &freqs);
+  // max_ops=2 bounds the largest *cluster* with pruning on; the book/author
+  // chain has 3 members, so the guard still fires.
   auto laa = SelectOpsLaa(ctx, 0, /*observed_phase=*/0, /*max_ops=*/2);
   ASSERT_FALSE(laa.ok());
   EXPECT_EQ(laa.status().code(), StatusCode::kResourceExhausted);
+  // With pruning off the same guard bounds m itself.
+  AnalysisOptions brute;
+  brute.prune_laa = false;
+  auto laa2 = SelectOpsLaa(ctx, 0, /*observed_phase=*/0, /*max_ops=*/3, brute);
+  ASSERT_FALSE(laa2.ok());
+  EXPECT_EQ(laa2.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST_F(PlannerTest, GaaAssignmentRespectsDependencies) {
@@ -196,6 +235,49 @@ TEST_F(PlannerTest, GaaForwardScanBeatsOrMatchesGreedy) {
   auto greedy_cost = EvaluateAssignment(eval_ctx, 0, all_ops, greedy_assignment, options);
   ASSERT_TRUE(greedy_cost.ok());
   EXPECT_LE(gaa->best_cost, *greedy_cost * 1.0001);
+}
+
+TEST_F(PlannerTest, GaaClusterSeedReproducesGreedyLaaTrajectory) {
+  // With population_size=1 and generations=0 the GA result IS the injected
+  // seed (repair is a no-op on a dependency-valid chromosome), so the
+  // assignment must equal the greedy cluster-wise LAA trajectory computed
+  // independently here.
+  std::vector<std::vector<double>> freqs{{80, 20, 40}, {50, 50, 40}, {20, 80, 40}};
+  MigrationContext ctx = MakeContext(&bs_->source, &freqs);
+  GaaOptions options;
+  options.analysis.seed_gaa_from_clusters = true;
+  options.ga.population_size = 1;
+  options.ga.generations = 0;
+  auto gaa = PlanGaa(ctx, 0, options);
+  ASSERT_TRUE(gaa.ok()) << gaa.status().ToString();
+  ASSERT_EQ(gaa->assignment.size(), opset_r_->size());
+
+  PhysicalSchema current = bs_->source;
+  std::vector<bool> applied(opset_r_->size(), false);
+  std::vector<int> expected(opset_r_->size(), static_cast<int>(freqs.size()));
+  for (size_t p = 0; p < freqs.size(); ++p) {
+    MigrationContext step = MakeContext(&current, &freqs);
+    step.applied = applied;
+    auto laa = SelectOpsLaa(step, p);
+    ASSERT_TRUE(laa.ok());
+    for (int op : laa->ops_to_apply) {
+      ASSERT_TRUE(ApplyOperator(opset_r_->ops[static_cast<size_t>(op)], &current).ok());
+      applied[static_cast<size_t>(op)] = true;
+      expected[static_cast<size_t>(op)] = static_cast<int>(p);
+    }
+  }
+  for (size_t i = 0; i < gaa->remaining_ops.size(); ++i) {
+    EXPECT_EQ(gaa->assignment[i], expected[static_cast<size_t>(gaa->remaining_ops[i])])
+        << "op " << gaa->remaining_ops[i];
+  }
+
+  // A real seeded run can only improve on (or match) the seed's cost.
+  GaaOptions full = options;
+  full.ga.population_size = 24;
+  full.ga.generations = 30;
+  auto seeded = PlanGaa(ctx, 0, full);
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_LE(seeded->best_cost, gaa->best_cost * 1.0001);
 }
 
 TEST_F(PlannerTest, OperatorIoEstimatesArePositive) {
