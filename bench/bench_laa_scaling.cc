@@ -16,12 +16,15 @@
 // --json=PATH additionally emits machine-readable rows (BENCH_laa_scaling.json
 // via scripts/bench.sh).
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "core/mapping.h"
+#include "engine/cost_cache.h"
 
 namespace pse {
 namespace {
@@ -130,6 +133,11 @@ struct BenchRow {
   bool cost_equal = true;
   size_t gaa_evals = 0;
   double gaa_ms = 0;
+  /// Cached + pooled repeat of the row's most expensive serial sweep (the
+  /// brute sweep when it ran, else the pruned one).
+  double cached_ms = 0;
+  double cache_hit_pct = 0;
+  size_t threads = 1;
 };
 
 /// Runs pruned LAA, optionally brute-force LAA, and GAA on one instance.
@@ -171,6 +179,7 @@ int RunPoint(const std::string& family, Synthetic* s, bool run_exhaustive, Bench
   row->clusters = pruned->clusters.size();
   row->brute_closed = pruned->schemas_exhaustive;
 
+  double serial_best = pruned->best_cost;
   if (run_exhaustive) {
     AnalysisOptions brute_options;
     brute_options.prune_laa = false;
@@ -185,6 +194,30 @@ int RunPoint(const std::string& family, Synthetic* s, bool run_exhaustive, Bench
     row->exhaustive_evals = static_cast<long long>(brute->schemas_evaluated);
     double tol = 1e-6 * std::max(1.0, std::fabs(brute->best_cost));
     row->cost_equal = std::fabs(pruned->best_cost - brute->best_cost) <= tol;
+    serial_best = brute->best_cost;
+  }
+
+  // Cached + pooled repeat of the row's most expensive serial sweep: same
+  // enumeration, with candidate costing fanned across a thread pool and
+  // memoized by layout fingerprint. The chosen plan's cost must be
+  // bit-identical to the serial run (deterministic reduction, exact cache).
+  {
+    QueryCostCache cache;
+    ThreadPool pool;
+    AnalysisOptions cached_options;
+    cached_options.prune_laa = !run_exhaustive;
+    cached_options.cost_cache = &cache;
+    cached_options.pool = &pool;
+    auto cached = SelectOpsLaa(ctx, 0, 0, /*max_ops=*/20, cached_options);
+    if (!cached.ok()) {
+      std::fprintf(stderr, "cached LAA: %s\n", cached.status().ToString().c_str());
+      return 1;
+    }
+    row->cached_ms = cached->wall_ms;
+    row->cache_hit_pct = cached->cache_stats.hit_pct();
+    row->threads = cached->threads;
+    double tol = 1e-6 * std::max(1.0, std::fabs(serial_best));
+    row->cost_equal = row->cost_equal && std::fabs(cached->best_cost - serial_best) <= tol;
   }
 
   GaaOptions options;
@@ -204,10 +237,11 @@ void PrintRow(const BenchRow& r) {
   if (r.exhaustive_run) {
     std::printf(" %13lld %8s", r.exhaustive_evals, r.cost_equal ? "yes" : "NO");
   } else {
-    std::printf(" %13s %8s", "-", "-");
+    std::printf(" %13s %8s", "-", r.cost_equal ? "yes" : "NO");
   }
-  std::printf(" %10.1f %10.1f %12zu %10.1f\n", r.pruned_ms,
-              r.exhaustive_run ? r.exhaustive_ms : 0.0, r.gaa_evals, r.gaa_ms);
+  std::printf(" %10.1f %10.1f %10.1f %6.1f%% %4zu %12zu %10.1f\n", r.pruned_ms,
+              r.exhaustive_run ? r.exhaustive_ms : 0.0, r.cached_ms, r.cache_hit_pct, r.threads,
+              r.gaa_evals, r.gaa_ms);
 }
 
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows) {
@@ -219,21 +253,31 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows) {
   std::fprintf(f, "{\n  \"bench\": \"laa_scaling\",\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
+    // Rows whose brute sweep was skipped carry JSON null — not a numeric
+    // sentinel that downstream tooling could mistake for a measurement.
+    std::string brute_evals = "null", brute_ms = "null";
+    if (r.exhaustive_run) {
+      brute_evals = std::to_string(r.exhaustive_evals);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", r.exhaustive_ms);
+      brute_ms = buf;
+    }
     std::fprintf(f,
                  "    {\"family\": \"%s\", \"m\": %zu, \"clusters\": %zu, "
                  "\"schemas_evaluated_pruned\": %zu, \"schemas_exhaustive\": %.0f, "
                  "\"pruned_pct_of_exhaustive\": %.4f, "
-                 "\"schemas_evaluated_brute_run\": %lld, \"cost_equal_to_brute\": %s, "
-                 "\"pruned_ms\": %.2f, \"exhaustive_ms\": %.2f, "
+                 "\"schemas_evaluated_brute_run\": %s, \"cost_equal_to_brute\": %s, "
+                 "\"pruned_ms\": %.2f, \"exhaustive_ms\": %s, "
+                 "\"cached_ms\": %.2f, \"cache_hit_pct\": %.1f, \"threads\": %zu, "
                  "\"gaa_evaluations\": %zu, \"gaa_ms\": %.2f}%s\n",
                  r.family.c_str(), r.m, r.clusters, r.pruned_evals, r.brute_closed,
                  r.brute_closed > 0
                      ? 100.0 * static_cast<double>(r.pruned_evals) / r.brute_closed
                      : 0.0,
-                 r.exhaustive_evals, r.exhaustive_run ? (r.cost_equal ? "true" : "false")
-                                                      : "null",
-                 r.pruned_ms, r.exhaustive_ms, r.gaa_evals, r.gaa_ms,
-                 i + 1 < rows.size() ? "," : "");
+                 brute_evals.c_str(),
+                 r.exhaustive_run ? (r.cost_equal ? "true" : "false") : "null",
+                 r.pruned_ms, brute_ms.c_str(), r.cached_ms, r.cache_hit_pct, r.threads,
+                 r.gaa_evals, r.gaa_ms, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -251,10 +295,10 @@ int main(int argc, char** argv) {
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
   }
 
-  std::printf("=== LAA pruned (interaction clusters) vs brute force vs GAA ===\n");
-  std::printf("%-12s %-4s %8s %13s %16s %13s %8s %10s %10s %12s %10s\n", "family", "m",
-              "clusters", "pruned-evals", "brute-closed", "brute-evals", "equal",
-              "pruned-ms", "brute-ms", "GAA-evals", "GAA-ms");
+  std::printf("=== LAA pruned (interaction clusters) vs brute force vs cached vs GAA ===\n");
+  std::printf("%-12s %-4s %8s %13s %16s %13s %8s %10s %10s %10s %7s %4s %12s %10s\n", "family",
+              "m", "clusters", "pruned-evals", "brute-closed", "brute-evals", "equal",
+              "pruned-ms", "brute-ms", "cached-ms", "hit", "thr", "GAA-evals", "GAA-ms");
   std::vector<BenchRow> rows;
   int rc = 0;
   for (size_t m : {4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
@@ -275,8 +319,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\nBrute-force LAA doubles per operator (the paper's 2^m); cluster-wise LAA pays the\n"
-      "sum of the clusters instead of their product, at identical chosen-plan cost; GAA\n"
-      "stays within its GA budget.\n");
+      "sum of the clusters instead of their product, at identical chosen-plan cost; the\n"
+      "cached column repeats the row's most expensive sweep with layout-fingerprint\n"
+      "memoization + a thread pool, again at identical cost; GAA stays within its GA\n"
+      "budget.\n");
   if (!json_path.empty()) WriteJson(json_path, rows);
   return rc;
 }

@@ -12,7 +12,9 @@
 // verifies the built-in TPC-W source->object migration (operator set,
 // information preservation, workload answerability), ".interactions" prints
 // the operator-interaction analysis of that migration (footprints,
-// interference clusters, plan-space reduction), ".quit" exits.
+// interference clusters, plan-space reduction), ".coststats" runs cached +
+// parallel LAA planning over that migration twice and prints the cost-cache
+// hit/miss/collision counters, ".quit" exits.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -21,8 +23,12 @@
 #include "analysis/interaction.h"
 #include "analysis/verifier.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/mapping.h"
+#include "core/migration_planner.h"
+#include "engine/cost_cache.h"
 #include "sql/session.h"
+#include "tpcw/datagen.h"
 #include "tpcw/queries.h"
 #include "tpcw/schema.h"
 
@@ -105,6 +111,54 @@ int RunInteractionsDemo() {
   return 0;
 }
 
+/// `.coststats`: cached + parallel LAA over the TPC-W migration. Two rounds
+/// against one shared cache show the cold-run miss population and the warm
+/// run served entirely from memoized estimates.
+int RunCostStatsDemo() {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  if (!queries.ok()) {
+    std::printf("error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  if (!opset.ok()) {
+    std::printf("error: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<LogicalDatabase> data = GenerateTpcwData(*schema, ScaleTiny());
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  std::vector<std::vector<double>> freqs{std::vector<double>(queries->size(), 1.0)};
+  MigrationContext ctx;
+  ctx.current = &schema->source;
+  ctx.object = &schema->object;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &freqs;
+  ctx.phase_stats = &stats;
+  ctx.queries = &*queries;
+
+  QueryCostCache cache;
+  ThreadPool pool;
+  AnalysisOptions analysis;
+  analysis.cost_cache = &cache;
+  analysis.pool = &pool;
+  std::printf("TPC-W source -> object migration: %zu operators, %zu queries\n", opset->size(),
+              queries->size());
+  for (int round = 1; round <= 2; ++round) {
+    auto laa = SelectOpsLaa(ctx, 0, 0, /*max_ops=*/30, analysis);
+    if (!laa.ok()) {
+      std::printf("error: %s\n", laa.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("LAA round %d: %zu schemas costed in %.2f ms on %zu threads\n  %s\n", round,
+                laa->schemas_evaluated, laa->wall_ms, laa->threads,
+                laa->cache_stats.ToString().c_str());
+  }
+  std::printf("cache holds %zu distinct (query, layout, stats) entries\n", cache.size());
+  return 0;
+}
+
 int RunStatement(Session* session, const std::string& stmt) {
   std::string trimmed(Trim(stmt));
   if (trimmed.empty()) return 0;
@@ -114,6 +168,7 @@ int RunStatement(Session* session, const std::string& stmt) {
   }
   if (trimmed == ".verify") return RunVerifyDemo();
   if (trimmed == ".interactions") return RunInteractionsDemo();
+  if (trimmed == ".coststats") return RunCostStatsDemo();
   if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
     auto plan = session->Explain(trimmed.substr(8));
     if (!plan.ok()) {
@@ -189,7 +244,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .interactions, "
-      ".quit)\n");
+      ".coststats, .quit)\n");
   std::string buffer, line;
   while (true) {
     std::printf(buffer.empty() ? "sql> " : "...> ");

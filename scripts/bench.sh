@@ -15,7 +15,23 @@ cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "== bench: building =="
 cmake --build "$build_dir" -j "$jobs" --target bench_laa_scaling >/dev/null
 
-echo "== bench: LAA scaling (pruned vs brute force vs GAA) =="
+echo "== bench: LAA scaling (pruned vs brute force vs cached vs GAA) =="
 "$build_dir"/bench/bench_laa_scaling --json=BENCH_laa_scaling.json
+
+echo "== bench: validating BENCH_laa_scaling.json =="
+# Skipped brute runs must be JSON null, never a numeric sentinel, and every
+# brute row must agree with the pruned and cached sweeps bit-for-bit.
+if grep -E '"schemas_evaluated_brute_run": -1|"exhaustive_ms": -1' BENCH_laa_scaling.json; then
+  echo "bench JSON uses numeric sentinels for skipped brute runs (want null)" >&2
+  exit 1
+fi
+if grep -q '"cost_equal_to_brute": false' BENCH_laa_scaling.json; then
+  echo "pruned/cached LAA disagreed with brute force on some row" >&2
+  exit 1
+fi
+grep -q '"cached_ms"' BENCH_laa_scaling.json || {
+  echo "bench JSON is missing the cached-run columns" >&2
+  exit 1
+}
 
 echo "== bench: OK =="

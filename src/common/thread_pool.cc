@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace pse {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t lanes = num_threads == 0 ? DefaultThreadCount() : num_threads;
+  workers_.reserve(lanes - 1);
+  for (size_t i = 1; i < lanes; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 1, 16);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunJob();
+  }
+}
+
+void ThreadPool::RunJob() {
+  while (true) {
+    size_t index;
+    const std::function<void(size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_next_ >= job_n_) return;
+      index = job_next_++;
+      fn = job_fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--job_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> serial(job_serial_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_next_ = 0;
+    job_remaining_ = n;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunJob();  // the calling thread is a lane too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return job_remaining_ == 0; });
+  job_fn_ = nullptr;
+}
+
+}  // namespace pse

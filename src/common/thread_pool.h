@@ -1,0 +1,71 @@
+// Small fixed-size thread pool for fan-out/join parallelism.
+//
+// The planners cost thousands of independent candidate schemas per migration
+// point; each estimation is pure (rewrite -> plan -> cost with per-call
+// scratch state), so the only shared mutable state in a parallel sweep is the
+// (mutex-guarded) query-cost cache. ParallelFor is the single primitive: it
+// runs fn(0..n-1) across the workers plus the calling thread and returns when
+// every index completed. Callers own determinism by writing results into
+// index-addressed slots and reducing serially afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pse {
+
+/// \brief A fixed set of worker threads executing index-sharded jobs.
+///
+/// One job runs at a time; concurrent ParallelFor calls from different
+/// threads serialize on an internal mutex. The pool is *not* reentrant:
+/// calling ParallelFor from inside a job deadlocks by construction (workers
+/// are all busy), so nested parallelism must stay at one level.
+class ThreadPool {
+ public:
+  /// Creates a pool of `num_threads` total execution lanes (workers plus the
+  /// calling thread, which always participates in ParallelFor). 0 picks
+  /// DefaultThreadCount(). num_threads == 1 spawns no workers at all.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (spawned workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), sharded dynamically across the
+  /// workers and the calling thread; returns once all n calls finished.
+  /// fn must not throw and must not call back into this pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Hardware concurrency clamped to [1, 16] (the planners' sweeps are
+  /// memory-light but cache-coupled; more lanes than that just contend).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+  /// Pulls indices from the current job until it is drained.
+  void RunJob();
+
+  std::mutex job_serial_mu_;  ///< serializes whole ParallelFor calls
+
+  std::mutex mu_;  ///< guards the job fields + generation below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_next_ = 0;
+  size_t job_remaining_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pse

@@ -1,0 +1,121 @@
+#include "core/cost_estimator.h"
+
+#include <algorithm>
+
+#include "analysis/interaction.h"
+
+namespace pse {
+
+CachedCostEstimator::CachedCostEstimator(const std::vector<WorkloadQuery>* queries,
+                                         const LogicalSchema* logical, QueryCostCache* cache)
+    : queries_(queries), cache_(cache) {
+  if (cache_ == nullptr || queries_ == nullptr || logical == nullptr) {
+    cache_ = nullptr;  // incomplete inputs: degrade to the uncached path
+    return;
+  }
+  support_.reserve(queries_->size());
+  key_prefix_.reserve(queries_->size());
+  for (size_t q = 0; q < queries_->size(); ++q) {
+    support_.push_back(QuerySupportAttrs((*queries_)[q].query, *logical));
+    // The prefix pins query identity (index + name) so two workloads sharing
+    // one cache can never alias, even at equal support layouts.
+    std::string prefix = "q";
+    prefix += std::to_string(q);
+    prefix += "|";
+    prefix += (*queries_)[q].query.name;
+    prefix += "|";
+    key_prefix_.push_back(std::move(prefix));
+  }
+}
+
+std::string CachedCostEstimator::StatsToken(const LogicalStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_fp_mu_);
+  for (const auto& [ptr, token] : stats_tokens_) {
+    if (ptr == &stats) return token;
+  }
+  std::string token = "s";
+  token += std::to_string(StatsFingerprint(stats));
+  token += "|";
+  stats_tokens_.emplace_back(&stats, token);
+  return token;
+}
+
+Result<double> CachedCostEstimator::QueryCost(size_t q, const PhysicalSchema& schema,
+                                              const LogicalStats& stats) {
+  if (queries_ == nullptr || q >= queries_->size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  const LogicalQuery& query = (*queries_)[q].query;
+  if (cache_ == nullptr) return EstimateQueryCost(query, schema, stats);
+
+  std::string key = key_prefix_[q] + StatsToken(stats) + LayoutKey(support_[q], schema);
+  uint64_t fp = QueryCostCache::Fingerprint(key);
+  if (std::optional<QueryCostCache::Outcome> hit = cache_->Lookup(fp, key)) {
+    if (hit->bind_error) {
+      return Status::BindError("query '" + query.name +
+                               "' does not bind on this layout (cached)");
+    }
+    return hit->cost;
+  }
+  Result<double> cost = EstimateQueryCost(query, schema, stats);
+  if (cost.ok()) {
+    cache_->Insert(fp, key, {*cost, /*bind_error=*/false});
+    return cost;
+  }
+  if (cost.status().IsBindError()) {
+    // Unservability is a property of the layout too — memoize it so the
+    // fallback path stops re-deriving the same bind failure.
+    cache_->Insert(fp, key, {0.0, /*bind_error=*/true});
+  }
+  return cost;  // non-bind errors are not cached (should not recur)
+}
+
+Result<double> CachedCostEstimator::WorkloadCost(const PhysicalSchema& schema,
+                                                 const LogicalStats& stats,
+                                                 const std::vector<double>& freqs,
+                                                 const CostOptions& options) {
+  if (queries_ == nullptr) return Status::InvalidArgument("estimator has no workload");
+  if (freqs.size() != queries_->size()) {
+    return Status::InvalidArgument("frequency vector does not match query count");
+  }
+  if (std::none_of(freqs.begin(), freqs.end(), [](double f) { return f > 0; })) {
+    return 0.0;  // silent phase: nothing to estimate (mirrors the free function)
+  }
+  double total = 0;
+  for (size_t i = 0; i < queries_->size(); ++i) {
+    if (freqs[i] <= 0) continue;
+    Result<double> cost = QueryCost(i, schema, stats);
+    if (!cost.ok()) {
+      if (cost.status().IsBindError() && options.fallback_schema != nullptr) {
+        PSE_ASSIGN_OR_RETURN(double fb, QueryCost(i, *options.fallback_schema, stats));
+        total += options.unservable_penalty * fb * freqs[i];
+        continue;
+      }
+      return cost.status();
+    }
+    total += *cost * freqs[i];
+  }
+  return total;
+}
+
+std::vector<Result<double>> ParallelCostEstimator::CostAll(
+    size_t n, const std::function<Result<PhysicalSchema>(size_t)>& schema_at,
+    const LogicalStats& stats, const std::vector<double>& freqs, const CostOptions& options) {
+  std::vector<Result<double>> out(n, Result<double>(Status::Internal("candidate not costed")));
+  auto cost_one = [&](size_t i) {
+    Result<PhysicalSchema> schema = schema_at(i);
+    if (!schema.ok()) {
+      out[i] = schema.status();
+      return;
+    }
+    out[i] = estimator_->WorkloadCost(*schema, stats, freqs, options);
+  };
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < n; ++i) cost_one(i);
+  } else {
+    pool_->ParallelFor(n, cost_one);
+  }
+  return out;
+}
+
+}  // namespace pse

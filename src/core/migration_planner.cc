@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 
 #include "analysis/verifier.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/virtual_catalog.h"
 #include "engine/cost_model.h"
 
@@ -35,20 +39,71 @@ std::vector<int> MigrationContext::RemainingOps() const {
 
 namespace {
 
-/// Applies `subset` (indices into opset->ops) to a copy of ctx.current in a
-/// dependency-respecting order.
-Result<PhysicalSchema> ApplySubset(const MigrationContext& ctx, const std::vector<int>& subset) {
-  PhysicalSchema schema = *ctx.current;
-  // Order by the opset's topological order.
+/// Winner of one closed-subset sweep (brute force over all remaining ops, or
+/// one cluster's powerset).
+struct SweepOutcome {
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_subset;
+  size_t evaluated = 0;
+};
+
+/// Enumerates the dependency-closed subsets of `ops` in ascending-mask order
+/// and costs them in index-addressed batches (materialize + cost fan out
+/// across the pool; memory stays bounded). The reduction is serial and keeps
+/// the exhaustive sweep's tie rule — on equal cost the later (larger, more
+/// progressed) subset wins — so scheduling cannot change the winner.
+Result<SweepOutcome> SweepClosedSubsets(const MigrationContext& ctx, const std::vector<int>& ops,
+                                        const LogicalStats& stats,
+                                        const std::vector<double>& freqs,
+                                        const CostOptions& cost_options,
+                                        ParallelCostEstimator* parallel) {
+  constexpr size_t kBatch = 4096;
+  const size_t k = ops.size();
+  SweepOutcome out;
+  // One topological sort serves every candidate (ApplySubset would recompute
+  // it per subset — measurable across a 2^m sweep).
   PSE_ASSIGN_OR_RETURN(std::vector<int> topo, ctx.opset->TopologicalOrder());
-  std::vector<bool> in_subset(ctx.opset->size(), false);
-  for (int i : subset) in_subset[static_cast<size_t>(i)] = true;
-  for (int i : topo) {
-    if (in_subset[static_cast<size_t>(i)]) {
-      PSE_RETURN_NOT_OK(ApplyOperator(ctx.opset->ops[static_cast<size_t>(i)], &schema));
+  auto apply = [&](const std::vector<int>& subset) -> Result<PhysicalSchema> {
+    PhysicalSchema schema = *ctx.current;
+    std::vector<bool> in_subset(ctx.opset->size(), false);
+    for (int i : subset) in_subset[static_cast<size_t>(i)] = true;
+    for (int i : topo) {
+      if (in_subset[static_cast<size_t>(i)]) {
+        PSE_RETURN_NOT_OK(ApplyOperator(ctx.opset->ops[static_cast<size_t>(i)], &schema));
+      }
     }
+    return schema;
+  };
+  std::vector<std::vector<int>> batch;
+  batch.reserve(std::min(kBatch, size_t{1} << std::min<size_t>(k, 12)));
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    std::vector<Result<double>> costs = parallel->CostAll(
+        batch.size(), [&](size_t i) { return apply(batch[i]); }, stats, freqs, cost_options);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!costs[i].ok()) return costs[i].status();
+      ++out.evaluated;
+      // Paper's Algorithm 1 uses Min >= TempCost: on ties, the later subset
+      // wins, pushing the migration forward.
+      if (*costs[i] <= out.best_cost) {
+        out.best_cost = *costs[i];
+        out.best_subset = std::move(batch[i]);
+      }
+    }
+    batch.clear();
+    return Status::OK();
+  };
+  for (uint64_t mask = 0; mask < (1ull << k); ++mask) {
+    std::vector<int> subset;
+    for (size_t b = 0; b < k; ++b) {
+      if (mask & (1ull << b)) subset.push_back(ops[b]);
+    }
+    if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
+    batch.push_back(std::move(subset));
+    if (batch.size() == kBatch) PSE_RETURN_NOT_OK(flush());
   }
-  return schema;
+  PSE_RETURN_NOT_OK(flush());
+  return out;
 }
 
 }  // namespace
@@ -108,12 +163,19 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
     return Status::InvalidArgument("phase out of range");
   }
   PSE_RETURN_NOT_OK(GateContext(ctx));
+  Stopwatch wall;
   const std::vector<double>& freqs = (*ctx.phase_freqs)[observed_phase];
   const LogicalStats& stats = ctx.StatsAt(observed_phase);
   CostOptions cost_options;
   cost_options.fallback_schema = ctx.object;
 
+  CachedCostEstimator estimator(ctx.queries, ctx.current->logical(), analysis.cost_cache);
+  ParallelCostEstimator parallel(&estimator, analysis.pool);
+  const CostCacheStats cache_before =
+      analysis.cost_cache != nullptr ? analysis.cost_cache->Snapshot() : CostCacheStats{};
+
   LaaResult result;
+  result.threads = parallel.threads();
   std::vector<int> best_subset;
 
   if (!analysis.prune_laa) {
@@ -123,25 +185,11 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
           "LAA is exhaustive (2^m); m=" + std::to_string(m) + " exceeds the guard of " +
           std::to_string(max_ops) + " — use GAA or enable interaction-analysis pruning");
     }
-    double best = std::numeric_limits<double>::infinity();
-    for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
-      std::vector<int> subset;
-      for (size_t b = 0; b < m; ++b) {
-        if (mask & (1ull << b)) subset.push_back(remaining[b]);
-      }
-      if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
-      PSE_ASSIGN_OR_RETURN(PhysicalSchema schema, ApplySubset(ctx, subset));
-      PSE_ASSIGN_OR_RETURN(double cost, EstimateWorkloadCost(schema, stats, *ctx.queries, freqs,
-                                                             cost_options));
-      ++result.schemas_evaluated;
-      // Paper's Algorithm 1 uses Min >= TempCost: on ties, the later (here:
-      // larger/more-progressed) subset wins, pushing the migration forward.
-      if (cost <= best) {
-        best = cost;
-        best_subset = subset;
-      }
-    }
-    result.best_cost = best;
+    PSE_ASSIGN_OR_RETURN(SweepOutcome sweep, SweepClosedSubsets(ctx, remaining, stats, freqs,
+                                                                cost_options, &parallel));
+    result.schemas_evaluated = sweep.evaluated;
+    result.best_cost = sweep.best_cost;
+    best_subset = std::move(sweep.best_subset);
     result.schemas_exhaustive = static_cast<double>(result.schemas_evaluated);
   } else {
     // Cluster-wise enumeration: exact because C(Schema) decomposes over
@@ -166,40 +214,26 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
     for (size_t q : ia.untouched_queries) {
       if (q < residual.size()) residual[q] = freqs[q];
     }
-    PSE_ASSIGN_OR_RETURN(double total, EstimateWorkloadCost(*ctx.current, stats, *ctx.queries,
-                                                            residual, cost_options));
+    PSE_ASSIGN_OR_RETURN(double total,
+                         estimator.WorkloadCost(*ctx.current, stats, residual, cost_options));
     ++result.schemas_evaluated;
     for (const InteractionCluster& cluster : ia.clusters) {
       std::vector<double> masked(freqs.size(), 0.0);
       for (size_t q : cluster.queries) {
         if (q < masked.size()) masked[q] = freqs[q];
       }
-      const size_t k = cluster.ops.size();
       LaaClusterInfo info;
       info.ops = cluster.ops;
-      double best = std::numeric_limits<double>::infinity();
-      std::vector<int> cluster_best;
-      for (uint64_t mask = 0; mask < (1ull << k); ++mask) {
-        std::vector<int> subset;
-        for (size_t b = 0; b < k; ++b) {
-          if (mask & (1ull << b)) subset.push_back(cluster.ops[b]);
-        }
-        // Dependencies never cross clusters, so closure is cluster-local.
-        if (!ctx.opset->IsClosed(subset, ctx.applied)) continue;
-        PSE_ASSIGN_OR_RETURN(PhysicalSchema schema, ApplySubset(ctx, subset));
-        PSE_ASSIGN_OR_RETURN(double cost, EstimateWorkloadCost(schema, stats, *ctx.queries,
-                                                               masked, cost_options));
-        ++info.schemas_evaluated;
-        if (cost <= best) {  // same tie rule as the exhaustive sweep
-          best = cost;
-          cluster_best = subset;
-        }
-      }
-      info.best_cost = best;
-      info.chosen = cluster_best;
+      // Dependencies never cross clusters, so closure is cluster-local.
+      PSE_ASSIGN_OR_RETURN(SweepOutcome sweep, SweepClosedSubsets(ctx, cluster.ops, stats,
+                                                                  masked, cost_options,
+                                                                  &parallel));
+      info.schemas_evaluated = sweep.evaluated;
+      info.best_cost = sweep.best_cost;
+      info.chosen = sweep.best_subset;
       result.schemas_evaluated += info.schemas_evaluated;
-      total += best;
-      best_subset.insert(best_subset.end(), cluster_best.begin(), cluster_best.end());
+      total += info.best_cost;
+      best_subset.insert(best_subset.end(), sweep.best_subset.begin(), sweep.best_subset.end());
       result.clusters.push_back(std::move(info));
     }
     result.best_cost = total;
@@ -212,13 +246,17 @@ Result<LaaResult> SelectOpsLaa(const MigrationContext& ctx, size_t current_phase
   for (int i : topo) {
     if (in_subset[static_cast<size_t>(i)]) result.ops_to_apply.push_back(i);
   }
+  if (analysis.cost_cache != nullptr) {
+    result.cache_stats = analysis.cost_cache->Snapshot() - cache_before;
+  }
+  result.wall_ms = wall.ElapsedSeconds() * 1000.0;
   return result;
 }
 
 Result<double> EvaluateAssignment(const MigrationContext& ctx, size_t current_phase,
                                   const std::vector<int>& remaining_ops,
                                   const std::vector<int>& assignment,
-                                  const GaaOptions& options) {
+                                  const GaaOptions& options, CachedCostEstimator* estimator) {
   const size_t phases_left = ctx.num_phases() - current_phase;
   CostOptions cost_options;
   cost_options.fallback_schema = ctx.object;
@@ -253,9 +291,15 @@ Result<double> EvaluateAssignment(const MigrationContext& ctx, size_t current_ph
       }
     }
     const std::vector<double>& freqs = (*ctx.phase_freqs)[current_phase + off];
-    PSE_ASSIGN_OR_RETURN(double cost,
-                         EstimateWorkloadCost(schema, ctx.StatsAt(current_phase + off),
-                                              *ctx.queries, freqs, cost_options));
+    const LogicalStats& phase_stats = ctx.StatsAt(current_phase + off);
+    double cost = 0;
+    if (estimator != nullptr) {
+      PSE_ASSIGN_OR_RETURN(cost, estimator->WorkloadCost(schema, phase_stats, freqs,
+                                                         cost_options));
+    } else {
+      PSE_ASSIGN_OR_RETURN(cost, EstimateWorkloadCost(schema, phase_stats, *ctx.queries, freqs,
+                                                      cost_options));
+    }
     total += cost;
   }
   // Deferred operators (offset == phases_left) run in the completion step;
@@ -316,10 +360,18 @@ Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
     return Status::InvalidArgument("phase out of range");
   }
   PSE_RETURN_NOT_OK(GateContext(ctx));
+  Stopwatch wall;
   GaaResult result;
   result.remaining_ops = ctx.RemainingOps();
   const size_t m = result.remaining_ops.size();
   const int phases_left = static_cast<int>(ctx.num_phases() - current_phase);
+
+  CachedCostEstimator estimator(ctx.queries, ctx.current->logical(), options.analysis.cost_cache);
+  ThreadPool* pool = options.analysis.pool;
+  result.threads = pool != nullptr ? pool->num_threads() : 1;
+  const CostCacheStats cache_before = options.analysis.cost_cache != nullptr
+                                          ? options.analysis.cost_cache->Snapshot()
+                                          : CostCacheStats{};
   if (m == 0) {
     result.best_cost = 0;
     return result;
@@ -362,21 +414,57 @@ Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
       }
     };
   }
+  // Turns one evaluation outcome into a fitness, recording the first error.
+  auto to_fitness = [&eval_error](const Result<double>& cost) -> double {
+    if (!cost.ok()) {
+      if (eval_error.ok()) eval_error = cost.status();
+      return -std::numeric_limits<double>::infinity();
+    }
+    return -*cost;
+  };
   problem.fitness = [&](const Chromosome& c) -> double {
     auto cached = fitness_cache.find(c);
     if (cached != fitness_cache.end()) return cached->second;
-    Result<double> cost =
-        EvaluateAssignment(ctx, current_phase, result.remaining_ops, c, options);
-    double fitness;
-    if (!cost.ok()) {
-      eval_error = cost.status();
-      fitness = -std::numeric_limits<double>::infinity();
-    } else {
-      fitness = -*cost;
-    }
+    double fitness = to_fitness(
+        EvaluateAssignment(ctx, current_phase, result.remaining_ops, c, options, &estimator));
     fitness_cache.emplace(c, fitness);
     return fitness;
   };
+  if (pool != nullptr) {
+    // Fan one generation's unseen chromosomes across the pool. The memo
+    // cache is read and written only on this thread; workers touch nothing
+    // but their own result slot (and the internally-locked cost cache), and
+    // the serial fill-in order makes error reporting deterministic (first
+    // failing cohort index wins, matching the element-wise path).
+    problem.batch_fitness = [&](const std::vector<Chromosome>& cohort) {
+      std::vector<double> fitnesses(cohort.size(), 0.0);
+      std::vector<size_t> misses;                       // cohort indexes to evaluate
+      std::map<Chromosome, std::vector<size_t>> dups;   // duplicate resolution
+      for (size_t i = 0; i < cohort.size(); ++i) {
+        auto cached = fitness_cache.find(cohort[i]);
+        if (cached != fitness_cache.end()) {
+          fitnesses[i] = cached->second;
+          continue;
+        }
+        auto [it, inserted] = dups.try_emplace(cohort[i]);
+        it->second.push_back(i);
+        if (inserted) misses.push_back(i);
+      }
+      std::vector<Result<double>> outcomes(misses.size(),
+                                           Result<double>(Status::Internal("not evaluated")));
+      pool->ParallelFor(misses.size(), [&](size_t j) {
+        outcomes[j] = EvaluateAssignment(ctx, current_phase, result.remaining_ops,
+                                         cohort[misses[j]], options, &estimator);
+      });
+      for (size_t j = 0; j < misses.size(); ++j) {
+        double fitness = to_fitness(outcomes[j]);
+        const Chromosome& c = cohort[misses[j]];
+        fitness_cache.emplace(c, fitness);
+        for (size_t i : dups[c]) fitnesses[i] = fitness;
+      }
+      return fitnesses;
+    };
+  }
 
   if (options.analysis.seed_gaa_from_clusters) {
     // Seed the population with the greedy trajectory of cluster-wise LAA:
@@ -420,6 +508,10 @@ Result<GaaResult> PlanGaa(const MigrationContext& ctx, size_t current_phase,
   result.assignment = ga.best;
   result.best_cost = -ga.best_fitness;
   result.evaluations = ga.evaluations;
+  if (options.analysis.cost_cache != nullptr) {
+    result.cache_stats = options.analysis.cost_cache->Snapshot() - cache_before;
+  }
+  result.wall_ms = wall.ElapsedSeconds() * 1000.0;
   return result;
 }
 
@@ -443,6 +535,7 @@ Result<GaaResult> PlanExhaustiveGlobal(const MigrationContext& ctx, size_t curre
                                      std::to_string(m) + " too large");
   }
   if (m == 0) return result;
+  CachedCostEstimator estimator(ctx.queries, ctx.current->logical(), options.analysis.cost_cache);
   std::vector<int> assignment(m, 0);
   double best = std::numeric_limits<double>::infinity();
   std::vector<int> best_assignment = assignment;
@@ -464,9 +557,9 @@ Result<GaaResult> PlanExhaustiveGlobal(const MigrationContext& ctx, size_t curre
   };
   while (true) {
     if (valid()) {
-      PSE_ASSIGN_OR_RETURN(
-          double cost,
-          EvaluateAssignment(ctx, current_phase, result.remaining_ops, assignment, options));
+      PSE_ASSIGN_OR_RETURN(double cost,
+                           EvaluateAssignment(ctx, current_phase, result.remaining_ops,
+                                              assignment, options, &estimator));
       ++result.evaluations;
       if (cost < best) {
         best = cost;

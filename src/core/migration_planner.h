@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "analysis/interaction.h"
+#include "core/cost_estimator.h"
 #include "core/mapping.h"
 #include "core/workload.h"
+#include "engine/cost_cache.h"
 #include "ga/genetic.h"
 
 namespace pse {
@@ -69,6 +71,12 @@ struct LaaResult {
   double schemas_exhaustive = 0;
   /// Cluster structure of the pruned run (empty when pruning is off).
   std::vector<LaaClusterInfo> clusters;
+  /// Cost-cache activity of this run (all zeros when no cache was passed).
+  CostCacheStats cache_stats;
+  /// Execution lanes used for candidate costing (1 = serial).
+  size_t threads = 1;
+  /// Wall-clock time of this planning run, milliseconds.
+  double wall_ms = 0;
 };
 
 /// Runs LAA at the migration point opening `current_phase`, scoring the
@@ -122,6 +130,12 @@ struct GaaResult {
   std::vector<int> remaining_ops;  ///< op indices matching `assignment`
   double best_cost = 0;            ///< estimated total cost of the plan
   size_t evaluations = 0;
+  /// Cost-cache activity of this run (all zeros when no cache was passed).
+  CostCacheStats cache_stats;
+  /// Execution lanes used for candidate costing (1 = serial).
+  size_t threads = 1;
+  /// Wall-clock time of this planning run, milliseconds.
+  double wall_ms = 0;
   /// Ops assigned to offset 0, in dependency order — what to apply now.
   std::vector<int> ApplyNow() const;
 };
@@ -137,9 +151,12 @@ Result<GaaResult> PlanExhaustiveGlobal(const MigrationContext& ctx, size_t curre
 
 /// Shared evaluation function (Algorithm 2): total cost of executing the
 /// remaining phases under `assignment`. Exposed for tests and benches.
+/// `estimator` optionally memoizes the per-phase workload costings (null =
+/// uncached; results are identical either way).
 Result<double> EvaluateAssignment(const MigrationContext& ctx, size_t current_phase,
                                   const std::vector<int>& remaining_ops,
                                   const std::vector<int>& assignment,
-                                  const GaaOptions& options);
+                                  const GaaOptions& options,
+                                  CachedCostEstimator* estimator = nullptr);
 
 }  // namespace pse

@@ -5,6 +5,9 @@
 
 #include "analysis/interaction.h"
 #include "analysis/verifier.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/cost_estimator.h"
 
 namespace pse {
 
@@ -83,9 +86,17 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
                                    const std::vector<double>& freqs,
                                    const AdvisorOptions& options) {
   const LogicalSchema& L = *seed.logical();
+  Stopwatch wall;
   AdvisorResult result;
   result.schema = seed;
   int next_id = 100000;
+
+  CachedCostEstimator estimator(&queries, &L, options.analysis.cost_cache);
+  ThreadPool* pool = options.analysis.pool;
+  result.threads = pool != nullptr ? pool->num_threads() : 1;
+  const CostCacheStats cache_before = options.analysis.cost_cache != nullptr
+                                          ? options.analysis.cost_cache->Snapshot()
+                                          : CostCacheStats{};
 
   // 1. Make the workload servable: create missing referenced attributes.
   std::set<AttrId> referenced;
@@ -126,7 +137,7 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
   }
 
   PSE_ASSIGN_OR_RETURN(double cost,
-                       EstimateWorkloadCost(result.schema, stats, queries, freqs));
+                       estimator.WorkloadCost(result.schema, stats, freqs, CostOptions{}));
   result.initial_cost = cost;
   if (!result.steps.empty()) {
     // Back-fill the create steps' costs now that the workload is servable.
@@ -146,7 +157,7 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     std::vector<MigrationOperator> candidates = CandidateOps(result.schema, &next_id);
     double best_cost = cost;
     std::optional<MigrationOperator> best_op;
-    PhysicalSchema best_schema;
+    size_t best_index = 0;
     // Relevance path: per-query base costs on the current schema, so each
     // candidate re-estimates only the queries whose support set intersects
     // the attributes the operator moves. Any estimation failure falls back
@@ -155,22 +166,38 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     bool use_relevance = options.analysis.advisor_query_relevance;
     for (size_t q = 0; use_relevance && q < queries.size(); ++q) {
       if (freqs[q] <= 0) continue;
-      auto c = EstimateQueryCost(queries[q].query, result.schema, stats);
+      auto c = estimator.QueryCost(q, result.schema, stats);
       if (c.ok()) {
         base[q] = *c;
       } else {
         use_relevance = false;
       }
     }
-    for (const auto& op : candidates) {
+    // Materialize the legal trial schemas serially (ApplyOperator is cheap),
+    // then score them — fanned across the pool when one is provided. Every
+    // score lands in its candidate's slot, and the reduction below is serial
+    // with the serial path's rule (strict improvement, first candidate wins),
+    // so threading cannot change the chosen operator.
+    struct Scored {
+      double value = 0;
+      size_t queries_estimated = 0;
+      bool estimable = false;
+    };
+    std::vector<std::pair<size_t, PhysicalSchema>> trials;  // (candidate idx, schema)
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
       PhysicalSchema trial = result.schema;
-      if (!ApplyOperator(op, &trial).ok()) continue;  // illegal move
-      double trial_cost_value = 0;
+      if (!ApplyOperator(candidates[ci], &trial).ok()) continue;  // illegal move
+      trials.emplace_back(ci, std::move(trial));
+    }
+    std::vector<Scored> scores(trials.size());
+    auto score_one = [&](size_t ti) {
+      const PhysicalSchema& trial = trials[ti].second;
+      Scored s;
       if (use_relevance) {
         std::set<AttrId> delta = SchemaDeltaAttrs(result.schema, trial);
-        trial_cost_value = cost;
-        bool estimable = true;
-        for (size_t q = 0; q < queries.size() && estimable; ++q) {
+        s.value = cost;
+        s.estimable = true;
+        for (size_t q = 0; q < queries.size() && s.estimable; ++q) {
           if (freqs[q] <= 0) continue;
           bool affected = false;
           for (AttrId a : support[q]) {
@@ -180,32 +207,44 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
             }
           }
           if (!affected) continue;  // placement of everything q touches is unchanged
-          auto c = EstimateQueryCost(queries[q].query, trial, stats);
-          ++result.queries_estimated;
+          auto c = estimator.QueryCost(q, trial, stats);
+          ++s.queries_estimated;
           if (!c.ok()) {
-            estimable = false;
+            s.estimable = false;
             break;
           }
-          trial_cost_value += (*c - base[q]) * freqs[q];
+          s.value += (*c - base[q]) * freqs[q];
         }
-        if (!estimable) continue;
       } else {
-        auto trial_cost = EstimateWorkloadCost(trial, stats, queries, freqs);
-        if (!trial_cost.ok()) continue;
-        for (double f : freqs) result.queries_estimated += f > 0 ? 1 : 0;
-        trial_cost_value = *trial_cost;
+        auto trial_cost = estimator.WorkloadCost(trial, stats, freqs, CostOptions{});
+        if (trial_cost.ok()) {
+          for (double f : freqs) s.queries_estimated += f > 0 ? 1 : 0;
+          s.value = *trial_cost;
+          s.estimable = true;
+        }
       }
+      scores[ti] = s;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(trials.size(), score_one);
+    } else {
+      for (size_t ti = 0; ti < trials.size(); ++ti) score_one(ti);
+    }
+    for (size_t ti = 0; ti < trials.size(); ++ti) {
+      result.queries_estimated += scores[ti].queries_estimated;
+      if (!scores[ti].estimable) continue;
       ++result.candidates_evaluated;
-      if (trial_cost_value < best_cost) {
-        best_cost = trial_cost_value;
-        best_op = op;
-        best_schema = std::move(trial);
+      if (scores[ti].value < best_cost) {
+        best_cost = scores[ti].value;
+        best_op = candidates[trials[ti].first];
+        best_index = ti;
       }
     }
     if (!best_op.has_value() ||
         cost - best_cost < options.min_improvement * std::max(1.0, cost)) {
       break;
     }
+    PhysicalSchema best_schema = std::move(trials[best_index].second);
     AdvisorStep step;
     step.op = *best_op;
     step.cost_before = cost;
@@ -215,6 +254,10 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     cost = best_cost;
   }
   result.final_cost = cost;
+  if (options.analysis.cost_cache != nullptr) {
+    result.cache_stats = options.analysis.cost_cache->Snapshot() - cache_before;
+  }
+  result.wall_ms = wall.ElapsedSeconds() * 1000.0;
 
   // 3. Static verification of the recommendation: the improving steps form a
   // sequential operator set from the seed; it must be well-formed, preserve

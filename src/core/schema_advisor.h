@@ -17,6 +17,7 @@
 #include "analysis/interaction.h"
 #include "core/operators.h"
 #include "core/workload.h"
+#include "engine/cost_cache.h"
 
 namespace pse {
 
@@ -53,6 +54,12 @@ struct AdvisorResult {
   /// with `analysis.advisor_query_relevance` this drops from
   /// candidates × queries to candidates × affected-queries.
   size_t queries_estimated = 0;
+  /// Cost-cache activity of this run (all zeros when no cache was passed).
+  CostCacheStats cache_stats;
+  /// Execution lanes used for candidate scoring (1 = serial).
+  size_t threads = 1;
+  /// Wall-clock time of this advisory run, milliseconds.
+  double wall_ms = 0;
 };
 
 /// Searches for the best physical design for (queries, freqs) reachable

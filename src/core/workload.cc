@@ -1,5 +1,7 @@
 #include "core/workload.h"
 
+#include <algorithm>
+
 #include "core/rewriter.h"
 #include "core/virtual_catalog.h"
 #include "engine/cost_model.h"
@@ -24,6 +26,9 @@ Result<double> EstimateWorkloadCost(const PhysicalSchema& schema, const LogicalS
   if (freqs.size() != queries.size()) {
     return Status::InvalidArgument("frequency vector does not match query count");
   }
+  if (std::none_of(freqs.begin(), freqs.end(), [](double f) { return f > 0; })) {
+    return 0.0;  // silent phase: nothing to estimate
+  }
   double total = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (freqs[i] <= 0) continue;
@@ -45,6 +50,14 @@ Result<double> EstimateWorkloadCost(const PhysicalSchema& schema, const LogicalS
 Result<double> CostValue(const PhysicalSchema& candidate, const PhysicalSchema& object,
                          const LogicalStats& stats, const std::vector<WorkloadQuery>& queries,
                          const std::vector<double>& freqs) {
+  if (freqs.size() != queries.size()) {
+    return Status::InvalidArgument("frequency vector does not match query count");
+  }
+  if (std::none_of(freqs.begin(), freqs.end(), [](double f) { return f > 0; })) {
+    // Zero-frequency phase: both schemas trivially cost 0, so skip building
+    // the fallback options and the two workload sweeps entirely.
+    return 0.0;
+  }
   CostOptions options;
   options.fallback_schema = &object;
   PSE_ASSIGN_OR_RETURN(double object_cost,

@@ -1,0 +1,85 @@
+#include "engine/cost_cache.h"
+
+#include <cstdio>
+
+namespace pse {
+
+std::string CostCacheStats::ToString() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "cost cache: %llu hits / %llu lookups (%.1f%%), %llu evictions, "
+                "%llu fingerprint collisions",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(lookups()), hit_pct(),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(collisions));
+  return line;
+}
+
+CostCacheStats operator-(const CostCacheStats& a, const CostCacheStats& b) {
+  CostCacheStats d;
+  d.hits = a.hits - b.hits;
+  d.misses = a.misses - b.misses;
+  d.evictions = a.evictions - b.evictions;
+  d.collisions = a.collisions - b.collisions;
+  return d;
+}
+
+std::optional<QueryCostCache::Outcome> QueryCostCache::Lookup(uint64_t fingerprint,
+                                                              std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(fingerprint);
+  if (it != buckets_.end()) {
+    for (const auto& [stored_key, outcome] : it->second) {
+      if (stored_key == key) {
+        ++stats_.hits;
+        return outcome;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void QueryCostCache::Insert(uint64_t fingerprint, std::string_view key, Outcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_ >= max_entries_) {
+    stats_.evictions += entries_;
+    buckets_.clear();
+    entries_ = 0;
+  }
+  std::vector<std::pair<std::string, Outcome>>& bucket = buckets_[fingerprint];
+  for (const auto& [stored_key, existing] : bucket) {
+    if (stored_key == key) return;  // deterministic outcome already present
+  }
+  if (!bucket.empty()) ++stats_.collisions;
+  bucket.emplace_back(std::string(key), outcome);
+  ++entries_;
+}
+
+CostCacheStats QueryCostCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t QueryCostCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void QueryCostCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  entries_ = 0;
+}
+
+uint64_t QueryCostCache::Fingerprint(std::string_view key) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace pse

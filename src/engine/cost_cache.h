@@ -1,0 +1,95 @@
+// Memoized query-cost cache: the shared fast path under LAA/GAA/advisor
+// candidate costing.
+//
+// A query's estimated cost on a candidate schema depends only on the
+// physical tables storing its support attributes (DESIGN.md §12/§13), so the
+// planners key each EstimateQueryCost result by a *layout fingerprint* — a
+// stable 64-bit hash of a canonical serialization of exactly those tables
+// (src/analysis computes the serialization; this class stores outcomes).
+// Two candidate schemas that agree on a query's relevant tables then share
+// one cached estimate, and the cache keeps paying off across enumeration
+// subsets, GA generations, and migration points.
+//
+// Correctness does not rest on the hash: every entry stores its full
+// canonical key, a lookup compares it, and a hash collision between
+// different keys is counted in CostCacheStats and resolved exactly (the
+// bucket holds both entries).
+//
+// Thread-safe: a single mutex guards the map — the cached work (rewrite ->
+// plan -> cost, ~100µs+) dwarfs the critical section.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pse {
+
+/// Counters describing a cache's activity; subtract two snapshots to get the
+/// delta of one planning run.
+struct CostCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Entries dropped by the size cap (the cache clears wholesale — an epoch
+  /// eviction — when it would exceed max_entries).
+  uint64_t evictions = 0;
+  /// Inserts that found the 64-bit fingerprint already occupied by a
+  /// *different* canonical key. Detected exactly via the stored keys; such
+  /// entries coexist in one bucket, so collisions never corrupt results.
+  uint64_t collisions = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  /// Hit percentage in [0, 100]; 0 when no lookups happened.
+  double hit_pct() const {
+    return lookups() == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+  std::string ToString() const;
+};
+
+CostCacheStats operator-(const CostCacheStats& a, const CostCacheStats& b);
+
+/// \brief Thread-safe (fingerprint, canonical key) -> query-cost outcome map.
+class QueryCostCache {
+ public:
+  /// One memoized EstimateQueryCost outcome: either an I/O cost or the fact
+  /// that the query does not bind on that layout (callers then reprice via
+  /// their fallback schema, exactly like the uncached path).
+  struct Outcome {
+    double cost = 0;
+    bool bind_error = false;
+  };
+
+  explicit QueryCostCache(size_t max_entries = 1u << 20) : max_entries_(max_entries) {}
+
+  /// Returns the outcome stored under (fingerprint, key), if any. A
+  /// fingerprint hit whose stored key differs is a collision: counted,
+  /// searched exactly, never returned for the wrong key.
+  std::optional<Outcome> Lookup(uint64_t fingerprint, std::string_view key);
+
+  /// Stores `outcome` under (fingerprint, key). Re-inserting an existing key
+  /// is a no-op (outcomes are deterministic). When the cache would exceed
+  /// max_entries it is cleared wholesale first (epoch eviction).
+  void Insert(uint64_t fingerprint, std::string_view key, Outcome outcome);
+
+  CostCacheStats Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+  /// FNV-1a 64-bit hash of a canonical key.
+  static uint64_t Fingerprint(std::string_view key);
+
+ private:
+  mutable std::mutex mu_;
+  /// fingerprint -> entries sharing it (singleton vector except on collision).
+  std::unordered_map<uint64_t, std::vector<std::pair<std::string, Outcome>>> buckets_;
+  size_t entries_ = 0;
+  size_t max_entries_;
+  CostCacheStats stats_;
+};
+
+}  // namespace pse

@@ -67,14 +67,35 @@ GaResult RunGa(const GaProblem& problem, const GaConfig& config, Rng* rng) {
   auto mutate = problem.mutate ? problem.mutate
                                : [](Chromosome* c, Rng* r) { SegmentReversalMutation(c, r); };
 
+  // Evaluates a whole cohort at once (batch hook or element-wise fitness).
+  // Cohorts are fully generated before evaluation, so the rng stream is
+  // identical either way — evaluation consumes no randomness.
+  auto evaluate_all = [&](const std::vector<Chromosome>& cohort) {
+    std::vector<double> fitnesses;
+    if (problem.batch_fitness) {
+      fitnesses = problem.batch_fitness(cohort);
+    } else {
+      fitnesses.reserve(cohort.size());
+      for (const Chromosome& c : cohort) fitnesses.push_back(problem.fitness(c));
+    }
+    result.evaluations += cohort.size();
+    return fitnesses;
+  };
+
   std::vector<Individual> population;
   population.reserve(config.population_size);
-  for (size_t i = 0; i < config.population_size; ++i) {
-    Chromosome c = i < problem.seeds.size() ? problem.seeds[i] : problem.random_chromosome(rng);
-    if (problem.repair) problem.repair(&c, rng);
-    double f = problem.fitness(c);
-    ++result.evaluations;
-    population.push_back(Individual{std::move(c), f});
+  {
+    std::vector<Chromosome> cohort;
+    cohort.reserve(config.population_size);
+    for (size_t i = 0; i < config.population_size; ++i) {
+      Chromosome c = i < problem.seeds.size() ? problem.seeds[i] : problem.random_chromosome(rng);
+      if (problem.repair) problem.repair(&c, rng);
+      cohort.push_back(std::move(c));
+    }
+    std::vector<double> fitnesses = evaluate_all(cohort);
+    for (size_t i = 0; i < cohort.size(); ++i) {
+      population.push_back(Individual{std::move(cohort[i]), fitnesses[i]});
+    }
   }
 
   auto by_fitness_desc = [](const Individual& x, const Individual& y) {
@@ -127,7 +148,11 @@ GaResult RunGa(const GaProblem& problem, const GaConfig& config, Rng* rng) {
     auto select = [&]() -> const Individual& {
       return config.selection == GaSelection::kRoulette ? roulette() : tournament();
     };
-    while (next.size() < config.population_size) {
+    // Produce the whole offspring cohort first (selection only reads the
+    // *current* population's fitnesses), then evaluate it in one batch.
+    std::vector<Chromosome> cohort;
+    cohort.reserve(config.population_size - next.size());
+    while (next.size() + cohort.size() < config.population_size) {
       const Individual& p1 = select();
       Chromosome child;
       if (rng->Bernoulli(config.crossover_rate)) {
@@ -138,9 +163,11 @@ GaResult RunGa(const GaProblem& problem, const GaConfig& config, Rng* rng) {
       }
       if (rng->Bernoulli(config.mutation_rate)) mutate(&child, rng);
       if (problem.repair) problem.repair(&child, rng);
-      double f = problem.fitness(child);
-      ++result.evaluations;
-      next.push_back(Individual{std::move(child), f});
+      cohort.push_back(std::move(child));
+    }
+    std::vector<double> fitnesses = evaluate_all(cohort);
+    for (size_t i = 0; i < cohort.size(); ++i) {
+      next.push_back(Individual{std::move(cohort[i]), fitnesses[i]});
     }
     population = std::move(next);
     std::sort(population.begin(), population.end(), by_fitness_desc);

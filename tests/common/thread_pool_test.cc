@@ -1,0 +1,63 @@
+// Tests for the fixed-size ThreadPool: exact index coverage, reuse across
+// jobs, the serial single-lane fallback, and concurrent-counter integrity
+// (the latter is what the TSAN leg of scripts/check.sh exercises).
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pse {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsClamped) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  EXPECT_LE(ThreadPool::DefaultThreadCount(), 16u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleElementJobs) {
+  ThreadPool pool(3);
+  int calls = 0;  // unsynchronized on purpose: these jobs must run inline
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  }
+  EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2));
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsOnTheCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(seen.size(), [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ManyMoreItemsThanLanes) {
+  ThreadPool pool(4);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(10007, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10007u);
+}
+
+}  // namespace
+}  // namespace pse

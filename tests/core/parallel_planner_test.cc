@@ -1,0 +1,261 @@
+// The determinism property behind the shared cost cache + thread pool: LAA
+// and GAA planning with a memoizing estimator fanned across workers must be
+// *exactly* equal (EXPECT_EQ on doubles, not NEAR) to the serial uncached
+// run — same chosen subsets, same costs, same evaluation counts — across
+// randomized migrations, while one cache persists over every migration
+// point. Randomized instances are generated like the LAA pruning property
+// test: scramble the bookstore source with valid split/combine operators,
+// recompute the operator set, and draw random workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/migration_planner.h"
+#include "engine/cost_cache.h"
+#include "engine/expr.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+constexpr size_t kPhases = 3;
+
+struct Instance {
+  PhysicalSchema object;
+  OperatorSet opset;
+  std::vector<WorkloadQuery> queries;
+  std::vector<std::vector<double>> freqs;  // kPhases x queries
+};
+
+/// Scrambles the bookstore source into a random reachable object schema and
+/// draws a random workload + per-phase frequencies. Returns nullopt when the
+/// draw degenerates (no ops, too many ops, or no usable queries).
+std::optional<Instance> DrawInstance(const Bookstore& s, Rng* rng, size_t max_m) {
+  Instance inst;
+  inst.object = s.source;
+  int next_id = 2000;
+  for (int step = 0; step < 6; ++step) {
+    double roll = rng->UniformDouble();
+    MigrationOperator op;
+    op.id = next_id++;
+    if (roll < 0.4) {
+      std::vector<std::pair<size_t, std::vector<AttrId>>> candidates;
+      for (size_t t = 0; t < inst.object.tables().size(); ++t) {
+        std::vector<AttrId> nonkey;
+        for (AttrId a : inst.object.tables()[t].attrs) {
+          if (!s.logical.attr(a).is_key) nonkey.push_back(a);
+        }
+        if (nonkey.size() >= 2) candidates.emplace_back(t, nonkey);
+      }
+      if (candidates.empty()) continue;
+      auto& [t, nonkey] = candidates[rng->Index(candidates.size())];
+      size_t count = 1 + rng->Index(nonkey.size() - 1);
+      rng->Shuffle(&nonkey);
+      op.kind = OperatorKind::kSplitTable;
+      op.split_moved.assign(nonkey.begin(), nonkey.begin() + static_cast<long>(count));
+      op.split_moved_anchor = s.logical.attr(op.split_moved[0]).entity;
+    } else {
+      if (inst.object.tables().size() < 2) continue;
+      size_t a = rng->Index(inst.object.tables().size());
+      size_t b = rng->Index(inst.object.tables().size());
+      if (a == b) continue;
+      std::vector<AttrId> a_nonkey, b_nonkey;
+      for (AttrId x : inst.object.tables()[a].attrs) {
+        if (!s.logical.attr(x).is_key) a_nonkey.push_back(x);
+      }
+      for (AttrId x : inst.object.tables()[b].attrs) {
+        if (!s.logical.attr(x).is_key) b_nonkey.push_back(x);
+      }
+      if (a_nonkey.empty() || b_nonkey.empty()) continue;
+      op.kind = OperatorKind::kCombineTable;
+      op.combine_left_rep = a_nonkey[0];
+      op.combine_right_rep = b_nonkey[0];
+    }
+    (void)ApplyOperator(op, &inst.object);
+  }
+  auto opset = ComputeOperatorSet(s.source, inst.object);
+  if (!opset.ok()) return std::nullopt;
+  if (opset->size() == 0 || opset->size() > max_m) return std::nullopt;
+  inst.opset = std::move(*opset);
+
+  size_t num_queries = 3 + rng->Index(4);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    EntityId anchor = rng->Index(s.logical.num_entities());
+    std::vector<AttrId> reachable;
+    for (AttrId a = 0; a < s.logical.num_attributes(); ++a) {
+      const LogicalAttribute& attr = s.logical.attr(a);
+      if (attr.is_key || attr.is_new) continue;
+      if (s.logical.Reaches(anchor, attr.entity)) reachable.push_back(a);
+    }
+    if (reachable.empty()) continue;
+    rng->Shuffle(&reachable);
+    size_t picks = 1 + rng->Index(std::min<size_t>(3, reachable.size()));
+    LogicalQuery q;
+    q.name = "q";  // += form: GCC 12's operator+(const char*, string&&) trips -Wrestrict
+    q.name += std::to_string(qi);
+    q.anchor = anchor;
+    for (size_t k = 0; k < picks; ++k) {
+      const std::string& name = s.logical.attr(reachable[k]).name;
+      q.select.emplace_back(Col(name), AggFunc::kNone, name);
+    }
+    inst.queries.emplace_back(std::move(q), /*is_old=*/true);
+  }
+  if (inst.queries.empty()) return std::nullopt;
+  // A few zero frequencies on purpose: the short-circuit paths must stay
+  // equal to the serial ones too.
+  inst.freqs.assign(kPhases, std::vector<double>(inst.queries.size()));
+  for (auto& phase : inst.freqs) {
+    for (double& f : phase) f = static_cast<double>(rng->Index(41));
+  }
+  return inst;
+}
+
+class ParallelPlannerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Walks every migration point of several random migrations, comparing the
+// cached+parallel LAA against the serial uncached one. One cache instance
+// persists across all subsets, points, and instances of the walk — exactly
+// how bench and shell use it.
+TEST_P(ParallelPlannerProperty, CachedParallelLaaEqualsSerialUncached) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  Rng rng(GetParam());
+  QueryCostCache cache;
+  ThreadPool pool(4);
+  AnalysisOptions cached_options;
+  cached_options.cost_cache = &cache;
+  cached_options.pool = &pool;
+  AnalysisOptions brute_serial;
+  brute_serial.prune_laa = false;
+  AnalysisOptions brute_cached = brute_serial;
+  brute_cached.cost_cache = &cache;
+  brute_cached.pool = &pool;
+
+  int instances = 0;
+  for (int iter = 0; iter < 10 && instances < 5; ++iter) {
+    auto inst = DrawInstance(s, &rng, /*max_m=*/12);
+    if (!inst.has_value()) continue;
+    ++instances;
+
+    PhysicalSchema current = s.source;
+    MigrationContext ctx;
+    ctx.current = &current;
+    ctx.object = &inst->object;
+    ctx.opset = &inst->opset;
+    ctx.applied.assign(inst->opset.size(), false);
+    ctx.phase_freqs = &inst->freqs;
+    ctx.phase_stats = &stats;
+    ctx.queries = &inst->queries;
+
+    for (size_t p = 0; p < kPhases; ++p) {
+      auto serial = SelectOpsLaa(ctx, p, p);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      auto cached = SelectOpsLaa(ctx, p, p, /*max_ops=*/30, cached_options);
+      ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+
+      EXPECT_EQ(cached->ops_to_apply, serial->ops_to_apply);
+      EXPECT_EQ(cached->best_cost, serial->best_cost);  // bit-identical, no tolerance
+      EXPECT_EQ(cached->schemas_evaluated, serial->schemas_evaluated);
+      EXPECT_EQ(cached->threads, pool.num_threads());
+      EXPECT_EQ(serial->threads, 1u);
+      EXPECT_EQ(serial->cache_stats.lookups(), 0u);
+      EXPECT_GT(cached->cache_stats.lookups(), 0u);
+
+      // Replaying the same point hits the cache on every single lookup.
+      auto replay = SelectOpsLaa(ctx, p, p, /*max_ops=*/30, cached_options);
+      ASSERT_TRUE(replay.ok());
+      EXPECT_EQ(replay->best_cost, serial->best_cost);
+      EXPECT_EQ(replay->cache_stats.misses, 0u);
+      EXPECT_GT(replay->cache_stats.hits, 0u);
+
+      // Small instances: the brute sweep must agree with itself under the
+      // cache too (the brute row of the bench).
+      if (inst->opset.size() <= 10) {
+        auto b_serial = SelectOpsLaa(ctx, p, p, /*max_ops=*/12, brute_serial);
+        ASSERT_TRUE(b_serial.ok()) << b_serial.status().ToString();
+        auto b_cached = SelectOpsLaa(ctx, p, p, /*max_ops=*/12, brute_cached);
+        ASSERT_TRUE(b_cached.ok()) << b_cached.status().ToString();
+        EXPECT_EQ(b_cached->ops_to_apply, b_serial->ops_to_apply);
+        EXPECT_EQ(b_cached->best_cost, b_serial->best_cost);
+        EXPECT_EQ(b_cached->schemas_evaluated, b_serial->schemas_evaluated);
+      }
+
+      // Advance the walk with the chosen subset, like the driver would.
+      for (int op : serial->ops_to_apply) {
+        ASSERT_TRUE(ApplyOperator(inst->opset.ops[static_cast<size_t>(op)], &current).ok());
+        ctx.applied[static_cast<size_t>(op)] = true;
+      }
+    }
+  }
+  EXPECT_GT(instances, 0);
+  EXPECT_GT(cache.Snapshot().hits, 0u);
+  EXPECT_EQ(cache.Snapshot().collisions, 0u);
+}
+
+// Same property for GAA: the batch-fitness path through the pool, with the
+// memoizing estimator underneath, must reproduce the serial uncached GA run
+// gene for gene (identical rng stream, identical costs, identical counts).
+TEST_P(ParallelPlannerProperty, CachedParallelGaaEqualsSerialUncached) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  Rng rng(GetParam() ^ 0x5aa5);
+  QueryCostCache cache;
+  ThreadPool pool(4);
+
+  int instances = 0;
+  for (int iter = 0; iter < 8 && instances < 3; ++iter) {
+    auto inst = DrawInstance(s, &rng, /*max_m=*/8);
+    if (!inst.has_value()) continue;
+    ++instances;
+
+    MigrationContext ctx;
+    ctx.current = &s.source;
+    ctx.object = &inst->object;
+    ctx.opset = &inst->opset;
+    ctx.applied.assign(inst->opset.size(), false);
+    ctx.phase_freqs = &inst->freqs;
+    ctx.phase_stats = &stats;
+    ctx.queries = &inst->queries;
+
+    GaaOptions serial_options;
+    serial_options.seed = 42 + GetParam();
+    serial_options.ga.population_size = 16;
+    serial_options.ga.generations = 10;
+    serial_options.include_migration_cost = true;
+    GaaOptions cached_options = serial_options;
+    cached_options.analysis.cost_cache = &cache;
+    cached_options.analysis.pool = &pool;
+
+    auto serial = PlanGaa(ctx, 0, serial_options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    auto cached = PlanGaa(ctx, 0, cached_options);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+
+    EXPECT_EQ(cached->assignment, serial->assignment);
+    EXPECT_EQ(cached->remaining_ops, serial->remaining_ops);
+    EXPECT_EQ(cached->best_cost, serial->best_cost);  // bit-identical
+    EXPECT_EQ(cached->evaluations, serial->evaluations);
+    EXPECT_EQ(cached->ApplyNow(), serial->ApplyNow());
+    EXPECT_EQ(cached->threads, pool.num_threads());
+    EXPECT_EQ(serial->threads, 1u);
+    EXPECT_GT(cached->cache_stats.lookups(), 0u);
+  }
+  EXPECT_GT(instances, 0);
+  EXPECT_EQ(cache.Snapshot().collisions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelPlannerProperty, ::testing::Values(11, 211, 3111));
+
+}  // namespace
+}  // namespace pse

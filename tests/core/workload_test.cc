@@ -87,6 +87,23 @@ TEST_F(WorkloadCostTest, FrequencyArityChecked) {
   EXPECT_FALSE(cost.ok());
 }
 
+TEST_F(WorkloadCostTest, AllZeroFrequenciesShortCircuitToZero) {
+  // The silent-phase short-circuit: an all-zero frequency vector costs zero
+  // without touching the estimator at all — even with no fallback schema and
+  // a query (b_abstract) that could not be priced on the source otherwise.
+  auto cost = EstimateWorkloadCost(bs_->source, stats_, queries_, {0, 0}, CostOptions{});
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+  auto value = CostValue(bs_->source, bs_->object, stats_, queries_, {0, 0});
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_DOUBLE_EQ(*value, 0.0);
+}
+
+TEST_F(WorkloadCostTest, CostValueChecksFrequencyArity) {
+  auto value = CostValue(bs_->source, bs_->object, stats_, queries_, {1.0});
+  EXPECT_FALSE(value.ok());
+}
+
 TEST_F(WorkloadCostTest, CostValueSignsMakeSense) {
   // For an old-query-only workload, the source schema should beat the
   // object schema: CostValue(source) > 0 >= CostValue(object) == 0.

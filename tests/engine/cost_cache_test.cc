@@ -1,0 +1,156 @@
+// Tests for the memoized query-cost cache: exact hit/miss accounting,
+// collision resolution via stored canonical keys, epoch eviction, snapshot
+// deltas, and a concurrent mixed-load stress (the TSAN leg's main target).
+#include "engine/cost_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pse {
+namespace {
+
+using Outcome = QueryCostCache::Outcome;
+
+TEST(CostCacheTest, MissThenHit) {
+  QueryCostCache cache;
+  const std::string key = "q0|O1|s1|T0:1,2,;";
+  uint64_t fp = QueryCostCache::Fingerprint(key);
+  EXPECT_FALSE(cache.Lookup(fp, key).has_value());
+  cache.Insert(fp, key, Outcome{42.5, false});
+  auto hit = cache.Lookup(fp, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->cost, 42.5);
+  EXPECT_FALSE(hit->bind_error);
+  CostCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.lookups(), 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_pct(), 50.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CostCacheTest, FingerprintCollisionsAreResolvedExactly) {
+  QueryCostCache cache;
+  // The fingerprint is caller-supplied, so a collision is easy to force:
+  // two different canonical keys under one 64-bit hash.
+  const uint64_t fp = 42;
+  cache.Insert(fp, "alpha", Outcome{1.0, false});
+  cache.Insert(fp, "beta", Outcome{2.0, false});
+  EXPECT_EQ(cache.Snapshot().collisions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  auto a = cache.Lookup(fp, "alpha");
+  auto b = cache.Lookup(fp, "beta");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(a->cost, 1.0);
+  EXPECT_DOUBLE_EQ(b->cost, 2.0);
+  // A third key sharing the fingerprint still misses (exact key compare).
+  EXPECT_FALSE(cache.Lookup(fp, "gamma").has_value());
+}
+
+TEST(CostCacheTest, ReinsertingAnExistingKeyIsANoOp) {
+  QueryCostCache cache;
+  uint64_t fp = QueryCostCache::Fingerprint("k");
+  cache.Insert(fp, "k", Outcome{7.0, false});
+  cache.Insert(fp, "k", Outcome{9.0, false});  // outcomes are deterministic
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.Lookup(fp, "k")->cost, 7.0);
+  EXPECT_EQ(cache.Snapshot().collisions, 0u);
+}
+
+TEST(CostCacheTest, BindErrorOutcomesRoundTrip) {
+  QueryCostCache cache;
+  uint64_t fp = QueryCostCache::Fingerprint("unservable");
+  cache.Insert(fp, "unservable", Outcome{0.0, true});
+  auto hit = cache.Lookup(fp, "unservable");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->bind_error);
+}
+
+TEST(CostCacheTest, EpochEvictionClearsWholesale) {
+  QueryCostCache cache(/*max_entries=*/2);
+  cache.Insert(QueryCostCache::Fingerprint("a"), "a", Outcome{1, false});
+  cache.Insert(QueryCostCache::Fingerprint("b"), "b", Outcome{2, false});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Snapshot().evictions, 0u);
+  cache.Insert(QueryCostCache::Fingerprint("c"), "c", Outcome{3, false});
+  EXPECT_EQ(cache.size(), 1u);  // a and b were dropped in one epoch
+  EXPECT_EQ(cache.Snapshot().evictions, 2u);
+  EXPECT_FALSE(cache.Lookup(QueryCostCache::Fingerprint("a"), "a").has_value());
+  EXPECT_TRUE(cache.Lookup(QueryCostCache::Fingerprint("c"), "c").has_value());
+}
+
+TEST(CostCacheTest, SnapshotDeltaIsolatesOneRun) {
+  QueryCostCache cache;
+  cache.Insert(QueryCostCache::Fingerprint("x"), "x", Outcome{1, false});
+  (void)cache.Lookup(QueryCostCache::Fingerprint("x"), "x");
+  CostCacheStats before = cache.Snapshot();
+  (void)cache.Lookup(QueryCostCache::Fingerprint("x"), "x");
+  (void)cache.Lookup(QueryCostCache::Fingerprint("y"), "y");
+  CostCacheStats delta = cache.Snapshot() - before;
+  EXPECT_EQ(delta.hits, 1u);
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(delta.evictions, 0u);
+}
+
+TEST(CostCacheTest, ToStringMentionsTheCounters) {
+  QueryCostCache cache;
+  (void)cache.Lookup(1, "k");
+  std::string s = cache.Snapshot().ToString();
+  EXPECT_NE(s.find("hits"), std::string::npos) << s;
+  EXPECT_NE(s.find("collisions"), std::string::npos) << s;
+}
+
+TEST(CostCacheTest, FingerprintIsStableAndDiscriminating) {
+  EXPECT_EQ(QueryCostCache::Fingerprint("abc"), QueryCostCache::Fingerprint("abc"));
+  EXPECT_NE(QueryCostCache::Fingerprint("abc"), QueryCostCache::Fingerprint("abd"));
+  EXPECT_NE(QueryCostCache::Fingerprint(""), QueryCostCache::Fingerprint("a"));
+}
+
+// Concurrent mixed load: many threads race lookups and inserts over an
+// overlapping key population; every hit must return the key's one true
+// outcome and the counters must stay consistent. Run under TSAN via
+// scripts/check.sh --tsan.
+TEST(CostCacheTest, ConcurrentMixedLoadKeepsExactOutcomes) {
+  QueryCostCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  std::atomic<int> wrong{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &cache, &wrong]() {
+      for (int i = 0; i < kIters; ++i) {
+        int k = (t * 31 + i) % kKeys;
+        std::string key = "key";
+        key += std::to_string(k);
+        uint64_t fp = QueryCostCache::Fingerprint(key);
+        if (auto hit = cache.Lookup(fp, key)) {
+          if (hit->cost != static_cast<double>(k)) wrong.fetch_add(1);
+        } else {
+          cache.Insert(fp, key, Outcome{static_cast<double>(k), false});
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LE(cache.size(), static_cast<size_t>(kKeys));
+  CostCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.lookups(), static_cast<uint64_t>(kThreads) * kIters);
+  // Every key's outcome survived the race intact.
+  for (int k = 0; k < kKeys; ++k) {
+    std::string key = "key";
+    key += std::to_string(k);
+    auto hit = cache.Lookup(QueryCostCache::Fingerprint(key), key);
+    ASSERT_TRUE(hit.has_value()) << key;
+    EXPECT_DOUBLE_EQ(hit->cost, static_cast<double>(k));
+  }
+}
+
+}  // namespace
+}  // namespace pse
