@@ -33,5 +33,17 @@ grep -q '"cached_ms"' BENCH_laa_scaling.json || {
   echo "bench JSON is missing the cached-run columns" >&2
   exit 1
 }
+# The online-migration section must be present (batch size, I/O budget,
+# per-phase probe I/O) and at least one phase must have committed batches.
+for key in '"online_migration"' '"batch_rows"' '"io_budget"' '"probe_io"'; do
+  grep -q "$key" BENCH_laa_scaling.json || {
+    echo "bench JSON is missing the online-migration key $key" >&2
+    exit 1
+  }
+done
+grep -Eq '"batches": [1-9]' BENCH_laa_scaling.json || {
+  echo "online migration committed no batches in any phase" >&2
+  exit 1
+}
 
 echo "== bench: OK =="

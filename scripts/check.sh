@@ -29,13 +29,13 @@ if [ "$tsan" -eq 1 ]; then
     -DPROGSCHEMA_SANITIZE=thread \
     -DPROGSCHEMA_WERROR=ON >/dev/null
 
-  echo "== check: building concurrency suites =="
+  echo "== check: building concurrency + fault-injection suites =="
   cmake --build "$build_dir" -j "$jobs" \
-    --target common_test engine_test core_test analysis_test
+    --target common_test engine_test core_test analysis_test storage_test
 
-  echo "== check: running concurrency suites under TSan =="
+  echo "== check: running concurrency + fault-injection suites under TSan =="
   (cd "$build_dir" && ctest --output-on-failure -j "$jobs" \
-    -R '^(common_test|engine_test|core_test|analysis_test)$')
+    -R '^(common_test|engine_test|core_test|analysis_test|storage_test)$')
 
   echo "== check: OK (tsan) =="
   exit 0
@@ -65,13 +65,16 @@ if command -v clang-tidy >/dev/null 2>&1; then
   echo "== check: clang-tidy over src/ =="
   mapfile -t tidy_files < <(git ls-files 'src/*.cc' \
     ':!src/analysis/*.cc' ':!src/common/thread_pool.cc' \
-    ':!src/engine/cost_cache.cc' ':!src/core/cost_estimator.cc')
+    ':!src/engine/cost_cache.cc' ':!src/core/cost_estimator.cc' \
+    ':!src/core/migration_executor.cc' ':!src/storage/migration_journal.cc')
   clang-tidy -p "$build_dir" --quiet "${tidy_files[@]}"
-  # The analysis module and the new concurrency/costing targets are held to
-  # a stricter bar: any enabled check firing there fails the gate outright.
-  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ + concurrency targets =="
+  # The analysis module and the concurrency/costing/online-migration targets
+  # are held to a stricter bar: any enabled check firing there fails the
+  # gate outright.
+  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ + concurrency + migration targets =="
   mapfile -t strict_files < <(git ls-files 'src/analysis/*.cc' \
-    'src/common/thread_pool.cc' 'src/engine/cost_cache.cc' 'src/core/cost_estimator.cc')
+    'src/common/thread_pool.cc' 'src/engine/cost_cache.cc' 'src/core/cost_estimator.cc' \
+    'src/core/migration_executor.cc' 'src/storage/migration_journal.cc')
   clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${strict_files[@]}"
 else
   echo "== check: clang-tidy not found; skipping lint =="

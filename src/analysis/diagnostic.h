@@ -38,6 +38,11 @@ enum class DiagCode {
   kWorkloadUnanswerableIntermediate, ///< WORKLOAD_UNANSWERABLE_INTERMEDIATE
   // -- interaction analysis --
   kAnalysisCostIrrelevantOp,  ///< ANALYSIS_COST_IRRELEVANT_OP: no query touches op
+  // -- online-migration resumability --
+  kResumeInvalidBatch,  ///< RESUME_INVALID_BATCH: batch sizing cannot progress
+  kResumeNondurable,    ///< RESUME_NONDURABLE: journal cannot survive a crash
+  kResumeLongOp,        ///< RESUME_LONG_OP: operator spans very many batches
+  kResumeBatchPlan,     ///< RESUME_BATCH_PLAN: per-op batch schedule (note)
 };
 
 const char* DiagCodeName(DiagCode code);

@@ -1,0 +1,110 @@
+#include "analysis/resumability.h"
+
+#include "core/operators.h"
+
+namespace pse {
+
+namespace {
+
+/// Rows `op` will write into its destination tables, from entity
+/// cardinalities. `before` is the schema the operator applies to.
+uint64_t EstimateRowsMoved(const MigrationOperator& op, const PhysicalSchema& before,
+                           const LogicalStats& stats) {
+  auto entity_rows = [&](EntityId e) -> uint64_t {
+    return e < stats.entity_rows.size() ? stats.entity_rows[e] : 0;
+  };
+  switch (op.kind) {
+    case OperatorKind::kCreateTable:
+      return entity_rows(op.create_entity);
+    case OperatorKind::kSplitTable: {
+      auto ti = before.TableOfNonKeyAttr(op.split_moved[0]);
+      if (!ti.ok()) return 0;
+      uint64_t source_rows = entity_rows(before.tables()[*ti].anchor);
+      // The rest side keeps every source row; the moved side stores one row
+      // per key of its anchor (deduplicated when the anchors differ).
+      uint64_t moved_rows = before.tables()[*ti].anchor == op.split_moved_anchor
+                                ? source_rows
+                                : entity_rows(op.split_moved_anchor);
+      return source_rows + moved_rows;
+    }
+    case OperatorKind::kCombineTable: {
+      auto ti = before.TableOfNonKeyAttr(op.combine_left_rep);
+      if (!ti.ok()) return 0;
+      // A left outer join preserves exactly the left (anchor) side's rows.
+      return entity_rows(before.tables()[*ti].anchor);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+DiagnosticReport AnalyzeResumability(const ResumabilityInput& input,
+                                     const ResumabilityOptions& options,
+                                     std::vector<OpBatchEstimate>* estimates) {
+  DiagnosticReport report;
+  if (input.source == nullptr || input.opset == nullptr) {
+    report.AddError(DiagCode::kResumeInvalidBatch, "input",
+                    "resumability analysis needs a source schema and an operator set");
+    return report;
+  }
+  const MigrationOptions& mo = input.options;
+
+  if (mo.batch_rows == 0) {
+    report.AddError(DiagCode::kResumeInvalidBatch, "options",
+                    "batch_rows is 0: a batch can never make progress");
+  }
+  if (!input.persistent) {
+    report.AddWarning(DiagCode::kResumeNondurable, "database",
+                      "database is in-memory: the migration journal cannot survive a "
+                      "crash; every operator restarts from zero");
+  } else if (mo.durability == MigrationOptions::Durability::kFinalOnly) {
+    report.AddWarning(DiagCode::kResumeNondurable, "options",
+                      "durability=final-only: batches are not checkpointed, so a crash "
+                      "mid-operator cannot resume from the journal");
+  }
+
+  // Replay the remaining operators structurally, estimating each one's batch
+  // schedule on the schema it will actually see.
+  auto topo = input.opset->TopologicalOrder();
+  if (!topo.ok()) return report;  // cycles are the verifier's finding, not ours
+  PhysicalSchema current = *input.source;
+  for (int idx : *topo) {
+    const MigrationOperator& op = input.opset->ops[static_cast<size_t>(idx)];
+    PhysicalSchema after = current;
+    if (!ApplyOperator(op, &after).ok()) break;  // verifier reports this
+    if (input.applied != nullptr && static_cast<size_t>(idx) < input.applied->size() &&
+        (*input.applied)[static_cast<size_t>(idx)]) {
+      // Already applied: advance the schema it produced, but do not schedule
+      // batches for it again.
+      current = std::move(after);
+      continue;
+    }
+    uint64_t rows = input.stats != nullptr ? EstimateRowsMoved(op, current, *input.stats) : 0;
+    OpBatchEstimate est;
+    est.op_id = op.id;
+    est.rows_moved = rows;
+    if (mo.batch_rows > 0) {
+      // Even an empty source commits one (empty) batch.
+      est.batches = rows == 0 ? 1 : (rows + mo.batch_rows - 1) / mo.batch_rows;
+    }
+    std::string loc = "op#" + std::to_string(op.id);
+    if (est.batches > options.long_op_batches) {
+      report.AddWarning(DiagCode::kResumeLongOp, loc,
+                        "moves ~" + std::to_string(rows) + " rows in " +
+                            std::to_string(est.batches) + " batches of " +
+                            std::to_string(mo.batch_rows) +
+                            "; sources and targets coexist for the whole window");
+    } else if (options.note_batch_plan) {
+      report.AddNote(DiagCode::kResumeBatchPlan, loc,
+                     "moves ~" + std::to_string(rows) + " rows in " +
+                         std::to_string(est.batches) + " batch(es) of " +
+                         std::to_string(mo.batch_rows));
+    }
+    if (estimates != nullptr) estimates->push_back(est);
+    current = std::move(after);
+  }
+  return report;
+}
+
+}  // namespace pse

@@ -1,0 +1,61 @@
+// Resumable-plan diagnostics for online migration.
+//
+// Before an operator sequence executes online (batched data movement with a
+// journaled cursor — migration_executor.h, DESIGN.md §14), this analyzer
+// predicts the batch schedule per operator from entity cardinalities and
+// flags configurations that defeat the crash-safety machinery:
+//
+//   RESUME_INVALID_BATCH (error)   batch sizing that cannot make progress
+//                                  (zero rows per batch);
+//   RESUME_NONDURABLE    (warning) the journal never reaches disk (in-memory
+//                                  database or final-only durability), so a
+//                                  crash restarts every operator from zero;
+//   RESUME_LONG_OP       (warning) an operator spanning so many batches that
+//                                  its copy window — during which source and
+//                                  destination coexist and foreground probes
+//                                  contend — dwarfs the configured threshold;
+//   RESUME_BATCH_PLAN    (note)    per-operator schedule: rows to move and
+//                                  the batch count at the configured size.
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "core/mapping.h"
+#include "core/migration_executor.h"
+
+namespace pse {
+
+struct ResumabilityOptions {
+  /// Warn when one operator needs more than this many batches.
+  uint64_t long_op_batches = 1000;
+  /// Emit the per-operator RESUME_BATCH_PLAN notes.
+  bool note_batch_plan = true;
+};
+
+/// The artifacts under analysis. `applied` (optional) marks operators
+/// already executed, which are skipped. `stats` supplies the entity
+/// cardinalities the row estimates come from.
+struct ResumabilityInput {
+  const PhysicalSchema* source = nullptr;
+  const OperatorSet* opset = nullptr;
+  const std::vector<bool>* applied = nullptr;
+  const LogicalStats* stats = nullptr;
+  MigrationOptions options;
+  /// Whether the target database persists (Database::persistent()); the
+  /// journal of an in-memory database cannot survive a crash.
+  bool persistent = true;
+};
+
+/// Estimated data movement of one operator (exposed for tests/CLIs).
+struct OpBatchEstimate {
+  int op_id = 0;
+  uint64_t rows_moved = 0;  ///< rows written into destination tables
+  uint64_t batches = 0;     ///< at input.options.batch_rows rows per batch
+};
+
+/// \brief Predicts per-operator batch schedules and flags non-resumable
+/// configurations. Never fails — problems come back as diagnostics.
+DiagnosticReport AnalyzeResumability(const ResumabilityInput& input,
+                                     const ResumabilityOptions& options = {},
+                                     std::vector<OpBatchEstimate>* estimates = nullptr);
+
+}  // namespace pse

@@ -7,12 +7,14 @@
 
 namespace pse {
 
-EntityId LogicalSchema::AddEntity(const std::string& name, const std::string& key_attr_name) {
+EntityId LogicalSchema::AddEntity(const std::string& name, const std::string& key_attr_name,
+                                  TypeId key_type, uint32_t key_width) {
   EntityId e = entities_.size();
   entities_.push_back(LogicalEntity{name, kInvalidId, {}});
   LogicalAttribute key;
   key.name = key_attr_name;
-  key.type = TypeId::kInt64;
+  key.type = key_type;
+  key.avg_width = key_width;
   key.entity = e;
   key.is_key = true;
   AttrId a = attrs_.size();

@@ -49,8 +49,10 @@ struct LogicalEntity {
 /// \brief The attribute/entity/relationship universe.
 class LogicalSchema {
  public:
-  /// Adds an entity along with its key attribute (BIGINT). Returns entity id.
-  EntityId AddEntity(const std::string& name, const std::string& key_attr_name);
+  /// Adds an entity along with its key attribute (BIGINT by default; string
+  /// keys are allowed for natural-key entities). Returns entity id.
+  EntityId AddEntity(const std::string& name, const std::string& key_attr_name,
+                     TypeId key_type = TypeId::kInt64, uint32_t key_width = 0);
 
   /// Adds a plain attribute; `is_new` marks object-schema-only attributes.
   Result<AttrId> AddAttribute(EntityId entity, const std::string& name, TypeId type,

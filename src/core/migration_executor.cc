@@ -1,5 +1,6 @@
 #include "core/migration_executor.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
@@ -8,7 +9,7 @@ namespace pse {
 
 namespace {
 
-/// Names in `a` that are not in `b`.
+/// Indexes of tables present in `a` but not in `b`.
 std::vector<size_t> TablesOnlyIn(const PhysicalSchema& a, const PhysicalSchema& b) {
   std::vector<size_t> out;
   for (size_t i = 0; i < a.tables().size(); ++i) {
@@ -19,198 +20,525 @@ std::vector<size_t> TablesOnlyIn(const PhysicalSchema& a, const PhysicalSchema& 
 
 }  // namespace
 
-Result<uint64_t> MigrationExecutor::Apply(const MigrationOperator& op, PhysicalSchema* schema) {
-  PhysicalSchema after = *schema;
-  PSE_RETURN_NOT_OK(ApplyOperator(op, &after));
-  uint64_t io_before = db_->TotalIo();
-  switch (op.kind) {
-    case OperatorKind::kCreateTable:
-      PSE_RETURN_NOT_OK(ApplyCreate(op, *schema, after));
-      break;
-    case OperatorKind::kSplitTable:
-      PSE_RETURN_NOT_OK(ApplySplit(*schema, after));
-      break;
-    case OperatorKind::kCombineTable:
-      PSE_RETURN_NOT_OK(ApplyCombine(*schema, after));
-      break;
+/// One destination table of an operator plus how to produce its rows. The
+/// plan is fully deterministic given (op, before-schema), so a resumed
+/// process replans and lands on the same targets the journal recorded.
+struct MigrationExecutor::OpPlan {
+  enum class Source { kEntity, kScan, kJoin };
+
+  struct Target {
+    TableSchema schema;
+    size_t after_idx = 0;  ///< index in `after` (for EnsureSecondaryIndexes)
+    Source source = Source::kScan;
+
+    // kEntity (create): rows come from the LogicalDatabase.
+    EntityId entity = kInvalidId;
+    size_t entity_limit = 0;
+
+    // kScan (split): project columns of one source table.
+    std::string scan_table;
+    std::vector<size_t> mapping;  ///< dest column -> source column
+    bool dedup = false;           ///< keep first row per key (column 0)
+
+    // kJoin (combine): left outer join of two source tables.
+    std::string left_table, right_table;
+    size_t left_join_pos = 0, right_join_pos = 0;
+    /// dest column -> (from left side?, source column position)
+    std::vector<std::pair<bool, size_t>> join_mapping;
+  };
+
+  std::vector<Target> targets;
+  std::vector<std::string> drop_tables;  ///< sources dropped once copied
+  const PhysicalSchema* after = nullptr;
+};
+
+bool MigrationExecutor::Durable() const {
+  switch (options_.durability) {
+    case MigrationOptions::Durability::kEveryBatch:
+      return true;
+    case MigrationOptions::Durability::kFinalOnly:
+      return false;
+    case MigrationOptions::Durability::kAuto:
+      return db_->persistent();
   }
-  // Data movement must be durable before the migration point completes, so
-  // the written pages count as physical I/O even when they fit in cache.
-  PSE_RETURN_NOT_OK(db_->pool()->FlushAll());
-  *schema = std::move(after);
-  return db_->TotalIo() - io_before;
+  return false;
 }
 
-Result<uint64_t> MigrationExecutor::ApplyAll(const std::vector<MigrationOperator>& ops,
-                                             PhysicalSchema* schema) {
-  uint64_t total = 0;
-  for (const auto& op : ops) {
-    PSE_ASSIGN_OR_RETURN(uint64_t io, Apply(op, schema));
-    total += io;
-  }
-  return total;
+Status MigrationExecutor::CommitBatch() {
+  if (Durable()) return db_->Checkpoint();
+  return Status::OK();
 }
 
-Status MigrationExecutor::ApplyCreate(const MigrationOperator& op, const PhysicalSchema& before,
-                                      const PhysicalSchema& after) {
-  (void)before;
-  std::vector<size_t> added = TablesOnlyIn(after, before);
-  if (added.size() != 1) return Status::Internal("create must add exactly one table");
-  size_t idx = added[0];
-  TableSchema ts = after.ToTableSchema(idx);
-  PSE_RETURN_NOT_OK(db_->CreateTable(ts));
-  PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, after, idx));
-  // Load from the entity-level source of truth (new attribute values are
-  // defined by the predeclared functional dependency key -> attrs, which the
-  // LogicalDatabase realizes).
-  const auto& entity_rows = data_->Rows(op.create_entity);
-  size_t limit = op.create_entity < visible_.size()
-                     ? std::min(visible_[op.create_entity], entity_rows.size())
-                     : entity_rows.size();
-  for (size_t r = 0; r < limit; ++r) {
-    PSE_ASSIGN_OR_RETURN(Row row, data_->BuildTableRow(after, idx, entity_rows[r]));
-    PSE_RETURN_NOT_OK(db_->Insert(ts.name(), row).status());
-  }
-  return db_->Analyze(ts.name());
+Status MigrationExecutor::FireHook(uint64_t rows_copied) {
+  if (!options_.on_batch) return Status::OK();
+  MigrationBatchEvent ev;
+  const MigrationJournal& j = db_->migration_journal();
+  ev.op_id = j.op_id;
+  ev.batch_index = j.batches_committed;
+  ev.rows_copied = rows_copied;
+  ev.io_so_far = db_->TotalIo() - io_start_ - hook_io_;
+  uint64_t before = db_->TotalIo();
+  Status s = options_.on_batch(ev);
+  hook_io_ += db_->TotalIo() - before;
+  return s;
 }
 
-Status MigrationExecutor::ApplySplit(const PhysicalSchema& before, const PhysicalSchema& after) {
+Result<MigrationExecutor::OpPlan> MigrationExecutor::BuildPlan(const MigrationOperator& op,
+                                                               const PhysicalSchema& before,
+                                                               const PhysicalSchema& after) const {
+  OpPlan plan;
   std::vector<size_t> removed = TablesOnlyIn(before, after);
   std::vector<size_t> added = TablesOnlyIn(after, before);
-  if (removed.size() != 1 || added.size() != 2) {
-    return Status::Internal("split must replace one table with two");
-  }
-  const PhysicalTable& old_table = before.tables()[removed[0]];
-  TableSchema old_ts = before.ToTableSchema(removed[0]);
-  PSE_ASSIGN_OR_RETURN(TableInfo * old_info, db_->GetTable(old_table.name));
 
-  for (size_t target : added) {
-    const PhysicalTable& t = after.tables()[target];
-    TableSchema ts = after.ToTableSchema(target);
-    PSE_RETURN_NOT_OK(db_->CreateTable(ts));
-    PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, after, target));
-    // Column mapping: target column -> position in the old table.
-    std::vector<size_t> mapping;
-    for (const Column& c : ts.columns()) {
-      PSE_ASSIGN_OR_RETURN(size_t pos, old_ts.ColumnIndex(c.name));
-      mapping.push_back(pos);
+  switch (op.kind) {
+    case OperatorKind::kCreateTable: {
+      if (added.size() != 1) return Status::Internal("create must add exactly one table");
+      OpPlan::Target t;
+      t.schema = after.ToTableSchema(added[0]);
+      t.after_idx = added[0];
+      t.source = OpPlan::Source::kEntity;
+      t.entity = op.create_entity;
+      const auto& entity_rows = data_->Rows(op.create_entity);
+      t.entity_limit = op.create_entity < visible_.size()
+                           ? std::min(visible_[op.create_entity], entity_rows.size())
+                           : entity_rows.size();
+      plan.targets.push_back(std::move(t));
+      break;
     }
-    bool dedup = t.anchor != old_table.anchor;
-    // Key column of the target is its first column (anchor key).
-    std::unordered_set<int64_t> seen_keys;
-    for (auto it = old_info->heap->Begin(); !it.AtEnd();) {
-      const Row& src = it.row();
+
+    case OperatorKind::kSplitTable: {
+      if (removed.size() != 1 || added.size() != 2) {
+        return Status::Internal("split must replace one table with two");
+      }
+      const PhysicalTable& old_table = before.tables()[removed[0]];
+      TableSchema old_ts = before.ToTableSchema(removed[0]);
+      for (size_t target : added) {
+        OpPlan::Target t;
+        t.schema = after.ToTableSchema(target);
+        t.after_idx = target;
+        t.source = OpPlan::Source::kScan;
+        t.scan_table = old_table.name;
+        for (const Column& c : t.schema.columns()) {
+          PSE_ASSIGN_OR_RETURN(size_t pos, old_ts.ColumnIndex(c.name));
+          t.mapping.push_back(pos);
+        }
+        // A side anchored at a different entity stores one row per distinct
+        // key (the denormalized source repeats them).
+        t.dedup = after.tables()[target].anchor != old_table.anchor;
+        plan.targets.push_back(std::move(t));
+      }
+      plan.drop_tables.push_back(old_table.name);
+      break;
+    }
+
+    case OperatorKind::kCombineTable: {
+      if (removed.size() != 2 || added.size() != 1) {
+        return Status::Internal("combine must replace two tables with one");
+      }
+      const LogicalSchema& L = *before.logical();
+      const PhysicalTable& result = after.tables()[added[0]];
+      // Left = the side sharing the result anchor (drives the row set).
+      size_t left_i = removed[0], right_i = removed[1];
+      if (before.tables()[right_i].anchor == result.anchor &&
+          before.tables()[left_i].anchor != result.anchor) {
+        std::swap(left_i, right_i);
+      }
+      const PhysicalTable& left = before.tables()[left_i];
+      const PhysicalTable& right = before.tables()[right_i];
+      TableSchema left_ts = before.ToTableSchema(left_i);
+      TableSchema right_ts = before.ToTableSchema(right_i);
+
+      std::string left_join_col, right_join_col;
+      if (left.anchor == right.anchor) {
+        left_join_col = left_ts.key_columns()[0];
+        right_join_col = right_ts.key_columns()[0];
+      } else {
+        PSE_ASSIGN_OR_RETURN(std::vector<AttrId> path, L.FkPath(left.anchor, right.anchor));
+        left_join_col = L.attr(path.back()).name;
+        right_join_col = right_ts.key_columns()[0];
+      }
+
+      OpPlan::Target t;
+      t.schema = after.ToTableSchema(added[0]);
+      t.after_idx = added[0];
+      t.source = OpPlan::Source::kJoin;
+      t.left_table = left.name;
+      t.right_table = right.name;
+      PSE_ASSIGN_OR_RETURN(t.left_join_pos, left_ts.ColumnIndex(left_join_col));
+      PSE_ASSIGN_OR_RETURN(t.right_join_pos, right_ts.ColumnIndex(right_join_col));
+      for (const Column& c : t.schema.columns()) {
+        auto lp = left_ts.ColumnIndex(c.name);
+        if (lp.ok()) {
+          t.join_mapping.emplace_back(true, *lp);
+          continue;
+        }
+        PSE_ASSIGN_OR_RETURN(size_t rp, right_ts.ColumnIndex(c.name));
+        t.join_mapping.emplace_back(false, rp);
+      }
+      plan.targets.push_back(std::move(t));
+      plan.drop_tables.push_back(left.name);
+      plan.drop_tables.push_back(right.name);
+      break;
+    }
+  }
+  plan.after = &after;
+  return plan;
+}
+
+Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
+  const OpPlan::Target& t = plan.targets[target_idx];
+  MigrationJournal* j = db_->mutable_migration_journal();
+
+  // Rebuild transient copy state from the durable cursor. All of it is a
+  // deterministic function of (sources, cursor), which is what makes the
+  // cursor a sufficient resume point.
+  std::unordered_set<Value, ValueHash, ValueEq> seen_keys;
+  if (t.dedup && j->targets[target_idx].dest_rows > 0) {
+    // The destination holds exactly the first-seen keys inserted so far;
+    // its column 0 is the dedup key.
+    PSE_ASSIGN_OR_RETURN(TableInfo * dest, db_->GetTable(t.schema.name()));
+    for (auto it = dest->heap->Begin(); !it.AtEnd();) {
+      seen_keys.insert(it.row()[0]);
+      PSE_RETURN_NOT_OK(it.Next());
+    }
+  }
+
+  std::unordered_map<Value, Row, ValueHash, ValueEq> right_rows;
+  if (t.source == OpPlan::Source::kJoin) {
+    // Hash the parent side by its join key (unique: it is the key). The
+    // right table outlives the whole copy phase, so a resume can always
+    // rebuild this.
+    PSE_ASSIGN_OR_RETURN(TableInfo * right_info, db_->GetTable(t.right_table));
+    for (auto it = right_info->heap->Begin(); !it.AtEnd();) {
+      const Value& k = it.row()[t.right_join_pos];
+      if (!k.is_null()) right_rows.emplace(k, it.row());
+      PSE_RETURN_NOT_OK(it.Next());
+    }
+  }
+
+  // Position the source at the cursor. Heap scans have no random access, so
+  // a resume re-reads (but does not re-copy) the first src_cursor rows once.
+  uint64_t cursor = j->targets[target_idx].src_cursor;
+  const std::vector<Row>* entity_rows = nullptr;
+  TableHeap::Iterator it;
+  if (t.source == OpPlan::Source::kEntity) {
+    entity_rows = &data_->Rows(t.entity);
+  } else {
+    const std::string& src = t.source == OpPlan::Source::kScan ? t.scan_table : t.left_table;
+    PSE_ASSIGN_OR_RETURN(TableInfo * src_info, db_->GetTable(src));
+    it = src_info->heap->Begin();
+    for (uint64_t skipped = 0; skipped < cursor && !it.AtEnd(); ++skipped) {
+      PSE_RETURN_NOT_OK(it.Next());
+    }
+  }
+
+  auto exhausted = [&]() {
+    return t.source == OpPlan::Source::kEntity ? cursor >= t.entity_limit : it.AtEnd();
+  };
+
+  while (!exhausted()) {
+    uint64_t batch_io_start = db_->TotalIo();
+    uint64_t batch_rows = 0;
+    while (!exhausted() && batch_rows < options_.batch_rows &&
+           (options_.batch_io_budget == 0 ||
+            db_->TotalIo() - batch_io_start < options_.batch_io_budget)) {
       Row dst;
-      dst.reserve(mapping.size());
-      for (size_t pos : mapping) dst.push_back(src[pos]);
       bool insert = true;
-      if (dedup) {
-        if (dst[0].is_null()) {
-          insert = false;  // dangling/unknown parent
-        } else {
-          insert = seen_keys.insert(dst[0].AsInt()).second;
+      switch (t.source) {
+        case OpPlan::Source::kEntity: {
+          PSE_ASSIGN_OR_RETURN(dst,
+                               data_->BuildTableRow(*plan.after, t.after_idx, (*entity_rows)[cursor]));
+          break;
+        }
+        case OpPlan::Source::kScan: {
+          const Row& src = it.row();
+          dst.reserve(t.mapping.size());
+          for (size_t pos : t.mapping) dst.push_back(src[pos]);
+          if (t.dedup) {
+            if (dst[0].is_null()) {
+              insert = false;  // dangling/unknown parent
+            } else {
+              insert = seen_keys.insert(dst[0]).second;
+            }
+          }
+          break;
+        }
+        case OpPlan::Source::kJoin: {
+          const Row& lrow = it.row();
+          const Row* rrow = nullptr;
+          const Value& jk = lrow[t.left_join_pos];
+          if (!jk.is_null()) {
+            auto found = right_rows.find(jk);
+            if (found != right_rows.end()) rrow = &found->second;
+          }
+          dst.reserve(t.join_mapping.size());
+          for (size_t c = 0; c < t.join_mapping.size(); ++c) {
+            const auto& [from_left, pos] = t.join_mapping[c];
+            if (from_left) {
+              dst.push_back(lrow[pos]);
+            } else if (rrow != nullptr) {
+              dst.push_back((*rrow)[pos]);
+            } else {
+              // Left outer join: anchor rows survive a missing parent.
+              dst.push_back(Value::Null(t.schema.column(c).type));
+            }
+          }
+          break;
         }
       }
       if (insert) {
-        PSE_RETURN_NOT_OK(db_->Insert(ts.name(), dst).status());
+        PSE_RETURN_NOT_OK(db_->Insert(t.schema.name(), dst).status());
+        ++j->targets[target_idx].dest_rows;
       }
-      PSE_RETURN_NOT_OK(it.Next());
+      ++cursor;
+      ++batch_rows;
+      if (t.source != OpPlan::Source::kEntity) PSE_RETURN_NOT_OK(it.Next());
     }
-    PSE_RETURN_NOT_OK(db_->Analyze(ts.name()));
+
+    // Commit point: data + journal cursor become durable together. A crash
+    // after this survives with the cursor; a crash before it re-runs the
+    // batch (detected by the dest-row count disagreeing with the journal).
+    j->targets[target_idx].src_cursor = cursor;
+    if (exhausted()) j->targets[target_idx].completed = true;
+    PSE_RETURN_NOT_OK(CommitBatch());
+    ++j->batches_committed;
+
+    uint64_t rows_copied = 0;
+    for (const auto& jt : j->targets) rows_copied += jt.dest_rows;
+    PSE_RETURN_NOT_OK(FireHook(rows_copied));
   }
-  return db_->DropTable(old_table.name);
+  if (!j->targets[target_idx].completed) {
+    // Source was empty from the start: still mark the target done.
+    j->targets[target_idx].completed = true;
+    PSE_RETURN_NOT_OK(CommitBatch());
+  }
+  return Status::OK();
 }
 
-Status MigrationExecutor::ApplyCombine(const PhysicalSchema& before,
-                                       const PhysicalSchema& after) {
-  std::vector<size_t> removed = TablesOnlyIn(before, after);
-  std::vector<size_t> added = TablesOnlyIn(after, before);
-  if (removed.size() != 2 || added.size() != 1) {
-    return Status::Internal("combine must replace two tables with one");
-  }
-  const LogicalSchema& L = *before.logical();
-  const PhysicalTable& result = after.tables()[added[0]];
-  // Left = the side sharing the result anchor (drives the row set).
-  size_t left_i = removed[0], right_i = removed[1];
-  if (before.tables()[right_i].anchor == result.anchor &&
-      before.tables()[left_i].anchor != result.anchor) {
-    std::swap(left_i, right_i);
-  }
-  const PhysicalTable& left = before.tables()[left_i];
-  const PhysicalTable& right = before.tables()[right_i];
-  TableSchema left_ts = before.ToTableSchema(left_i);
-  TableSchema right_ts = before.ToTableSchema(right_i);
-
-  // Join columns.
-  std::string left_join_col, right_join_col;
-  if (left.anchor == right.anchor) {
-    left_join_col = left_ts.key_columns()[0];
-    right_join_col = right_ts.key_columns()[0];
-  } else {
-    PSE_ASSIGN_OR_RETURN(std::vector<AttrId> path, L.FkPath(left.anchor, right.anchor));
-    left_join_col = L.attr(path.back()).name;
-    right_join_col = right_ts.key_columns()[0];
-  }
-  PSE_ASSIGN_OR_RETURN(size_t left_join_pos, left_ts.ColumnIndex(left_join_col));
-  PSE_ASSIGN_OR_RETURN(size_t right_join_pos, right_ts.ColumnIndex(right_join_col));
-
-  TableSchema result_ts = after.ToTableSchema(added[0]);
-  PSE_RETURN_NOT_OK(db_->CreateTable(result_ts));
-  PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, after, added[0]));
-
-  // Column mapping: result column -> (from_left?, position).
-  struct ColSource {
-    bool from_left;
-    size_t pos;
-  };
-  std::vector<ColSource> mapping;
-  for (const Column& c : result_ts.columns()) {
-    auto lp = left_ts.ColumnIndex(c.name);
-    if (lp.ok()) {
-      mapping.push_back({true, *lp});
+Status MigrationExecutor::RecoverTargets(const OpPlan& plan) {
+  MigrationJournal* j = db_->mutable_migration_journal();
+  for (size_t i = 0; i < plan.targets.size(); ++i) {
+    const std::string& name = plan.targets[i].schema.name();
+    auto info_res = db_->GetTable(name);
+    if (!info_res.ok()) {
+      return Status::Internal("journaled migration target '" + name +
+                              "' missing from the reopened catalog");
+    }
+    TableInfo* info = *info_res;
+    if (i < j->target_pos || j->targets[i].completed) {
+      // Completed targets were checkpointed after their last batch; nothing
+      // written to them since, so heap and indexes are consistent.
       continue;
     }
-    PSE_ASSIGN_OR_RETURN(size_t rp, right_ts.ColumnIndex(c.name));
-    mapping.push_back({false, rp});
-  }
-
-  // Build hash of the right side by its join key (unique: it is the key).
-  PSE_ASSIGN_OR_RETURN(TableInfo * right_info, db_->GetTable(right.name));
-  std::unordered_map<int64_t, Row> right_rows;
-  for (auto it = right_info->heap->Begin(); !it.AtEnd();) {
-    const Value& k = it.row()[right_join_pos];
-    if (!k.is_null()) right_rows.emplace(k.AsInt(), it.row());
-    PSE_RETURN_NOT_OK(it.Next());
-  }
-
-  // Scan left, emit left-outer-joined rows (anchor rows are preserved even
-  // when the parent is missing — its attributes become NULL).
-  PSE_ASSIGN_OR_RETURN(TableInfo * left_info, db_->GetTable(left.name));
-  for (auto it = left_info->heap->Begin(); !it.AtEnd();) {
-    const Row& lrow = it.row();
-    const Row* rrow = nullptr;
-    const Value& jk = lrow[left_join_pos];
-    if (!jk.is_null()) {
-      auto found = right_rows.find(jk.AsInt());
-      if (found != right_rows.end()) rrow = &found->second;
+    // In-flight or not-yet-started target: pages flushed after the last
+    // checkpoint may have left more rows (or a longer chain) than the
+    // journal recorded. Count defensively and rebuild on any disagreement.
+    auto counted = info->heap->CountRowsBounded(info->heap->NumPages());
+    if (counted.ok() && *counted == j->targets[i].dest_rows) {
+      // Heap agrees with the journal. Index trees may still trail or lead
+      // the heap (they checkpoint as metadata but their pages flush
+      // independently), so rebuild them from the heap.
+      PSE_RETURN_NOT_OK(db_->RebuildIndexes(name));
+      info->row_count = j->targets[i].dest_rows;
+      continue;
     }
-    Row dst;
-    dst.reserve(mapping.size());
-    for (size_t c = 0; c < mapping.size(); ++c) {
-      if (mapping[c].from_left) {
-        dst.push_back(lrow[mapping[c].pos]);
-      } else if (rrow != nullptr) {
-        dst.push_back((*rrow)[mapping[c].pos]);
-      } else {
-        dst.push_back(Value::Null(result_ts.column(c).type));
+    // Torn state: cut the chain at the catalog's page count so the drop
+    // walk cannot wander into never-written pages, then start this target
+    // over from an empty table.
+    PSE_RETURN_NOT_OK(info->heap->TruncateChain(info->heap->NumPages()));
+    TableSchema schema = plan.targets[i].schema;
+    PSE_RETURN_NOT_OK(db_->DropTable(name));
+    PSE_RETURN_NOT_OK(db_->CreateTable(schema));
+    PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, *plan.after, plan.targets[i].after_idx));
+    j->targets[i].src_cursor = 0;
+    j->targets[i].dest_rows = 0;
+  }
+  return CommitBatch();
+}
+
+Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
+  MigrationJournal* j = db_->mutable_migration_journal();
+
+  if (!resume) {
+    // Phase kCreateTargets: journal the intent first, so a crash while the
+    // targets are half-created still knows what to drop.
+    PSE_RETURN_NOT_OK(CommitBatch());
+    for (const auto& t : plan.targets) {
+      PSE_RETURN_NOT_OK(db_->CreateTable(t.schema));
+      PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, *plan.after, t.after_idx));
+    }
+    j->phase = MigrationJournal::Phase::kCopy;
+    PSE_RETURN_NOT_OK(CommitBatch());
+  }
+
+  if (j->phase == MigrationJournal::Phase::kCopy) {
+    if (resume) PSE_RETURN_NOT_OK(RecoverTargets(plan));
+    while (j->target_pos < j->targets.size()) {
+      PSE_RETURN_NOT_OK(CopyTarget(plan, j->target_pos));
+      ++j->target_pos;
+      PSE_RETURN_NOT_OK(CommitBatch());
+    }
+    // Point of no return: every row is durably in place; from here the
+    // operator only rolls forward.
+    j->phase = MigrationJournal::Phase::kDropSources;
+    PSE_RETURN_NOT_OK(CommitBatch());
+  }
+
+  if (j->phase == MigrationJournal::Phase::kDropSources) {
+    for (const std::string& name : plan.drop_tables) {
+      Status s = db_->DropTable(name);
+      // A resumed drop phase may find some sources already gone.
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    j->phase = MigrationJournal::Phase::kFinalize;
+    PSE_RETURN_NOT_OK(CommitBatch());
+  }
+
+  for (const auto& t : plan.targets) {
+    PSE_RETURN_NOT_OK(db_->Analyze(t.schema.name()));
+  }
+  last_op_batches_ = j->batches_committed;
+  j->Clear();
+  // Data movement must be durable before the migration point completes, so
+  // the written pages count as physical I/O even when they fit in cache.
+  if (Durable()) return db_->Checkpoint();
+  return db_->pool()->FlushAll();
+}
+
+Result<uint64_t> MigrationExecutor::Run(const MigrationOperator& op, PhysicalSchema* schema,
+                                        bool resume) {
+  if (options_.batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive (0 rows per batch cannot progress)");
+  }
+  PhysicalSchema after = *schema;
+  PSE_RETURN_NOT_OK(ApplyOperator(op, &after));
+  PSE_ASSIGN_OR_RETURN(OpPlan plan, BuildPlan(op, *schema, after));
+
+  MigrationJournal* j = db_->mutable_migration_journal();
+  if (resume) {
+    if (!j->active) return Status::InvalidArgument("no migration journal to resume");
+    if (j->op_id != op.id || j->op_kind != static_cast<uint8_t>(op.kind)) {
+      return Status::InvalidArgument("journal records op#" + std::to_string(j->op_id) +
+                                     ", not op#" + std::to_string(op.id));
+    }
+    if (j->targets.size() != plan.targets.size()) {
+      return Status::Internal("journal does not match the replanned operator");
+    }
+    for (size_t i = 0; i < plan.targets.size(); ++i) {
+      if (!EqualsIgnoreCase(j->targets[i].table, plan.targets[i].schema.name())) {
+        return Status::Internal("journal target '" + j->targets[i].table +
+                                "' does not match replanned '" + plan.targets[i].schema.name() +
+                                "'");
       }
     }
-    PSE_RETURN_NOT_OK(db_->Insert(result_ts.name(), dst).status());
-    PSE_RETURN_NOT_OK(it.Next());
+    if (j->phase == MigrationJournal::Phase::kCreateTargets) {
+      // Targets may only partially exist; cheapest correct recovery is to
+      // roll the creation back and start the operator over.
+      PSE_RETURN_NOT_OK(RollbackInternal());
+      return Run(op, schema, /*resume=*/false);
+    }
+  } else {
+    // Pre-flight: every target name must be free BEFORE anything is created
+    // or journaled. This keeps rollback honest — it only ever drops tables
+    // this executor created, never a pre-existing table that happened to
+    // collide with a target name.
+    for (const auto& t : plan.targets) {
+      if (db_->HasTable(t.schema.name())) {
+        return Status::AlreadyExists("migration target table '" + t.schema.name() +
+                                     "' already exists");
+      }
+    }
+    j->Clear();
+    j->active = true;
+    j->op_id = op.id;
+    j->op_kind = static_cast<uint8_t>(op.kind);
+    j->phase = MigrationJournal::Phase::kCreateTargets;
+    j->drop_tables = plan.drop_tables;
+    for (const auto& t : plan.targets) {
+      MigrationJournal::Target jt;
+      jt.table = t.schema.name();
+      j->targets.push_back(std::move(jt));
+    }
   }
-  PSE_RETURN_NOT_OK(db_->Analyze(result_ts.name()));
-  PSE_RETURN_NOT_OK(db_->DropTable(left.name));
-  return db_->DropTable(right.name);
+
+  io_start_ = db_->TotalIo();
+  hook_io_ = 0;
+  Status s = RunPhases(plan, resume);
+  if (!s.ok()) {
+    uint64_t io_spent = db_->TotalIo() - io_start_ - hook_io_;
+    if (options_.rollback_on_error && j->phase < MigrationJournal::Phase::kDropSources) {
+      // Atomicity: an operator either fully applies or leaves no trace.
+      // Best effort — if the rollback itself fails (e.g. the disk is gone)
+      // the journal stays behind for the next Open to deal with.
+      Status rb = RollbackInternal();
+      if (!rb.ok()) {
+        return Status(s.code(), s.message() + " (rollback also failed: " + rb.message() + ")");
+      }
+    }
+    return Status(s.code(),
+                  s.message() + " [op#" + std::to_string(op.id) + " io=" +
+                      std::to_string(io_spent) + "]");
+  }
+  *schema = std::move(after);
+  return db_->TotalIo() - io_start_ - hook_io_;
+}
+
+Result<uint64_t> MigrationExecutor::Apply(const MigrationOperator& op, PhysicalSchema* schema) {
+  if (db_->HasPendingMigration()) {
+    return Status::InvalidArgument("a migration is already journaled (op#" +
+                                   std::to_string(db_->migration_journal().op_id) +
+                                   "); Resume() or Rollback() it first");
+  }
+  return Run(op, schema, /*resume=*/false);
+}
+
+Result<uint64_t> MigrationExecutor::Resume(const MigrationOperator& op, PhysicalSchema* schema) {
+  return Run(op, schema, /*resume=*/true);
+}
+
+Status MigrationExecutor::Rollback() {
+  const MigrationJournal& j = db_->migration_journal();
+  if (!j.active) return Status::InvalidArgument("no migration journal to roll back");
+  if (j.phase >= MigrationJournal::Phase::kDropSources) {
+    return Status::InvalidArgument(
+        "migration already dropping its sources; it can only roll forward (Resume)");
+  }
+  return RollbackInternal();
+}
+
+Status MigrationExecutor::RollbackInternal() {
+  MigrationJournal* j = db_->mutable_migration_journal();
+  for (const auto& jt : j->targets) {
+    if (!db_->HasTable(jt.table)) continue;
+    PSE_ASSIGN_OR_RETURN(TableInfo * info, db_->GetTable(jt.table));
+    // The heap may have grown past the last checkpoint; clamp the chain
+    // before the drop walk (see RecoverTargets).
+    PSE_RETURN_NOT_OK(info->heap->TruncateChain(info->heap->NumPages()));
+    PSE_RETURN_NOT_OK(db_->DropTable(jt.table));
+  }
+  j->Clear();
+  return CommitBatch();
+}
+
+Result<uint64_t> MigrationExecutor::ApplyAll(const std::vector<MigrationOperator>& ops,
+                                             PhysicalSchema* schema,
+                                             MigrationProgress* progress) {
+  MigrationProgress local;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto io = Apply(ops[i], schema);
+    if (!io.ok()) {
+      if (progress) *progress = local;
+      const Status& s = io.status();
+      return Status(s.code(), s.message() + " (after " + std::to_string(local.ops_applied) +
+                                  " of " + std::to_string(ops.size()) + " ops, io=" +
+                                  std::to_string(local.io) + ")");
+    }
+    local.ops_applied = i + 1;
+    local.io += *io;
+    local.batches += last_op_batches_;
+  }
+  if (progress) *progress = local;
+  return local.io;
 }
 
 }  // namespace pse

@@ -3,7 +3,18 @@
 // required by the migration". Structural application (operators.h) decides
 // what the schema looks like; this class creates/loads/drops the actual
 // tables on a Database and reports the I/O consumed.
+//
+// Execution is *online*: data moves in bounded batches, each batch is made
+// durable (for persistent databases) together with a MigrationJournal record
+// of the copy cursor, and an optional per-batch hook lets callers interleave
+// foreground queries or inject faults between batches. A process that dies
+// mid-operator can reopen the database and either Resume() the operator from
+// its last committed batch or Rollback() the half-built tables. See
+// DESIGN.md §14 for the full protocol.
 #pragma once
+
+#include <functional>
+#include <vector>
 
 #include "core/logical_database.h"
 #include "core/operators.h"
@@ -11,6 +22,47 @@
 #include "storage/database.h"
 
 namespace pse {
+
+/// Snapshot handed to MigrationOptions::on_batch after every committed batch.
+struct MigrationBatchEvent {
+  int op_id = 0;                ///< id of the in-flight operator
+  uint64_t batch_index = 0;     ///< batches committed so far for this operator
+  uint64_t rows_copied = 0;     ///< rows moved by this operator so far
+  uint64_t io_so_far = 0;       ///< migration I/O so far (hook I/O excluded)
+};
+
+/// Tuning and instrumentation knobs for online execution.
+struct MigrationOptions {
+  /// When the per-batch journal commit runs. kAuto checkpoints every batch
+  /// on persistent databases and only flushes once per operator on
+  /// in-memory ones (whose journal could never survive a crash anyway,
+  /// and whose I/O numbers feed the cost-model validation tests).
+  enum class Durability { kAuto, kEveryBatch, kFinalOnly };
+
+  /// Rows moved per batch before committing and yielding to the hook.
+  uint64_t batch_rows = 1024;
+  /// Physical I/O budget per batch; a batch closes early once its own reads
+  /// and writes exceed this. 0 = unlimited (row count alone bounds batches).
+  uint64_t batch_io_budget = 0;
+  Durability durability = Durability::kAuto;
+  /// Called after every committed batch. I/O performed inside the hook
+  /// (foreground queries, probes) is excluded from the migration's reported
+  /// I/O. A non-OK return aborts the operator — the fault-injection tests
+  /// use this to simulate crashes between batches.
+  std::function<Status(const MigrationBatchEvent&)> on_batch;
+  /// On any error, drop the operator's half-built target tables and clear
+  /// the journal before returning (the atomicity guarantee). Crash tests
+  /// set this to false so the torn state survives for Resume().
+  bool rollback_on_error = true;
+};
+
+/// Progress accumulated by ApplyAll, reported even when a mid-sequence
+/// operator fails (the I/O already spent is real and must not be lost).
+struct MigrationProgress {
+  size_t ops_applied = 0;  ///< operators fully applied
+  uint64_t io = 0;         ///< migration I/O consumed by those operators
+  uint64_t batches = 0;    ///< batches committed across all operators
+};
 
 /// \brief Applies migration operators to a materialized database.
 class MigrationExecutor {
@@ -23,22 +75,66 @@ class MigrationExecutor {
   /// (data-growth support); empty = everything.
   void set_visible_rows(std::vector<size_t> visible) { visible_ = std::move(visible); }
 
+  void set_options(MigrationOptions options) { options_ = std::move(options); }
+  const MigrationOptions& options() const { return options_; }
+
   /// Applies `op` physically and updates `schema` to the post-op schema.
-  /// Returns the physical page I/O consumed by the data movement.
+  /// Returns the physical page I/O consumed by the data movement (I/O spent
+  /// inside the on_batch hook excluded). On error the operator's partial
+  /// work is rolled back (unless rollback_on_error is off) and `schema` is
+  /// left untouched.
   Result<uint64_t> Apply(const MigrationOperator& op, PhysicalSchema* schema);
 
   /// Applies several operators (must already be dependency-ordered).
-  Result<uint64_t> ApplyAll(const std::vector<MigrationOperator>& ops, PhysicalSchema* schema);
+  /// `progress` (optional) receives the per-sequence totals even when a
+  /// mid-sequence operator fails — the failure status is annotated with the
+  /// operators applied and I/O spent before it.
+  Result<uint64_t> ApplyAll(const std::vector<MigrationOperator>& ops, PhysicalSchema* schema,
+                            MigrationProgress* progress = nullptr);
+
+  /// \brief Continues a journaled operator after a crash + Database::Open.
+  ///
+  /// `op` must be the journaled operator (matched by id and kind) and
+  /// `*schema` the physical schema as of *before* that operator. Validates
+  /// the journal against the replanned operator, repairs any torn target
+  /// heap (rebuilding it from its source when the row count disagrees with
+  /// the journal), and finishes the remaining phases. Returns the additional
+  /// I/O spent by the resumed portion.
+  Result<uint64_t> Resume(const MigrationOperator& op, PhysicalSchema* schema);
+
+  /// \brief Aborts the journaled operator, dropping its half-built targets.
+  ///
+  /// Only legal before the journal reaches the drop-sources phase (after
+  /// that the sources are partially gone and the operator can only roll
+  /// forward via Resume). Clears the journal and checkpoints.
+  Status Rollback();
 
  private:
-  Status ApplyCreate(const MigrationOperator& op, const PhysicalSchema& before,
-                     const PhysicalSchema& after);
-  Status ApplySplit(const PhysicalSchema& before, const PhysicalSchema& after);
-  Status ApplyCombine(const PhysicalSchema& before, const PhysicalSchema& after);
+  struct OpPlan;
+
+  Result<uint64_t> Run(const MigrationOperator& op, PhysicalSchema* schema, bool resume);
+  Status RunPhases(const OpPlan& plan, bool resume);
+  Status RecoverTargets(const OpPlan& plan);
+  Status CopyTarget(const OpPlan& plan, size_t target_idx);
+  Status CommitBatch();
+  Status FireHook(uint64_t rows_copied);
+  Status RollbackInternal();
+  bool Durable() const;
+
+  Result<OpPlan> BuildPlan(const MigrationOperator& op, const PhysicalSchema& before,
+                           const PhysicalSchema& after) const;
 
   Database* db_;
   const LogicalDatabase* data_;
   std::vector<size_t> visible_;
+  MigrationOptions options_;
+  /// I/O consumed inside on_batch hooks during the current Apply/Resume
+  /// (excluded from the reported migration I/O).
+  uint64_t hook_io_ = 0;
+  uint64_t io_start_ = 0;
+  /// Batches committed by the most recent successful operator (the journal
+  /// itself clears when an operator finishes).
+  uint64_t last_op_batches_ = 0;
 };
 
 }  // namespace pse

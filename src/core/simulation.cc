@@ -34,6 +34,18 @@ double SituationReport::TotalMigrationIo() const {
   return total;
 }
 
+double SituationReport::TotalOnlineProbeIo() const {
+  double total = 0;
+  for (const auto& p : phases) total += p.online_probe_io;
+  return total;
+}
+
+uint64_t SituationReport::TotalOnlineBatches() const {
+  uint64_t total = 0;
+  for (const auto& p : phases) total += p.online_batches;
+  return total;
+}
+
 MigrationSimulation::MigrationSimulation(const PhysicalSchema* source,
                                          const PhysicalSchema* object,
                                          const std::vector<WorkloadQuery>* queries,
@@ -251,11 +263,53 @@ Result<SituationReport> MigrationSimulation::Run(Situation situation) {
       }
       to_apply = ordered;
     }
+    // Online mode: between batches, run one of the phase's queries against
+    // the still-current schema (source tables stay live until the copy is
+    // durable), warm-cache, the way foreground traffic sees an online
+    // schema change. Probe I/O is tracked separately from migration I/O.
+    std::vector<size_t> probe_queries;
+    size_t next_probe = 0;
+    if (config_.online_migration) {
+      for (size_t q = 0; q < queries_->size(); ++q) {
+        if (phase_freqs_[p][q] > 0) probe_queries.push_back(q);
+      }
+      MigrationOptions mo;
+      mo.batch_rows = config_.migration_batch_rows;
+      mo.batch_io_budget = config_.migration_io_budget;
+      mo.on_batch = [&](const MigrationBatchEvent&) -> Status {
+        ++phase.online_batches;
+        if (probe_queries.empty() || !config_.measure_actual) return Status::OK();
+        const WorkloadQuery& wq = (*queries_)[probe_queries[next_probe % probe_queries.size()]];
+        ++next_probe;
+        Result<BoundQuery> bound = RewriteQuery(wq.query, current);
+        if (!bound.ok()) {
+          // Queries not yet servable mid-migration are simply skipped.
+          if (bound.status().IsBindError()) return Status::OK();
+          return bound.status();
+        }
+        DatabaseCatalogView view(&db);
+        PSE_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*bound, view));
+        uint64_t before = db.TotalIo();
+        PSE_RETURN_NOT_OK(ExecutePlan(*plan, &db).status());
+        phase.online_probe_io += static_cast<double>(db.TotalIo() - before);
+        ++phase.online_probes;
+        return Status::OK();
+      };
+      executor.set_options(std::move(mo));
+    }
     for (int op : to_apply) {
       PSE_ASSIGN_OR_RETURN(uint64_t io,
                            executor.Apply(opset.ops[static_cast<size_t>(op)], &current));
       phase.migration_io += static_cast<double>(io);
       applied[static_cast<size_t>(op)] = true;
+    }
+    if (config_.online_migration) {
+      // The hook captures this iteration's locals; detach it before they go
+      // out of scope (batch sizing stays in effect for forced completion).
+      MigrationOptions mo;
+      mo.batch_rows = config_.migration_batch_rows;
+      mo.batch_io_budget = config_.migration_io_budget;
+      executor.set_options(std::move(mo));
     }
     phase.ops_applied = to_apply;
     phase.schema_desc = std::to_string(current.tables().size()) + " tables";
@@ -273,15 +327,23 @@ Result<SituationReport> MigrationSimulation::Run(Situation situation) {
   }
 
   // Forced completion: whatever is left is applied after the last phase so
-  // the system ends exactly on the object schema.
+  // the system ends exactly on the object schema. ApplyAll reports partial
+  // progress — if a mid-sequence operator fails, the I/O already spent is
+  // still accounted in the report and named in the error.
   PSE_ASSIGN_OR_RETURN(std::vector<int> topo, opset.TopologicalOrder());
+  std::vector<MigrationOperator> remaining;
   for (int i : topo) {
     if (!applied[static_cast<size_t>(i)]) {
-      PSE_ASSIGN_OR_RETURN(uint64_t io,
-                           executor.Apply(opset.ops[static_cast<size_t>(i)], &current));
-      report.final_migration_io += static_cast<double>(io);
+      remaining.push_back(opset.ops[static_cast<size_t>(i)]);
       applied[static_cast<size_t>(i)] = true;
     }
+  }
+  MigrationProgress completion;
+  auto final_io = executor.ApplyAll(remaining, &current, &completion);
+  report.final_migration_io += static_cast<double>(completion.io);
+  if (!final_io.ok()) {
+    const Status& s = final_io.status();
+    return Status(s.code(), "forced completion failed: " + s.message());
   }
   if (!current.EquivalentTo(*object_)) {
     return Status::Internal("progressive migration did not reach the object schema");

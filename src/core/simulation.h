@@ -56,6 +56,16 @@ struct SimulationConfig {
   /// static data. Growth inserts happen between phases and are not charged
   /// to query or migration I/O.
   std::vector<std::vector<size_t>> visible_rows;
+  /// Online migration: move data in bounded batches and run one workload
+  /// probe query (cycling through the phase's active queries, warm cache)
+  /// between batches, the way foreground traffic interleaves with an online
+  /// schema change. Probe I/O is reported per phase and excluded from
+  /// migration_io. Requires measure_actual for the probes to execute.
+  bool online_migration = false;
+  /// Rows per migration batch in online mode.
+  uint64_t migration_batch_rows = 256;
+  /// Per-batch physical I/O budget in online mode (0 = unlimited).
+  uint64_t migration_io_budget = 0;
 };
 
 struct PhaseReport {
@@ -63,6 +73,10 @@ struct PhaseReport {
   double migration_io = 0;   ///< data-movement I/O at this migration point
   std::vector<int> ops_applied;
   std::string schema_desc;
+  // Online-migration instrumentation (zero unless config.online_migration).
+  double online_probe_io = 0;   ///< I/O of probe queries run between batches
+  uint64_t online_batches = 0;  ///< migration batches committed this phase
+  uint64_t online_probes = 0;   ///< probe queries executed this phase
 };
 
 struct SituationReport {
@@ -73,6 +87,8 @@ struct SituationReport {
 
   double OverallCost() const;
   double TotalMigrationIo() const;
+  double TotalOnlineProbeIo() const;
+  uint64_t TotalOnlineBatches() const;
 };
 
 /// \brief Experiment driver for one (schedule, data) instance.

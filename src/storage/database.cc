@@ -107,6 +107,26 @@ Status Database::CreateIndex(const std::string& table, const std::string& column
   return Status::OK();
 }
 
+Status Database::RebuildIndexes(const std::string& table) {
+  PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
+  for (auto& idx : t->indexes) {
+    PSE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool_.get()));
+    auto fresh = std::make_unique<BPlusTree>(std::move(tree));
+    for (auto it = t->heap->Begin(); !it.AtEnd();) {
+      const Value& v = it.row()[idx->column_idx];
+      if (!v.is_null()) {
+        PSE_RETURN_NOT_OK(fresh->Insert(v.AsInt(), it.rid()));
+      }
+      PSE_RETURN_NOT_OK(it.Next());
+    }
+    // Old tree pages are orphaned rather than freed: page ids are never
+    // reused (DiskManager policy), and after a crash the old tree cannot be
+    // walked safely to enumerate them.
+    idx->tree = std::move(fresh);
+  }
+  return Status::OK();
+}
+
 Status Database::MaintainIndexesInsert(TableInfo* t, const Row& row, Rid rid) {
   for (auto& idx : t->indexes) {
     const Value& v = row[idx->column_idx];

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
+#include "storage/migration_journal.h"
 #include "storage/table_heap.h"
 
 namespace pse {
@@ -53,6 +54,16 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(const std::string& path,
                                                 size_t pool_pages = 4096);
 
+  /// Opens a database over an arbitrary page store (same fresh-vs-restore
+  /// protocol as the path overload). Used to wrap the backing store with
+  /// fault injection in crash-recovery tests.
+  static Result<std::unique_ptr<Database>> Open(std::unique_ptr<DiskManager> disk,
+                                                size_t pool_pages = 4096);
+
+  /// True once the superblock exists: Checkpoint() persists the catalog and
+  /// a reopened instance restores it. Purely in-memory databases are not.
+  bool persistent() const { return superblock_head_ != kInvalidPageId; }
+
   /// Durably persists the catalog (superblock chain at page 0) and flushes
   /// every dirty page. A database reopened after Checkpoint() sees exactly
   /// the checkpointed state. Only meaningful for file-backed databases but
@@ -76,6 +87,12 @@ class Database {
   /// Builds a B+ tree index over an existing BIGINT column.
   Status CreateIndex(const std::string& table, const std::string& column);
 
+  /// Rebuilds every index of `table` from its heap (fresh trees, full
+  /// backfill). Crash recovery uses this: after a restart the checkpointed
+  /// tree metadata may trail pages written since, so the in-flight table's
+  /// indexes are re-derived from the (verified) heap instead of trusted.
+  Status RebuildIndexes(const std::string& table);
+
   /// Inserts a row, maintaining all indexes.
   Result<Rid> Insert(const std::string& table, const Row& row);
   /// Deletes by rid, maintaining indexes.
@@ -97,6 +114,15 @@ class Database {
   /// Resets both disk and buffer-pool counters (per-phase measurement).
   void ResetIoStats();
 
+  /// In-flight migration record. Persisted by Checkpoint(), restored by
+  /// Open(); the MigrationExecutor owns its contents and lifecycle.
+  const MigrationJournal& migration_journal() const { return journal_; }
+  MigrationJournal* mutable_migration_journal() { return &journal_; }
+  /// True when a migration operator crashed (or errored) mid-flight and its
+  /// journal was restored from disk — resume or roll back before trusting
+  /// the affected tables.
+  bool HasPendingMigration() const { return journal_.active; }
+
  private:
   Status MaintainIndexesInsert(TableInfo* t, const Row& row, Rid rid);
   Status MaintainIndexesDelete(TableInfo* t, const Row& row, Rid rid);
@@ -107,6 +133,7 @@ class Database {
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+  MigrationJournal journal_;
   /// Head of the catalog superblock chain (kInvalidPageId until the first
   /// Checkpoint on a fresh database).
   PageId superblock_head_ = kInvalidPageId;

@@ -64,6 +64,66 @@ class InMemoryDiskManager : public DiskManager {
   std::vector<std::unique_ptr<char[]>> pages_;
 };
 
+/// \brief Fault-injecting decorator over any page store.
+///
+/// Delegates to `inner` until a configured limit is reached, then fails
+/// every further operation of that kind with kIOError — modeling a device
+/// that dies after the K-th page write (or read, or total I/O). Successful
+/// operations are counted in this manager's own stats so Database::TotalIo
+/// keeps working through the wrapper. Used by the crash-recovery and
+/// failure-injection test suites; inert (all limits off) by default.
+class FaultInjectionDiskManager : public DiskManager {
+ public:
+  static constexpr uint64_t kNoLimit = ~uint64_t{0};
+
+  explicit FaultInjectionDiskManager(std::unique_ptr<DiskManager> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Fails every write once `n` writes have succeeded (kNoLimit = never).
+  void set_write_budget(uint64_t n) { write_budget_ = n; }
+  /// Fails every read once `n` reads have succeeded.
+  void set_read_budget(uint64_t n) { read_budget_ = n; }
+  /// Fails everything once `n` reads+writes have succeeded.
+  void set_io_budget(uint64_t n) { io_budget_ = n; }
+
+  uint64_t reads_done() const { return reads_; }
+  uint64_t writes_done() const { return writes_; }
+  DiskManager* inner() { return inner_.get(); }
+
+  PageId AllocatePage() override {
+    ++stats_.pages_allocated;
+    return inner_->AllocatePage();
+  }
+  Status ReadPage(PageId page_id, char* out) override {
+    if (reads_ >= read_budget_ || reads_ + writes_ >= io_budget_) {
+      return Status::IOError("injected read failure at page " + std::to_string(page_id));
+    }
+    PSE_RETURN_NOT_OK(inner_->ReadPage(page_id, out));
+    ++reads_;
+    ++stats_.page_reads;
+    return Status::OK();
+  }
+  Status WritePage(PageId page_id, const char* data) override {
+    if (writes_ >= write_budget_ || reads_ + writes_ >= io_budget_) {
+      return Status::IOError("injected write failure at page " + std::to_string(page_id));
+    }
+    PSE_RETURN_NOT_OK(inner_->WritePage(page_id, data));
+    ++writes_;
+    ++stats_.page_writes;
+    return Status::OK();
+  }
+  void DeallocatePage(PageId page_id) override { inner_->DeallocatePage(page_id); }
+  uint64_t NumAllocatedPages() const override { return inner_->NumAllocatedPages(); }
+
+ private:
+  std::unique_ptr<DiskManager> inner_;
+  uint64_t write_budget_ = kNoLimit;
+  uint64_t read_budget_ = kNoLimit;
+  uint64_t io_budget_ = kNoLimit;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
 /// File-backed page store (single file, page_id * kPageSize offsets). Used
 /// by the durability-oriented examples/tests.
 class FileDiskManager : public DiskManager {

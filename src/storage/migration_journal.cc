@@ -1,0 +1,41 @@
+#include "storage/migration_journal.h"
+
+namespace pse {
+
+const char* MigrationPhaseName(MigrationJournal::Phase phase) {
+  switch (phase) {
+    case MigrationJournal::Phase::kCreateTargets:
+      return "create-targets";
+    case MigrationJournal::Phase::kCopy:
+      return "copy";
+    case MigrationJournal::Phase::kDropSources:
+      return "drop-sources";
+    case MigrationJournal::Phase::kFinalize:
+      return "finalize";
+  }
+  return "?";
+}
+
+std::string MigrationJournal::ToString() const {
+  if (!active) return "inactive";
+  std::string out = "op#" + std::to_string(op_id) + " phase=" + MigrationPhaseName(phase) +
+                    " batches=" + std::to_string(batches_committed) + " targets=[";
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const Target& t = targets[i];
+    if (i > 0) out += ", ";
+    out += t.table + (t.completed ? " done" : " @" + std::to_string(t.src_cursor) + "/" +
+                                                  std::to_string(t.dest_rows));
+  }
+  out += "]";
+  if (!drop_tables.empty()) {
+    out += " drop=[";
+    for (size_t i = 0; i < drop_tables.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += drop_tables[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace pse

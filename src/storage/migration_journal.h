@@ -1,0 +1,60 @@
+// MigrationJournal: durable record of an in-flight migration operator.
+//
+// The journal is part of the Database catalog and rides the superblock
+// chain: every Checkpoint() persists it, and Database::Open restores it, so
+// a process that dies mid-migration can either resume the operator from its
+// last committed batch or roll the half-built tables back (the
+// MigrationExecutor implements both protocols — see DESIGN.md §14).
+//
+// The record is storage-level on purpose: it names tables and row cursors,
+// never core-level schema objects, so the storage layer stays independent
+// of the migration machinery that writes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pse {
+
+/// \brief Per-operator progress of an online migration.
+struct MigrationJournal {
+  /// Execution phases of one operator, in order. Before kDropSources the
+  /// operator can be rolled back (sources are untouched); from kDropSources
+  /// on it can only roll forward.
+  enum class Phase : uint8_t {
+    kCreateTargets = 0,  ///< destination tables + indexes being created
+    kCopy = 1,           ///< batched data movement in progress
+    kDropSources = 2,    ///< copy durable; superseded source tables dropping
+    kFinalize = 3,       ///< sources gone; re-ANALYZE and clear the journal
+  };
+
+  /// Copy progress of one destination table.
+  struct Target {
+    std::string table;
+    bool completed = false;   ///< fully copied and made durable
+    uint64_t src_cursor = 0;  ///< source rows consumed (scan order = insert order)
+    uint64_t dest_rows = 0;   ///< rows inserted (== cursor unless deduplicating)
+  };
+
+  bool active = false;
+  int32_t op_id = 0;
+  uint8_t op_kind = 0;  ///< OperatorKind of the in-flight operator
+  Phase phase = Phase::kCreateTargets;
+  /// Source tables to drop once every target is complete.
+  std::vector<std::string> drop_tables;
+  std::vector<Target> targets;
+  /// Index into `targets` of the in-flight destination.
+  uint32_t target_pos = 0;
+  /// Batches committed so far (reporting/fault-injection bookkeeping).
+  uint64_t batches_committed = 0;
+
+  void Clear() { *this = MigrationJournal{}; }
+
+  /// One-line human-readable summary ("inactive" when !active).
+  std::string ToString() const;
+};
+
+const char* MigrationPhaseName(MigrationJournal::Phase phase);
+
+}  // namespace pse

@@ -19,7 +19,9 @@ namespace pse {
 namespace {
 
 constexpr uint32_t kMagic = 0x50534543;  // "PSEC"
-constexpr uint32_t kVersion = 1;
+// v1: tables only; v2 appends the migration-journal section. v1 files are
+// still readable (journal defaults to inactive).
+constexpr uint32_t kVersion = 2;
 constexpr size_t kChainHeader = 8;
 constexpr size_t kChainPayload = kPageSize - kChainHeader;
 
@@ -80,6 +82,11 @@ class BufReader {
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& path, size_t pool_pages) {
   PSE_ASSIGN_OR_RETURN(std::unique_ptr<FileDiskManager> disk, FileDiskManager::Open(path));
+  return Open(std::unique_ptr<DiskManager>(std::move(disk)), pool_pages);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(std::unique_ptr<DiskManager> disk,
+                                                size_t pool_pages) {
   bool fresh = disk->NumAllocatedPages() == 0;
   auto db = std::make_unique<Database>(pool_pages, std::move(disk));
   if (fresh) {
@@ -142,6 +149,25 @@ Status Database::WriteSuperblock() {
     }
   }
 
+  // Migration journal (v2 section).
+  w.U8(journal_.active ? 1 : 0);
+  if (journal_.active) {
+    w.U32(static_cast<uint32_t>(journal_.op_id));
+    w.U8(journal_.op_kind);
+    w.U8(static_cast<uint8_t>(journal_.phase));
+    w.U32(static_cast<uint32_t>(journal_.drop_tables.size()));
+    for (const auto& name : journal_.drop_tables) w.Str(name);
+    w.U32(static_cast<uint32_t>(journal_.targets.size()));
+    for (const auto& t : journal_.targets) {
+      w.Str(t.table);
+      w.U8(t.completed ? 1 : 0);
+      w.U64(t.src_cursor);
+      w.U64(t.dest_rows);
+    }
+    w.U32(journal_.target_pos);
+    w.U64(journal_.batches_committed);
+  }
+
   // Spill the buffer across the chain.
   const std::string& buf = w.buffer();
   size_t offset = 0;
@@ -192,7 +218,7 @@ Status Database::LoadSuperblock() {
   PSE_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
   if (magic != kMagic) return Status::Internal("bad superblock magic");
   PSE_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::NotImplemented("superblock version " + std::to_string(version));
   }
   PSE_ASSIGN_OR_RETURN(uint32_t table_count, r.U32());
@@ -243,6 +269,39 @@ Status Database::LoadSuperblock() {
       lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
     }
     tables_[lowered] = std::move(info);
+  }
+
+  journal_.Clear();
+  if (version >= 2) {
+    PSE_ASSIGN_OR_RETURN(uint8_t active, r.U8());
+    if (active != 0) {
+      journal_.active = true;
+      PSE_ASSIGN_OR_RETURN(uint32_t op_id, r.U32());
+      journal_.op_id = static_cast<int32_t>(op_id);
+      PSE_ASSIGN_OR_RETURN(journal_.op_kind, r.U8());
+      PSE_ASSIGN_OR_RETURN(uint8_t phase, r.U8());
+      if (phase > static_cast<uint8_t>(MigrationJournal::Phase::kFinalize)) {
+        return Status::Internal("corrupt migration journal: phase " + std::to_string(phase));
+      }
+      journal_.phase = static_cast<MigrationJournal::Phase>(phase);
+      PSE_ASSIGN_OR_RETURN(uint32_t drop_count, r.U32());
+      for (uint32_t i = 0; i < drop_count; ++i) {
+        PSE_ASSIGN_OR_RETURN(std::string name, r.Str());
+        journal_.drop_tables.push_back(std::move(name));
+      }
+      PSE_ASSIGN_OR_RETURN(uint32_t target_count, r.U32());
+      for (uint32_t i = 0; i < target_count; ++i) {
+        MigrationJournal::Target t;
+        PSE_ASSIGN_OR_RETURN(t.table, r.Str());
+        PSE_ASSIGN_OR_RETURN(uint8_t completed, r.U8());
+        t.completed = completed != 0;
+        PSE_ASSIGN_OR_RETURN(t.src_cursor, r.U64());
+        PSE_ASSIGN_OR_RETURN(t.dest_rows, r.U64());
+        journal_.targets.push_back(std::move(t));
+      }
+      PSE_ASSIGN_OR_RETURN(journal_.target_pos, r.U32());
+      PSE_ASSIGN_OR_RETURN(journal_.batches_committed, r.U64());
+    }
   }
   return Status::OK();
 }

@@ -138,6 +138,57 @@ Result<Rid> TableHeap::Update(const Rid& rid, const Row& row) {
   return Insert(row);
 }
 
+Result<uint64_t> TableHeap::CountRowsBounded(uint64_t max_pages) const {
+  uint64_t count = 0;
+  uint64_t pages = 0;
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    if (++pages > max_pages) {
+      return Status::Internal("heap chain longer than the " + std::to_string(max_pages) +
+                              " pages the catalog records");
+    }
+    PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid));
+    const char* p = guard.data();
+    uint16_t slot_count = GetU16(p, 4);
+    size_t slots_end = kHeaderSize + static_cast<size_t>(slot_count) * kSlotSize;
+    if (slots_end > kPageSize) {
+      return Status::Internal("heap page " + std::to_string(pid) + " has a malformed slot count");
+    }
+    for (uint16_t i = 0; i < slot_count; ++i) {
+      Slot s = GetSlot(p, i);
+      if (s.offset == 0) continue;  // deleted
+      if (s.offset < slots_end || static_cast<size_t>(s.offset) + s.size > kPageSize) {
+        return Status::Internal("heap page " + std::to_string(pid) + " slot " +
+                                std::to_string(i) + " is out of bounds");
+      }
+      ++count;
+    }
+    pid = GetU32(p, 0);
+  }
+  return count;
+}
+
+Status TableHeap::TruncateChain(uint64_t keep_pages) {
+  if (keep_pages == 0) return Status::InvalidArgument("cannot truncate a heap to zero pages");
+  PageId pid = first_page_;
+  for (uint64_t i = 1; i < keep_pages; ++i) {
+    PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid));
+    PageId next = GetU32(guard.data(), 0);
+    if (next == kInvalidPageId) {
+      // Chain is already shorter than requested; nothing to cut.
+      last_page_ = pid;
+      num_pages_ = i;
+      return Status::OK();
+    }
+    pid = next;
+  }
+  PSE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid));
+  PutU32(guard.mutable_data(), 0, kInvalidPageId);
+  last_page_ = pid;
+  num_pages_ = keep_pages;
+  return Status::OK();
+}
+
 TableHeap::Iterator TableHeap::Begin() const {
   Iterator it(this);
   Status s = it.LoadFirst();

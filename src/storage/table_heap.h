@@ -80,6 +80,28 @@ class TableHeap {
   /// Next(); a Begin() on an unreadable heap yields AtEnd().
   Iterator Begin() const;
 
+  /// \brief Counts live tuples without deserializing them, defensively.
+  ///
+  /// Walks at most `max_pages` pages of the chain and validates every slot
+  /// (offsets inside the page, tuple bytes in bounds) before trusting it.
+  /// Returns Internal on any anomaly — a longer-than-expected chain, a
+  /// malformed slot, an out-of-bounds tuple. Crash recovery uses this to
+  /// decide whether an interrupted copy can continue from its journaled
+  /// cursor or the destination must be rebuilt: pages flushed after the
+  /// last checkpoint make the count (or the chain) disagree with the
+  /// checkpointed catalog.
+  Result<uint64_t> CountRowsBounded(uint64_t max_pages) const;
+
+  /// \brief Clamps the page chain to its first `keep_pages` pages.
+  ///
+  /// Rewrites the next-pointer of the keep_pages-th page to end the chain
+  /// there (pages beyond it are orphaned; page ids are never reused). Crash
+  /// recovery uses this before dropping a heap whose chain grew past the
+  /// checkpointed catalog — the un-checkpointed tail may contain a
+  /// never-written (zeroed) page whose next-pointer cannot be trusted, so
+  /// the regular drop walk must not cross into it.
+  Status TruncateChain(uint64_t keep_pages);
+
  private:
   TableHeap(BufferPool* pool, const TableSchema* schema)
       : pool_(pool), schema_(schema) {}

@@ -1,0 +1,137 @@
+// AnalyzeResumability: batch-schedule prediction and the RESUME_* lints for
+// online migration configurations.
+#include <gtest/gtest.h>
+
+#include "analysis/resumability.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+class ResumabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bs_ = Bookstore::Make();
+    data_ = bs_->MakeData(5, 8, 60);  // 5 authors, 40 books, 60 users
+    stats_ = data_->ComputeStats();
+    auto opset = ComputeOperatorSet(bs_->source, bs_->object);
+    ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+    opset_ = std::move(*opset);
+  }
+
+  ResumabilityInput Input() {
+    ResumabilityInput in;
+    in.source = &bs_->source;
+    in.opset = &opset_;
+    in.stats = &stats_;
+    return in;
+  }
+
+  std::unique_ptr<Bookstore> bs_;
+  std::unique_ptr<LogicalDatabase> data_;
+  LogicalStats stats_;
+  OperatorSet opset_;
+};
+
+TEST_F(ResumabilityTest, MissingInputsAreAnError) {
+  ResumabilityInput in;
+  DiagnosticReport report = AnalyzeResumability(in);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasCode(DiagCode::kResumeInvalidBatch));
+}
+
+TEST_F(ResumabilityTest, ZeroBatchRowsIsAnError) {
+  ResumabilityInput in = Input();
+  in.options.batch_rows = 0;
+  DiagnosticReport report = AnalyzeResumability(in);
+  EXPECT_FALSE(report.ok());
+  auto diags = report.WithCode(DiagCode::kResumeInvalidBatch);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kError);
+}
+
+TEST_F(ResumabilityTest, NondurableConfigurationsWarn) {
+  ResumabilityInput in = Input();
+  in.persistent = false;
+  EXPECT_TRUE(AnalyzeResumability(in).HasCode(DiagCode::kResumeNondurable));
+
+  in = Input();
+  in.options.durability = MigrationOptions::Durability::kFinalOnly;
+  EXPECT_TRUE(AnalyzeResumability(in).HasCode(DiagCode::kResumeNondurable));
+
+  // A persistent database with per-batch durability is clean.
+  in = Input();
+  DiagnosticReport report = AnalyzeResumability(in);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.HasCode(DiagCode::kResumeNondurable));
+}
+
+TEST_F(ResumabilityTest, EstimatesOneSchedulePerRemainingOp) {
+  ResumabilityInput in = Input();
+  in.options.batch_rows = 16;
+  std::vector<OpBatchEstimate> estimates;
+  DiagnosticReport report = AnalyzeResumability(in, {}, &estimates);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_EQ(estimates.size(), opset_.size());
+  for (const auto& est : estimates) {
+    EXPECT_GT(est.batches, 0u);
+    EXPECT_EQ(est.batches, est.rows_moved == 0
+                               ? 1u
+                               : (est.rows_moved + 15) / 16)
+        << "op#" << est.op_id;
+  }
+  // One batch-plan note per estimated operator.
+  EXPECT_EQ(report.WithCode(DiagCode::kResumeBatchPlan).size(), estimates.size());
+}
+
+TEST_F(ResumabilityTest, AppliedOpsAreSkipped) {
+  ResumabilityInput in = Input();
+  std::vector<bool> applied(opset_.size(), false);
+  applied[0] = true;
+  in.applied = &applied;
+  std::vector<OpBatchEstimate> estimates;
+  AnalyzeResumability(in, {}, &estimates);
+  EXPECT_EQ(estimates.size(), opset_.size() - 1);
+  for (const auto& est : estimates) EXPECT_NE(est.op_id, opset_.ops[0].id);
+}
+
+TEST_F(ResumabilityTest, LongOperatorsWarn) {
+  ResumabilityInput in = Input();
+  in.options.batch_rows = 1;  // every row its own batch
+  ResumabilityOptions opts;
+  opts.long_op_batches = 10;  // 40 books / 60 users blow through this
+  DiagnosticReport report = AnalyzeResumability(in, opts);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.HasCode(DiagCode::kResumeLongOp));
+  // Long ops get the warning instead of the note, never both.
+  for (const auto& d : report.WithCode(DiagCode::kResumeLongOp)) {
+    EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  }
+}
+
+TEST_F(ResumabilityTest, SplitToForeignAnchorCountsDistinctKeys) {
+  // Splitting the denormalized glossary's author attrs back out would move
+  // one row per *author*, not per book. Build that direction explicitly:
+  // object -> source style split is not in the bookstore opset, so check the
+  // user split (same anchor): rest and moved sides both count user rows.
+  ResumabilityInput in = Input();
+  in.options.batch_rows = 1000;  // single batch per op: rows == batches' rows
+  std::vector<OpBatchEstimate> estimates;
+  AnalyzeResumability(in, {}, &estimates);
+  bool found_split = false;
+  for (size_t i = 0; i < opset_.size(); ++i) {
+    if (opset_.ops[i].kind != OperatorKind::kSplitTable) continue;
+    for (const auto& est : estimates) {
+      if (est.op_id != opset_.ops[i].id) continue;
+      found_split = true;
+      // user table: 60 rows kept + 60 rows moved (same anchor, no dedup).
+      EXPECT_EQ(est.rows_moved, 120u);
+    }
+  }
+  EXPECT_TRUE(found_split);
+}
+
+}  // namespace
+}  // namespace pse

@@ -1,6 +1,8 @@
 // Failure injection: a DiskManager that starts failing after N operations.
 // Verifies that I/O errors propagate as Status through every layer (buffer
 // pool, heap, B+ tree, Database) instead of crashing or corrupting state.
+// Uses the shared FaultInjectionDiskManager decorator (disk_manager.h), the
+// same one the crash-recovery suite drives.
 #include <gtest/gtest.h>
 
 #include "storage/database.h"
@@ -8,39 +10,11 @@
 namespace pse {
 namespace {
 
-/// Wraps a real disk manager; fails every operation once `budget` I/Os have
-/// been spent.
-class FlakyDiskManager : public DiskManager {
- public:
-  explicit FlakyDiskManager(uint64_t budget) : budget_(budget) {}
-
-  PageId AllocatePage() override {
-    ++stats_.pages_allocated;
-    return inner_.AllocatePage();
-  }
-  Status ReadPage(PageId page_id, char* out) override {
-    if (Spend()) return Status::IOError("injected read failure");
-    ++stats_.page_reads;
-    return inner_.ReadPage(page_id, out);
-  }
-  Status WritePage(PageId page_id, const char* data) override {
-    if (Spend()) return Status::IOError("injected write failure");
-    ++stats_.page_writes;
-    return inner_.WritePage(page_id, data);
-  }
-  void DeallocatePage(PageId page_id) override { inner_.DeallocatePage(page_id); }
-  uint64_t NumAllocatedPages() const override { return inner_.NumAllocatedPages(); }
-
- private:
-  bool Spend() {
-    if (used_ >= budget_) return true;
-    ++used_;
-    return false;
-  }
-  InMemoryDiskManager inner_;
-  uint64_t budget_;
-  uint64_t used_ = 0;
-};
+std::unique_ptr<FaultInjectionDiskManager> FlakyDisk(uint64_t io_budget) {
+  auto disk = std::make_unique<FaultInjectionDiskManager>(std::make_unique<InMemoryDiskManager>());
+  disk->set_io_budget(io_budget);
+  return disk;
+}
 
 TableSchema WideSchema() {
   return TableSchema("t",
@@ -53,7 +27,7 @@ TEST(FailureInjectionTest, InsertsEventuallyFailCleanly) {
   // A tiny pool forces evictions (disk writes); a small I/O budget makes
   // them fail at some point. The API must return a non-OK status, never
   // crash.
-  Database db(4, std::make_unique<FlakyDiskManager>(25));
+  Database db(4, FlakyDisk(25));
   ASSERT_TRUE(db.CreateTable(WideSchema()).ok());
   bool failed = false;
   for (int64_t i = 0; i < 5000 && !failed; ++i) {
@@ -67,30 +41,23 @@ TEST(FailureInjectionTest, InsertsEventuallyFailCleanly) {
 }
 
 TEST(FailureInjectionTest, ScanSurfacesReadFailure) {
-  auto flaky = std::make_unique<FlakyDiskManager>(1000000);
-  FlakyDiskManager* handle = flaky.get();
-  (void)handle;
-  Database db(4, std::move(flaky));
+  Database db(4, FlakyDisk(1000000));
   ASSERT_TRUE(db.CreateTable(WideSchema()).ok());
   for (int64_t i = 0; i < 500; ++i) {
     ASSERT_TRUE(db.Insert("t", {Value::Int(i), Value::Varchar(std::string(60, 'y'))}).ok());
   }
-  // Rebuild with a budget that survives the load but dies during the scan.
-  // (Simpler: new database with exact budget discovered empirically is
-  // brittle; instead verify that a scan on a healthy database is OK and on
-  // an exhausted one is not.)
-  Database db2(4, std::make_unique<FlakyDiskManager>(0));
-  Status s = db2.CreateTable(WideSchema());
   // With zero I/O budget even table creation cannot flush; depending on
   // timing it may succeed (page still cached). Either way nothing crashes
   // and any failure is kIOError.
+  Database db2(4, FlakyDisk(0));
+  Status s = db2.CreateTable(WideSchema());
   if (!s.ok()) {
     EXPECT_EQ(s.code(), StatusCode::kIOError);
   }
 }
 
 TEST(FailureInjectionTest, FailedOperationsLeaveDatabaseUsable) {
-  Database db(4, std::make_unique<FlakyDiskManager>(40));
+  Database db(4, FlakyDisk(40));
   ASSERT_TRUE(db.CreateTable(WideSchema()).ok());
   int64_t inserted = 0;
   for (int64_t i = 0; i < 5000; ++i) {
@@ -102,6 +69,25 @@ TEST(FailureInjectionTest, FailedOperationsLeaveDatabaseUsable) {
   // Catalog-level operations that need no disk I/O still work.
   EXPECT_TRUE(db.HasTable("t"));
   EXPECT_EQ(db.TableNames().size(), 1u);
+}
+
+TEST(FailureInjectionTest, WriteBudgetFailsExactlyAfterLimit) {
+  auto disk = FlakyDisk(FaultInjectionDiskManager::kNoLimit);
+  FaultInjectionDiskManager* handle = disk.get();
+  handle->set_write_budget(3);
+  Database db(4, std::move(disk));
+  ASSERT_TRUE(db.CreateTable(WideSchema()).ok());
+  // Writes fail once exactly 3 have succeeded; the error names the page.
+  for (int64_t i = 0; i < 5000; ++i) {
+    auto rid = db.Insert("t", {Value::Int(i), Value::Varchar(std::string(60, 'w'))});
+    if (!rid.ok()) {
+      EXPECT_EQ(rid.status().code(), StatusCode::kIOError);
+      EXPECT_NE(rid.status().message().find("injected write failure"), std::string::npos);
+      EXPECT_EQ(handle->writes_done(), 3u);
+      return;
+    }
+  }
+  FAIL() << "write budget never triggered";
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// MigrationJournal persistence: the journal rides the superblock chain
+// (format v2), survives Checkpoint + reopen, and clears durably.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/database.h"
+
+namespace pse {
+namespace {
+
+class MigrationJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/pse_migration_journal_test.db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+MigrationJournal SampleJournal() {
+  MigrationJournal j;
+  j.active = true;
+  j.op_id = 12;
+  j.op_kind = 1;
+  j.phase = MigrationJournal::Phase::kCopy;
+  j.drop_tables = {"user"};
+  j.targets.push_back({"m12a_user", true, 60, 60});
+  j.targets.push_back({"m12b_user", false, 32, 17});
+  j.target_pos = 1;
+  j.batches_committed = 6;
+  return j;
+}
+
+TEST_F(MigrationJournalTest, RoundTripsThroughSuperblock) {
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    *(*db)->mutable_migration_journal() = SampleJournal();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->HasPendingMigration());
+  const MigrationJournal& j = (*db)->migration_journal();
+  EXPECT_EQ(j.op_id, 12);
+  EXPECT_EQ(j.op_kind, 1);
+  EXPECT_EQ(j.phase, MigrationJournal::Phase::kCopy);
+  ASSERT_EQ(j.drop_tables.size(), 1u);
+  EXPECT_EQ(j.drop_tables[0], "user");
+  ASSERT_EQ(j.targets.size(), 2u);
+  EXPECT_EQ(j.targets[0].table, "m12a_user");
+  EXPECT_TRUE(j.targets[0].completed);
+  EXPECT_EQ(j.targets[0].src_cursor, 60u);
+  EXPECT_EQ(j.targets[1].table, "m12b_user");
+  EXPECT_FALSE(j.targets[1].completed);
+  EXPECT_EQ(j.targets[1].src_cursor, 32u);
+  EXPECT_EQ(j.targets[1].dest_rows, 17u);
+  EXPECT_EQ(j.target_pos, 1u);
+  EXPECT_EQ(j.batches_committed, 6u);
+}
+
+TEST_F(MigrationJournalTest, InactiveJournalStaysInactiveAcrossReopen) {
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_FALSE((*db)->HasPendingMigration());
+}
+
+TEST_F(MigrationJournalTest, ClearedJournalIsDurable) {
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok());
+    *(*db)->mutable_migration_journal() = SampleJournal();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    (*db)->mutable_migration_journal()->Clear();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_FALSE((*db)->HasPendingMigration());
+}
+
+TEST_F(MigrationJournalTest, ToStringAndPhaseNames) {
+  MigrationJournal j;
+  EXPECT_NE(j.ToString().find("inactive"), std::string::npos);
+  j = SampleJournal();
+  std::string s = j.ToString();
+  EXPECT_NE(s.find("op#12"), std::string::npos) << s;
+  EXPECT_NE(s.find(MigrationPhaseName(MigrationJournal::Phase::kCopy)), std::string::npos) << s;
+  EXPECT_STREQ(MigrationPhaseName(MigrationJournal::Phase::kCreateTargets), "create-targets");
+  EXPECT_STREQ(MigrationPhaseName(MigrationJournal::Phase::kDropSources), "drop-sources");
+}
+
+TEST_F(MigrationJournalTest, PersistsAlongsideTables) {
+  // The journal section follows the table catalog; both must survive.
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok());
+    TableSchema t("t", {Column("id", TypeId::kInt64, 0, false)}, {"id"});
+    ASSERT_TRUE((*db)->CreateTable(t).ok());
+    ASSERT_TRUE((*db)->Insert("t", {Value::Int(1)}).ok());
+    *(*db)->mutable_migration_journal() = SampleJournal();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->HasTable("t"));
+  EXPECT_TRUE((*db)->HasPendingMigration());
+  EXPECT_EQ((*db)->migration_journal().targets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pse
