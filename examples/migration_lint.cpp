@@ -22,11 +22,13 @@
 #include <memory>
 #include <string>
 
+#include "analysis/concurrency.h"
 #include "analysis/interaction.h"
 #include "analysis/verifier.h"
 #include "core/mapping.h"
 #include "tpcw/queries.h"
 #include "tpcw/schema.h"
+#include "tpcw/workloads.h"
 
 using namespace pse;
 
@@ -121,6 +123,17 @@ int LintTpcw() {
   int errors = Report("tpcw: source -> object with the 20-query workload",
                       VerifyMigration(input));
   errors += ReportInteractions("tpcw", schema->logical, schema->source, *opset, *queries);
+
+  // Concurrency lint for a 4-session serve window at the first phase mix.
+  ConcurrencyInput cin;
+  cin.source = &schema->source;
+  cin.opset = &*opset;
+  cin.queries = &*queries;
+  std::vector<double> phase0 = Fig9IrregularFrequencies().front();
+  cin.freqs = &phase0;
+  cin.sessions = 4;
+  errors += Report("tpcw: concurrent serving, 4 sessions at the phase-0 mix",
+                   AnalyzeConcurrency(cin));
   return errors;
 }
 

@@ -16,7 +16,8 @@
 // parallel LAA planning over that migration twice and prints the cost-cache
 // hit/miss/collision counters, ".migrate" executes that migration *online*
 // (batched, journaled, with a simulated crash + resume) on a scratch
-// database, ".quit" exits.
+// database, ".serve" runs it again under live concurrent mixed-version
+// sessions and prints throughput + latency quantiles, ".quit" exits.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -29,6 +30,7 @@
 #include "core/mapping.h"
 #include "core/migration_executor.h"
 #include "core/migration_planner.h"
+#include "core/serving.h"
 #include "engine/cost_cache.h"
 #include "sql/session.h"
 #include "tpcw/datagen.h"
@@ -237,6 +239,69 @@ int RunMigrateDemo(Database* session_db) {
   return 0;
 }
 
+/// `.serve`: run the TPC-W source -> object migration on a scratch database
+/// while four concurrent sessions execute the mixed-version workload against
+/// live schema snapshots, then print the serve-window metrics.
+int RunServeDemo() {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  if (!queries.ok()) {
+    std::printf("error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  if (!opset.ok()) {
+    std::printf("error: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  auto topo = opset->TopologicalOrder();
+  if (!topo.ok()) {
+    std::printf("error: %s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<LogicalDatabase> data = GenerateTpcwData(*schema, ScaleTiny());
+  Database db(2048);
+  Status mat = data->Materialize(&db, schema->source);
+  if (!mat.ok()) {
+    std::printf("error: %s\n", mat.ToString().c_str());
+    return 1;
+  }
+
+  ServingSchema serving(schema->source);
+  MigrationExecutor exec(&db, data.get());
+  MigrationOptions options;
+  options.batch_rows = 128;
+  options.on_publish = [&](const PhysicalSchema& s) { serving.Publish(s); };
+  exec.set_options(options);
+
+  ServeOptions serve;
+  serve.sessions = 4;
+  serve.min_queries_per_lane = 8;
+  std::vector<double> freqs(queries->size(), 1.0);
+  std::printf("TPC-W source -> object under load: %zu operators, %zu sessions\n", opset->size(),
+              serve.sessions);
+  auto metrics = ServeDuringMigration(&db, &serving, *queries, freqs, serve, [&]() -> Status {
+    PhysicalSchema current = schema->source;
+    for (int idx : *topo) {
+      auto io = exec.Apply(opset->ops[static_cast<size_t>(idx)], &current);
+      if (!io.ok()) return io.status();
+    }
+    return Status::OK();
+  });
+  if (!metrics.ok()) {
+    std::printf("error: %s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "served %llu queries (%llu unservable on an intermediate, %llu errors) in %.1f ms\n"
+      "throughput %.1f q/s, latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+      static_cast<unsigned long long>(metrics->queries),
+      static_cast<unsigned long long>(metrics->unservable),
+      static_cast<unsigned long long>(metrics->errors), metrics->wall_ms,
+      metrics->throughput_qps, metrics->p50_ms, metrics->p95_ms, metrics->p99_ms);
+  return metrics->errors == 0 ? 0 : 1;
+}
+
 int RunStatement(Session* session, const std::string& stmt) {
   std::string trimmed(Trim(stmt));
   if (trimmed.empty()) return 0;
@@ -248,6 +313,7 @@ int RunStatement(Session* session, const std::string& stmt) {
   if (trimmed == ".interactions") return RunInteractionsDemo();
   if (trimmed == ".coststats") return RunCostStatsDemo();
   if (trimmed == ".migrate") return RunMigrateDemo(session->db());
+  if (trimmed == ".serve") return RunServeDemo();
   if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
     auto plan = session->Explain(trimmed.substr(8));
     if (!plan.ok()) {
@@ -323,7 +389,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .interactions, "
-      ".coststats, .migrate, .quit)\n");
+      ".coststats, .migrate, .serve, .quit)\n");
   std::string buffer, line;
   while (true) {
     std::printf(buffer.empty() ? "sql> " : "...> ");

@@ -45,5 +45,22 @@ grep -Eq '"batches": [1-9]' BENCH_laa_scaling.json || {
   echo "online migration committed no batches in any phase" >&2
   exit 1
 }
+# The concurrent-serving section must report per-phase throughput and latency
+# quantiles for at least 4 live sessions, and those sessions must have
+# answered real queries.
+for key in '"concurrent_serving"' '"throughput_qps"' '"p50_ms"' '"p95_ms"' '"p99_ms"'; do
+  grep -q "$key" BENCH_laa_scaling.json || {
+    echo "bench JSON is missing the concurrent-serving key $key" >&2
+    exit 1
+  }
+done
+grep -q '"sessions": 4' BENCH_laa_scaling.json || {
+  echo "concurrent serving has no 4-session rows" >&2
+  exit 1
+}
+grep -Eq '"sessions": [48], "phase": [0-9]+, "queries": [1-9]' BENCH_laa_scaling.json || {
+  echo "concurrent serving answered no queries in any phase" >&2
+  exit 1
+}
 
 echo "== bench: OK =="

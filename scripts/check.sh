@@ -5,7 +5,8 @@
 #   scripts/check.sh --fast     # skip the lint passes (build + test only)
 #   scripts/check.sh --tsan     # ThreadSanitizer build + the concurrency
 #                               # test suites (thread pool, cost cache,
-#                               # parallel planners) — nothing else
+#                               # parallel planners, concurrent serving
+#                               # stress) — nothing else
 #
 # clang-tidy and clang-format passes are skipped with a notice when the
 # tools are not installed; the sanitizer build and tests always run.
@@ -31,11 +32,11 @@ if [ "$tsan" -eq 1 ]; then
 
   echo "== check: building concurrency + fault-injection suites =="
   cmake --build "$build_dir" -j "$jobs" \
-    --target common_test engine_test core_test analysis_test storage_test
+    --target common_test engine_test core_test analysis_test storage_test concurrency_test
 
   echo "== check: running concurrency + fault-injection suites under TSan =="
   (cd "$build_dir" && ctest --output-on-failure -j "$jobs" \
-    -R '^(common_test|engine_test|core_test|analysis_test|storage_test)$')
+    -R '^(common_test|engine_test|core_test|analysis_test|storage_test|concurrency_test)$')
 
   echo "== check: OK (tsan) =="
   exit 0

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Line-coverage gate over the migration-critical modules.
+#
+#   scripts/coverage.sh            # coverage build + ctest + gcovr report
+#   scripts/coverage.sh --floor N  # additionally fail when
+#                                  # src/core/migration_executor.cc line
+#                                  # coverage drops below N percent
+#
+# The report covers src/core + src/storage (the online-migration execution
+# path). With gcovr installed, writes coverage.xml (Cobertura) and
+# coverage.txt into the build dir for CI to upload; without it, falls back
+# to plain gcov for the floor check and skips the report artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor=""
+if [ "${1:-}" = "--floor" ]; then
+  floor="${2:?--floor needs a percentage}"
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+build_dir="build-coverage"
+
+echo "== coverage: configuring instrumented build ($build_dir) =="
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPROGSCHEMA_COVERAGE=ON >/dev/null
+
+echo "== coverage: building =="
+cmake --build "$build_dir" -j "$jobs" >/dev/null
+
+echo "== coverage: running the test suite =="
+(cd "$build_dir" && ctest --output-on-failure -j "$jobs" >/dev/null)
+
+target_file="src/core/migration_executor.cc"
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "== coverage: gcovr report over src/core + src/storage =="
+  gcovr --root . --object-directory "$build_dir" \
+    --filter 'src/core/.*' --filter 'src/storage/.*' \
+    --xml "$build_dir/coverage.xml" \
+    --txt "$build_dir/coverage.txt" \
+    --print-summary
+  cat "$build_dir/coverage.txt"
+  # Row format: name, lines, exec, cover%, missing-ranges — find the % field.
+  pct="$(awk -v f="$target_file" '$0 ~ f {
+      for (i = 1; i <= NF; ++i) if ($i ~ /%$/) { gsub(/%/, "", $i); print $i; exit }
+    }' "$build_dir/coverage.txt")"
+else
+  echo "== coverage: gcovr not found; falling back to gcov =="
+  # gcno/gcda live next to the object files; resolve the executor's.
+  obj_dir="$(dirname "$(find "$build_dir" -name 'migration_executor.cc.gcda' | head -1)")"
+  if [ -z "$obj_dir" ]; then
+    echo "coverage: no .gcda for $target_file — tests did not exercise it" >&2
+    exit 1
+  fi
+  # gcov reports one block per file; take the percentage that follows the
+  # executor's own "File '...'" line (headers get their own blocks).
+  pct="$( (cd "$obj_dir" && gcov -n migration_executor.cc.gcda 2>/dev/null) \
+    | awk -v f="migration_executor.cc" '
+        /^File / { hit = index($0, f) > 0 }
+        hit && /^Lines executed:/ {
+          split($2, parts, ":"); gsub(/%/, "", parts[2]); print parts[2]; exit
+        }' )"
+fi
+
+if [ -z "${pct:-}" ]; then
+  echo "coverage: could not determine $target_file line coverage" >&2
+  exit 1
+fi
+echo "== coverage: $target_file line coverage: ${pct}% =="
+
+if [ -n "$floor" ]; then
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "coverage: $target_file at ${pct}% is below the ${floor}% floor" >&2
+    exit 1
+  fi
+  echo "== coverage: floor ${floor}% OK =="
+fi

@@ -1,0 +1,146 @@
+#include "analysis/concurrency.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "core/operators.h"
+#include "core/rewriter.h"
+
+namespace pse {
+
+namespace {
+
+std::string QueryLocation(const LogicalQuery& q) {
+  return "query '" + (q.name.empty() ? std::string("?") : q.name) + "'";
+}
+
+/// Rows a sequential scan of `table` touches, from entity cardinalities.
+uint64_t TableRowsEstimate(const PhysicalTable& table, const LogicalStats& stats) {
+  return table.anchor < stats.entity_rows.size() ? stats.entity_rows[table.anchor] : 0;
+}
+
+}  // namespace
+
+DiagnosticReport AnalyzeConcurrency(const ConcurrencyInput& input,
+                                    const ConcurrencyOptions& options) {
+  DiagnosticReport report;
+  if (input.source == nullptr || input.opset == nullptr || input.queries == nullptr ||
+      input.freqs == nullptr) {
+    report.AddError(DiagCode::kConcurrencyUnservablePhase, "input",
+                    "concurrency analysis needs a source schema, an operator set, and a "
+                    "workload with frequencies");
+    return report;
+  }
+  if (input.freqs->size() != input.queries->size()) {
+    report.AddError(DiagCode::kConcurrencyUnservablePhase, "input",
+                    "frequency vector arity does not match the workload");
+    return report;
+  }
+
+  if (input.sessions < 2) {
+    report.AddNote(DiagCode::kConcurrencySingleLane, "options",
+                   "serve window configured with " + std::to_string(input.sessions) +
+                       " session(s): no reader concurrency is exercised");
+  }
+
+  // Active queries of this phase and their total frequency mass.
+  std::vector<size_t> active;
+  double total_freq = 0;
+  for (size_t q = 0; q < input.queries->size(); ++q) {
+    if ((*input.freqs)[q] > 0) {
+      active.push_back(q);
+      total_freq += (*input.freqs)[q];
+    }
+  }
+  if (active.empty()) return report;
+
+  auto topo = input.opset->TopologicalOrder();
+  if (!topo.ok()) return report;  // cycles are the verifier's finding, not ours
+
+  // Per active query: ops whose windows it cannot be served in.
+  std::vector<std::vector<int>> unservable_at(active.size());
+
+  PhysicalSchema current = *input.source;
+  for (int idx : *topo) {
+    const MigrationOperator& op = input.opset->ops[static_cast<size_t>(idx)];
+    PhysicalSchema after = current;
+    if (!ApplyOperator(op, &after).ok()) break;  // verifier reports this
+    bool already_applied = input.applied != nullptr &&
+                           static_cast<size_t>(idx) < input.applied->size() &&
+                           (*input.applied)[static_cast<size_t>(idx)];
+    if (already_applied) {
+      current = std::move(after);
+      continue;
+    }
+    std::string loc = "op#" + std::to_string(op.id);
+
+    // Tables this operator copies out of and then drops: contention and
+    // quiesce both center on them.
+    std::unordered_set<std::string> dropped;
+    for (const PhysicalTable& t : current.tables()) {
+      if (!after.TableByName(t.name).ok()) dropped.insert(ToLower(t.name));
+    }
+
+    double hot_freq = 0;
+    uint64_t worst_drain = 0;
+    std::string worst_query;
+    for (size_t a = 0; a < active.size(); ++a) {
+      const WorkloadQuery& wq = (*input.queries)[active[a]];
+      Result<BoundQuery> bound = RewriteQuery(wq.query, current);
+      if (!bound.ok()) {
+        unservable_at[a].push_back(op.id);
+        continue;
+      }
+      bool reads_dropped = false;
+      uint64_t drain = 0;
+      for (const TableAccess& ta : bound->tables) {
+        if (dropped.count(ToLower(ta.table)) != 0) reads_dropped = true;
+        if (input.stats != nullptr) {
+          auto ti = current.TableByName(ta.table);
+          if (ti.ok()) drain += TableRowsEstimate(current.tables()[*ti], *input.stats);
+        }
+      }
+      if (reads_dropped) hot_freq += (*input.freqs)[active[a]];
+      if (drain > worst_drain) {
+        worst_drain = drain;
+        worst_query = QueryLocation(wq.query);
+      }
+    }
+
+    if (input.stats != nullptr && worst_drain > options.quiesce_drain_rows) {
+      report.AddWarning(DiagCode::kConcurrencyQuiesceStall, loc,
+                        "publish window must drain in-flight readers; " + worst_query +
+                            " scans ~" + std::to_string(worst_drain) +
+                            " rows, and the writer-preferring latch queues new readers "
+                            "behind the stalled quiesce");
+    }
+    if (!dropped.empty() && total_freq > 0 &&
+        hot_freq / total_freq >= options.hot_source_share) {
+      int share_pct = static_cast<int>(100.0 * hot_freq / total_freq + 0.5);
+      report.AddNote(DiagCode::kConcurrencyHotSource, loc,
+                     "source tables serve ~" + std::to_string(share_pct) +
+                         "% of the live query mix; the copy loop's batch latch will "
+                         "contend with those scans");
+    }
+    current = std::move(after);
+  }
+
+  for (size_t a = 0; a < active.size(); ++a) {
+    if (unservable_at[a].empty()) continue;
+    std::string ops;
+    for (int id : unservable_at[a]) {
+      if (!ops.empty()) ops += ", ";
+      ops += "op#" + std::to_string(id);
+    }
+    report.AddWarning(DiagCode::kConcurrencyUnservablePhase,
+                      QueryLocation((*input.queries)[active[a]].query),
+                      "unservable while " + ops +
+                          " execute(s): live sessions see BindError until the missing "
+                          "attributes publish");
+  }
+  return report;
+}
+
+}  // namespace pse

@@ -42,6 +42,14 @@ const char* DiagCodeName(DiagCode code) {
       return "RESUME_LONG_OP";
     case DiagCode::kResumeBatchPlan:
       return "RESUME_BATCH_PLAN";
+    case DiagCode::kConcurrencyQuiesceStall:
+      return "CONCURRENCY_QUIESCE_STALL";
+    case DiagCode::kConcurrencyHotSource:
+      return "CONCURRENCY_HOT_SOURCE";
+    case DiagCode::kConcurrencyUnservablePhase:
+      return "CONCURRENCY_UNSERVABLE_PHASE";
+    case DiagCode::kConcurrencySingleLane:
+      return "CONCURRENCY_SINGLE_LANE";
   }
   return "UNKNOWN";
 }

@@ -43,6 +43,11 @@ enum class DiagCode {
   kResumeNondurable,    ///< RESUME_NONDURABLE: journal cannot survive a crash
   kResumeLongOp,        ///< RESUME_LONG_OP: operator spans very many batches
   kResumeBatchPlan,     ///< RESUME_BATCH_PLAN: per-op batch schedule (note)
+  // -- concurrent serving --
+  kConcurrencyQuiesceStall,    ///< CONCURRENCY_QUIESCE_STALL: publish waits on long scans
+  kConcurrencyHotSource,       ///< CONCURRENCY_HOT_SOURCE: copy loop contends with hot reads
+  kConcurrencyUnservablePhase, ///< CONCURRENCY_UNSERVABLE_PHASE: live query unservable mid-window
+  kConcurrencySingleLane,      ///< CONCURRENCY_SINGLE_LANE: serve window has < 2 sessions
 };
 
 const char* DiagCodeName(DiagCode code);

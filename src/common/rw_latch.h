@@ -1,0 +1,89 @@
+// Writer-preferring reader-writer latch.
+//
+// std::shared_mutex gives no fairness guarantee; on glibc its writers can
+// starve indefinitely under a stream of readers that release and immediately
+// re-acquire — exactly what a pool of foreground query sessions does to the
+// catalog latch while a migration waits to quiesce. This latch makes the
+// writer's acquisition a barrier: once a writer is waiting, new readers
+// queue behind it, so the quiesce window begins as soon as the in-flight
+// readers drain (bounded by one query's latency, not by the arrival rate).
+//
+// Writer preference has a sharp edge: a thread that already holds the latch
+// shared and tries to take it shared *again* can deadlock behind a waiting
+// writer (the writer waits for the first hold, the re-acquisition waits for
+// the writer). Acquisitions of this latch must therefore never nest —
+// DESIGN.md §15's latching protocol is written so they don't.
+//
+// Satisfies SharedLockable: use with std::shared_lock<SharedMutex> /
+// std::unique_lock<SharedMutex>.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace pse {
+
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(lock, [&] { return !writer_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_ = true;
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_ || readers_ != 0) return false;
+    writer_ = true;
+    return true;
+  }
+
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writer_ = false;
+    }
+    // Waiting writers go first (preference); readers wake when none remain.
+    writer_cv_.notify_one();
+    reader_cv_.notify_all();
+  }
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    reader_cv_.wait(lock, [&] { return !writer_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_ || writers_waiting_ != 0) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    uint64_t left;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      left = --readers_;
+    }
+    if (left == 0) writer_cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  uint64_t readers_ = 0;
+  uint64_t writers_waiting_ = 0;
+  bool writer_ = false;
+};
+
+}  // namespace pse

@@ -1,5 +1,7 @@
 #include "core/migration_executor.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -209,6 +211,7 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
     // right table outlives the whole copy phase, so a resume can always
     // rebuild this.
     PSE_ASSIGN_OR_RETURN(TableInfo * right_info, db_->GetTable(t.right_table));
+    std::shared_lock<SharedMutex> right_lock(right_info->latch);
     for (auto it = right_info->heap->Begin(); !it.AtEnd();) {
       const Value& k = it.row()[t.right_join_pos];
       if (!k.is_null()) right_rows.emplace(k, it.row());
@@ -221,11 +224,13 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
   uint64_t cursor = j->targets[target_idx].src_cursor;
   const std::vector<Row>* entity_rows = nullptr;
   TableHeap::Iterator it;
+  TableInfo* src_info = nullptr;  // scanned source; content-latched per batch
   if (t.source == OpPlan::Source::kEntity) {
     entity_rows = &data_->Rows(t.entity);
   } else {
     const std::string& src = t.source == OpPlan::Source::kScan ? t.scan_table : t.left_table;
-    PSE_ASSIGN_OR_RETURN(TableInfo * src_info, db_->GetTable(src));
+    PSE_ASSIGN_OR_RETURN(src_info, db_->GetTable(src));
+    std::shared_lock<SharedMutex> skip_lock(src_info->latch);
     it = src_info->heap->Begin();
     for (uint64_t skipped = 0; skipped < cursor && !it.AtEnd(); ++skipped) {
       PSE_RETURN_NOT_OK(it.Next());
@@ -237,6 +242,11 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
   };
 
   while (!exhausted()) {
+    // Shared content latch on the scanned source for the batch only —
+    // released before the commit and the hook so foreground statements (and
+    // the hook's own queries) never stack behind a whole operator.
+    std::shared_lock<SharedMutex> batch_lock;
+    if (src_info != nullptr) batch_lock = std::shared_lock<SharedMutex>(src_info->latch);
     uint64_t batch_io_start = db_->TotalIo();
     uint64_t batch_rows = 0;
     while (!exhausted() && batch_rows < options_.batch_rows &&
@@ -295,6 +305,8 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
       if (t.source != OpPlan::Source::kEntity) PSE_RETURN_NOT_OK(it.Next());
     }
 
+    if (batch_lock.owns_lock()) batch_lock.unlock();
+
     // Commit point: data + journal cursor become durable together. A crash
     // after this survives with the cursor; a crash before it re-runs the
     // batch (detected by the dest-row count disagreeing with the journal).
@@ -316,6 +328,9 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
 }
 
 Status MigrationExecutor::RecoverTargets(const OpPlan& plan) {
+  // Recovery may drop and re-create torn targets — catalog mutations, so
+  // the whole repair runs under the exclusive catalog latch.
+  std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
   MigrationJournal* j = db_->mutable_migration_journal();
   for (size_t i = 0; i < plan.targets.size(); ++i) {
     const std::string& name = plan.targets[i].schema.name();
@@ -361,11 +376,17 @@ Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
 
   if (!resume) {
     // Phase kCreateTargets: journal the intent first, so a crash while the
-    // targets are half-created still knows what to drop.
+    // targets are half-created still knows what to drop. The creates mutate
+    // the catalog map, so they take the exclusive catalog latch — a brief
+    // quiesce; the targets themselves stay invisible to readers (no query
+    // binds to them) until the publish window below.
     PSE_RETURN_NOT_OK(CommitBatch());
-    for (const auto& t : plan.targets) {
-      PSE_RETURN_NOT_OK(db_->CreateTable(t.schema));
-      PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, *plan.after, t.after_idx));
+    {
+      std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
+      for (const auto& t : plan.targets) {
+        PSE_RETURN_NOT_OK(db_->CreateTable(t.schema));
+        PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, *plan.after, t.after_idx));
+      }
     }
     j->phase = MigrationJournal::Phase::kCopy;
     PSE_RETURN_NOT_OK(CommitBatch());
@@ -384,6 +405,13 @@ Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
     PSE_RETURN_NOT_OK(CommitBatch());
   }
 
+  // Quiesce window: drain in-flight readers, then drop the sources, analyze
+  // the targets, and publish the post-op schema as one atomic step. A query
+  // that started before this point planned against the pre-op layout and
+  // has finished (the exclusive acquisition waits for it); one that starts
+  // after sees the post-op layout. Nothing observes the in-between.
+  std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
+
   if (j->phase == MigrationJournal::Phase::kDropSources) {
     for (const std::string& name : plan.drop_tables) {
       Status s = db_->DropTable(name);
@@ -399,6 +427,7 @@ Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
   }
   last_op_batches_ = j->batches_committed;
   j->Clear();
+  if (options_.on_publish) options_.on_publish(*plan.after);
   // Data movement must be durable before the migration point completes, so
   // the written pages count as physical I/O even when they fit in cache.
   if (Durable()) return db_->Checkpoint();
@@ -507,6 +536,8 @@ Status MigrationExecutor::Rollback() {
 }
 
 Status MigrationExecutor::RollbackInternal() {
+  // Dropping half-built targets mutates the catalog: exclusive latch.
+  std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
   MigrationJournal* j = db_->mutable_migration_journal();
   for (const auto& jt : j->targets) {
     if (!db_->HasTable(jt.table)) continue;

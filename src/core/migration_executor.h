@@ -11,6 +11,15 @@
 // mid-operator can reopen the database and either Resume() the operator from
 // its last committed batch or Rollback() the half-built tables. See
 // DESIGN.md §14 for the full protocol.
+//
+// Concurrency: execution is also safe against foreground reader threads.
+// Catalog-mutating phases (create-targets, drop-sources/finalize, recovery,
+// rollback) run under the database's exclusive catalog latch — a brief
+// quiesce that drains in-flight queries; the long copy phase holds no
+// catalog latch at all (targets are invisible to readers) and takes only a
+// per-batch shared content latch on the table it scans. Readers therefore
+// always see either the pre-op or the post-op layout, never a torn one.
+// See DESIGN.md §15.
 #pragma once
 
 #include <functional>
@@ -48,8 +57,17 @@ struct MigrationOptions {
   /// Called after every committed batch. I/O performed inside the hook
   /// (foreground queries, probes) is excluded from the migration's reported
   /// I/O. A non-OK return aborts the operator — the fault-injection tests
-  /// use this to simulate crashes between batches.
+  /// use this to simulate crashes between batches. Runs with no latches
+  /// held, so the hook may execute queries freely.
   std::function<Status(const MigrationBatchEvent&)> on_batch;
+  /// Called once per operator, inside the exclusive-catalog quiesce window,
+  /// right after the sources are dropped and the targets analyzed — i.e. at
+  /// the instant the post-op schema becomes the serving truth. Concurrent
+  /// load generators use it to swap their schema snapshot atomically with
+  /// the catalog: a query planned before the window sees the pre-op layout,
+  /// one planned after sees the post-op layout, and nothing in between.
+  /// Must not execute queries (the catalog latch is held exclusively).
+  std::function<void(const PhysicalSchema&)> on_publish;
   /// On any error, drop the operator's half-built target tables and clear
   /// the journal before returning (the atomicity guarantee). Crash tests
   /// set this to false so the torn state survives for Resume().

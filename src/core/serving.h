@@ -1,0 +1,102 @@
+// Concurrent multi-version serving: the load-generation side of the paper's
+// premise that old- and new-version applications keep issuing queries while
+// the schema evolves underneath them. ServeDuringMigration runs a migration
+// step on one lane of a thread pool while N worker lanes execute a weighted
+// query mix through the Rewriter against the currently *published* schema,
+// and reports throughput plus latency percentiles for the window.
+//
+// The consistency contract (DESIGN.md §15): a worker acquires the
+// database's catalog latch shared, snapshots the serving schema, and keeps
+// the latch across rewrite + plan + execute. The migration executor
+// publishes each operator's post-op schema from inside its exclusive-latch
+// quiesce window (MigrationOptions::on_publish), so a worker's snapshot can
+// never disagree with the catalog it executes against — every query sees
+// either the pre-op or the post-op layout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/physical_schema.h"
+#include "core/workload.h"
+#include "storage/database.h"
+
+namespace pse {
+
+/// Load-generator knobs for one serve window.
+struct ServeOptions {
+  /// Concurrent query sessions (worker lanes). The migration itself runs on
+  /// one extra lane.
+  size_t sessions = 4;
+  /// Each lane executes at least this many queries even if the migration
+  /// finishes instantly, so op-less phases still produce latency samples.
+  uint64_t min_queries_per_lane = 4;
+  /// Base RNG seed; lane l draws from seed + l, so a window's query mix is
+  /// reproducible given (seed, sessions).
+  uint64_t seed = 42;
+};
+
+/// What happened during one serve window.
+struct ServeMetrics {
+  uint64_t queries = 0;      ///< successfully executed foreground queries
+  uint64_t unservable = 0;   ///< skipped: not yet servable on the live schema
+  uint64_t errors = 0;       ///< non-bind failures (must stay 0)
+  double wall_ms = 0;        ///< window duration (migration + drain)
+  double throughput_qps = 0; ///< queries / wall
+  double p50_ms = 0;         ///< median query latency
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+/// \brief Latched holder of the schema snapshot foreground sessions serve
+/// against.
+///
+/// Readers take a cheap shared_ptr snapshot; the migration swaps it from
+/// on_publish inside the exclusive-catalog quiesce window. Callers must read
+/// it while holding the database catalog latch shared (see file comment)
+/// for the snapshot to be consistent with the physical catalog.
+class ServingSchema {
+ public:
+  explicit ServingSchema(const PhysicalSchema& initial)
+      : current_(std::make_shared<PhysicalSchema>(initial)) {}
+
+  std::shared_ptr<const PhysicalSchema> Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+  void Publish(const PhysicalSchema& schema) {
+    auto next = std::make_shared<PhysicalSchema>(schema);
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const PhysicalSchema> current_;
+};
+
+/// \brief Runs `migrate` while `options.sessions` lanes serve `queries`.
+///
+/// Workers pick queries with probability proportional to `freqs` (entries
+/// <= 0 never run — both application versions' active queries should carry
+/// positive frequency). They loop until `migrate` returns *and* each lane
+/// has executed min_queries_per_lane, then the merged metrics are computed.
+/// A worker whose query is unservable on the live schema (BindError — its
+/// new attribute has no physical home yet) counts it as `unservable` and
+/// moves on; any other failure counts as an error and is also carried in
+/// the returned status if `migrate` itself succeeded.
+///
+/// The caller wires `serving` to the executor via
+/// MigrationOptions::on_publish before calling. `migrate` runs exactly once,
+/// on one lane of an internal pool; it may apply any number of operators.
+Result<ServeMetrics> ServeDuringMigration(Database* db, ServingSchema* serving,
+                                          const std::vector<WorkloadQuery>& queries,
+                                          const std::vector<double>& freqs,
+                                          const ServeOptions& options,
+                                          const std::function<Status()>& migrate);
+
+}  // namespace pse

@@ -1,6 +1,7 @@
 #include "core/simulation.h"
 
 #include "core/migration_executor.h"
+#include "core/serving.h"
 #include "core/workload_collector.h"
 #include "core/rewriter.h"
 #include "core/virtual_catalog.h"
@@ -172,6 +173,10 @@ Result<SituationReport> MigrationSimulation::Run(Situation situation) {
   }
 
   // Pro-Schema: progressive migration.
+  if (config_.serve_sessions > 0 && !config_.measure_actual) {
+    return Status::InvalidArgument(
+        "serve_sessions requires measure_actual (the sessions execute real queries)");
+  }
   Database db(config_.buffer_pool_pages);
   const bool grows = !config_.visible_rows.empty();
   if (grows) {
@@ -263,6 +268,68 @@ Result<SituationReport> MigrationSimulation::Run(Situation situation) {
       }
       to_apply = ordered;
     }
+    if (config_.serve_sessions > 0) {
+      // Concurrent serving: real foreground sessions execute this phase's
+      // query mix on worker threads while the operators apply. Each
+      // operator's post-op schema is published to the sessions from the
+      // executor's exclusive-latch quiesce window, so a session always
+      // plans against exactly what the catalog holds. Migration I/O is
+      // approximate here (foreground and migration share the physical
+      // counters); the single-threaded probe mode keeps the exact numbers.
+      ServingSchema serving(current);
+      MigrationOptions mo;
+      mo.batch_rows = config_.migration_batch_rows;
+      mo.batch_io_budget = config_.migration_io_budget;
+      mo.on_batch = [&phase](const MigrationBatchEvent&) -> Status {
+        ++phase.online_batches;
+        return Status::OK();
+      };
+      mo.on_publish = [&serving](const PhysicalSchema& s) { serving.Publish(s); };
+      executor.set_options(std::move(mo));
+      ServeOptions so;
+      so.sessions = config_.serve_sessions;
+      so.min_queries_per_lane = config_.serve_min_queries;
+      so.seed = config_.serve_seed + p;
+      uint64_t mig_io = 0;
+      auto migrate = [&]() -> Status {
+        for (int op : to_apply) {
+          auto io = executor.Apply(opset.ops[static_cast<size_t>(op)], &current);
+          if (!io.ok()) return io.status();
+          mig_io += *io;
+          applied[static_cast<size_t>(op)] = true;
+        }
+        return Status::OK();
+      };
+      PSE_ASSIGN_OR_RETURN(ServeMetrics sm,
+                           ServeDuringMigration(&db, &serving, *queries_, phase_freqs_[p],
+                                                so, migrate));
+      phase.migration_io += static_cast<double>(mig_io);
+      phase.serve_queries = sm.queries;
+      phase.serve_unservable = sm.unservable;
+      phase.serve_wall_ms = sm.wall_ms;
+      phase.serve_throughput_qps = sm.throughput_qps;
+      phase.serve_p50_ms = sm.p50_ms;
+      phase.serve_p95_ms = sm.p95_ms;
+      phase.serve_p99_ms = sm.p99_ms;
+      // Detach the hooks (they capture this iteration's locals); batch
+      // sizing stays in effect for the forced completion.
+      MigrationOptions detached;
+      detached.batch_rows = config_.migration_batch_rows;
+      detached.batch_io_budget = config_.migration_io_budget;
+      executor.set_options(std::move(detached));
+      phase.ops_applied = to_apply;
+      phase.schema_desc = std::to_string(current.tables().size()) + " tables";
+
+      PSE_ASSIGN_OR_RETURN(phase.query_cost,
+                           MeasurePhase(&db, current, phase_freqs_[p], StatsAt(p)));
+      report.phases.push_back(std::move(phase));
+      for (size_t q = 0; q < queries_->size(); ++q) {
+        PSE_RETURN_NOT_OK(collector.Record(q, phase_freqs_[p][q]));
+      }
+      collector.CloseWindow();
+      continue;
+    }
+
     // Online mode: between batches, run one of the phase's queries against
     // the still-current schema (source tables stay live until the copy is
     // durable), warm-cache, the way foreground traffic sees an online

@@ -66,6 +66,21 @@ struct SimulationConfig {
   uint64_t migration_batch_rows = 256;
   /// Per-batch physical I/O budget in online mode (0 = unlimited).
   uint64_t migration_io_budget = 0;
+  /// Concurrent serving (Pro only): run this many foreground query sessions
+  /// on worker threads *while* each migration point applies its operators,
+  /// and report per-phase throughput and latency percentiles. 0 = off (the
+  /// single-threaded probe interleaving above). Requires measure_actual.
+  /// With serving on, migration_io becomes approximate: foreground I/O and
+  /// migration I/O share the physical counters, so the split between them
+  /// is attributed by timing, not exactly. Probe hooks are disabled (the
+  /// sessions *are* the foreground traffic) — probe-I/O numbers stay exact
+  /// only in the single-threaded mode.
+  size_t serve_sessions = 0;
+  /// Minimum queries each serving session attempts per phase, so op-less
+  /// phases still produce latency samples.
+  uint64_t serve_min_queries = 4;
+  /// Base RNG seed for the per-session query mix.
+  uint64_t serve_seed = 42;
 };
 
 struct PhaseReport {
@@ -77,6 +92,14 @@ struct PhaseReport {
   double online_probe_io = 0;   ///< I/O of probe queries run between batches
   uint64_t online_batches = 0;  ///< migration batches committed this phase
   uint64_t online_probes = 0;   ///< probe queries executed this phase
+  // Concurrent-serving instrumentation (zero unless config.serve_sessions).
+  uint64_t serve_queries = 0;      ///< foreground queries served this phase
+  uint64_t serve_unservable = 0;   ///< skipped: not yet servable mid-phase
+  double serve_wall_ms = 0;        ///< serve-window duration
+  double serve_throughput_qps = 0; ///< queries per second across sessions
+  double serve_p50_ms = 0;         ///< median foreground query latency
+  double serve_p95_ms = 0;
+  double serve_p99_ms = 0;
 };
 
 struct SituationReport {

@@ -1,8 +1,12 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/string_util.h"
 
 namespace pse {
 
@@ -497,7 +501,31 @@ Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* 
   return Status::Internal("unknown plan node kind");
 }
 
+namespace {
+/// Collects every base table the plan touches (scans and index-join inners).
+void CollectPlanTables(const PlanNode& plan, std::vector<std::string>* out) {
+  if (!plan.table.empty()) out->push_back(ToLower(plan.table));
+  for (const auto& child : plan.children) CollectPlanTables(*child, out);
+}
+}  // namespace
+
 Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db) {
+  // Shared content latch on every table the plan reads, held for the whole
+  // execution. Sorted + deduped so concurrent executions acquire in one
+  // global order (and a self-join never double-locks). Writers
+  // (Database::Insert/Delete/Update, the migration copy loop) take these
+  // exclusively, so a scan sees each table either before or after any
+  // concurrent batch — never a torn page.
+  std::vector<std::string> tables;
+  CollectPlanTables(plan, &tables);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  std::vector<std::shared_lock<SharedMutex>> table_locks;
+  table_locks.reserve(tables.size());
+  for (const auto& name : tables) {
+    PSE_ASSIGN_OR_RETURN(TableInfo * t, db->GetTable(name));
+    table_locks.emplace_back(t->latch);
+  }
   PSE_ASSIGN_OR_RETURN(auto exec, BuildExecutor(plan, db));
   PSE_RETURN_NOT_OK(exec->Init());
   std::vector<Row> rows;

@@ -1,5 +1,8 @@
 #include "sql/session.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "engine/executor.h"
 #include "engine/planner.h"
 #include "sql/ast.h"
@@ -10,30 +13,46 @@ namespace pse {
 
 Result<ExecResult> Session::Execute(const std::string& sql) {
   PSE_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  // DML holds the catalog latch shared for the whole statement — bind, plan,
+  // and execute all see one consistent schema even while a migration runs
+  // concurrently. DDL (and the migration executor's publish windows) holds
+  // it exclusive. Row-level conflicts are the table latches' job
+  // (DESIGN.md §15).
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
+      std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
       PSE_ASSIGN_OR_RETURN(BoundQuery q, BindSelect(*stmt.select, view_));
       return ExecuteSelect(q);
     }
-    case Statement::Kind::kInsert:
+    case Statement::Kind::kInsert: {
+      std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
       return ExecuteInsert(*stmt.insert);
-    case Statement::Kind::kUpdate:
+    }
+    case Statement::Kind::kUpdate: {
+      std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
       return ExecuteUpdate(*stmt.update);
-    case Statement::Kind::kDelete:
+    }
+    case Statement::Kind::kDelete: {
+      std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
       return ExecuteDelete(*stmt.del);
+    }
     case Statement::Kind::kCreateTable: {
+      std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
       PSE_RETURN_NOT_OK(db_->CreateTable(stmt.create_table->schema));
       return ExecResult{};
     }
     case Statement::Kind::kCreateIndex: {
+      std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
       PSE_RETURN_NOT_OK(db_->CreateIndex(stmt.create_index->table, stmt.create_index->column));
       return ExecResult{};
     }
     case Statement::Kind::kDropTable: {
+      std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
       PSE_RETURN_NOT_OK(db_->DropTable(stmt.drop_table->table));
       return ExecResult{};
     }
     case Statement::Kind::kAnalyze: {
+      std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
       if (stmt.analyze->table.empty()) {
         PSE_RETURN_NOT_OK(db_->AnalyzeAll());
       } else {
@@ -50,11 +69,17 @@ Result<BoundQuery> Session::Bind(const std::string& sql) {
   if (stmt.kind != Statement::Kind::kSelect) {
     return Status::InvalidArgument("Bind expects a SELECT statement");
   }
+  std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
   return BindSelect(*stmt.select, view_);
 }
 
 Result<std::string> Session::Explain(const std::string& sql) {
-  PSE_ASSIGN_OR_RETURN(BoundQuery q, Bind(sql));
+  std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
+  PSE_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("Explain expects a SELECT statement");
+  }
+  PSE_ASSIGN_OR_RETURN(BoundQuery q, BindSelect(*stmt.select, view_));
   PSE_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(q, view_));
   return plan->ToString();
 }
@@ -123,6 +148,9 @@ Status CollectMatches(TableInfo* t, const Expr* where,
       return schema->ColumnIndex(dot == std::string::npos ? n : n.substr(dot + 1));
     }));
   }
+  // Shared content latch for the scan only — released before the caller
+  // re-enters Database::Update/Delete, which take it exclusive.
+  std::shared_lock<SharedMutex> table_lock(t->latch);
   for (auto it = t->heap->Begin(); !it.AtEnd();) {
     bool pass = true;
     if (resolved) {

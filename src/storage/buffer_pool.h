@@ -3,9 +3,11 @@
 // experiments' actual-I/O measurements.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -52,12 +54,32 @@ class PageGuard {
 };
 
 /// Buffer pool statistics (logical accesses; physical I/O is in IoStats).
+/// Atomic so they can be sampled without the pool latch; copies snapshot.
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t dirty_writebacks = 0;
-  void Reset() { *this = BufferPoolStats{}; }
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> dirty_writebacks{0};
+
+  BufferPoolStats() = default;
+  BufferPoolStats(const BufferPoolStats& o) { *this = o; }
+  BufferPoolStats& operator=(const BufferPoolStats& o) {
+    if (this != &o) {
+      hits.store(o.hits.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      misses.store(o.misses.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      evictions.store(o.evictions.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      dirty_writebacks.store(o.dirty_writebacks.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  void Reset() {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    dirty_writebacks.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// Page-replacement policies.
@@ -68,7 +90,13 @@ enum class ReplacementPolicy {
 
 /// \brief Fixed-capacity page cache with pluggable replacement.
 ///
-/// Single-threaded by design (the whole engine is): no latching.
+/// Thread-safe: a single internal mutex guards the page table, frame
+/// metadata, and replacement state, and is held across the miss-path disk
+/// I/O so two threads can never race a fetch of the same page into two
+/// frames. Pinned frames are never evicted and frame buffers are allocated
+/// once and never freed, so the `char*` handed out inside a PageGuard stays
+/// valid after the latch drops — page *content* synchronization is the
+/// caller's job (the table-level latches in Database; DESIGN.md §15).
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames.
@@ -107,11 +135,13 @@ class BufferPool {
 
   void Unpin(PageId page_id, bool dirty);
   /// Finds a free frame, evicting the LRU unpinned frame if needed.
+  /// Caller must hold mu_.
   Result<size_t> GetFreeFrame();
 
   DiskManager* disk_;
   size_t capacity_;
   ReplacementPolicy policy_;
+  mutable std::mutex mu_;
   size_t clock_hand_ = 0;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;

@@ -145,6 +145,7 @@ Status Database::MaintainIndexesDelete(TableInfo* t, const Row& row, Rid rid) {
 
 Result<Rid> Database::Insert(const std::string& table, const Row& row) {
   PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
+  std::unique_lock<SharedMutex> table_lock(t->latch);
   PSE_ASSIGN_OR_RETURN(Rid rid, t->heap->Insert(row));
   PSE_RETURN_NOT_OK(MaintainIndexesInsert(t, row, rid));
   ++t->row_count;
@@ -154,6 +155,7 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
 
 Status Database::Delete(const std::string& table, const Rid& rid) {
   PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
+  std::unique_lock<SharedMutex> table_lock(t->latch);
   Row old_row;
   PSE_RETURN_NOT_OK(t->heap->Get(rid, &old_row));
   PSE_RETURN_NOT_OK(t->heap->Delete(rid));
@@ -165,6 +167,7 @@ Status Database::Delete(const std::string& table, const Rid& rid) {
 
 Result<Rid> Database::Update(const std::string& table, const Rid& rid, const Row& row) {
   PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
+  std::unique_lock<SharedMutex> table_lock(t->latch);
   Row old_row;
   PSE_RETURN_NOT_OK(t->heap->Get(rid, &old_row));
   PSE_ASSIGN_OR_RETURN(Rid new_rid, t->heap->Update(rid, row));

@@ -5,12 +5,14 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "catalog/statistics.h"
 #include "catalog/tuple.h"
+#include "common/rw_latch.h"
 #include "common/status.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
@@ -35,12 +37,26 @@ struct TableInfo {
   uint64_t row_count = 0;
   TableStatistics stats;
   bool stats_valid = false;
+  /// Table-level content latch: scans hold it shared, row mutations
+  /// (Database::Insert/Delete/Update and the migration copy loop) hold it
+  /// exclusive. Ordered *under* Database::schema_latch() — always acquire
+  /// the schema latch first (DESIGN.md §15).
+  mutable SharedMutex latch;
 
   /// Finds an index on `column`, or nullptr.
   const IndexInfo* FindIndex(const std::string& column) const;
 };
 
-/// \brief An embedded single-threaded relational database instance.
+/// \brief An embedded relational database instance.
+///
+/// Concurrency model: many reader threads may execute queries while one
+/// migration thread evolves the schema. Readers hold schema_latch() shared
+/// for the whole query so the catalog (table map, schemas, indexes) they
+/// planned against cannot change underneath them; catalog mutations
+/// (CreateTable/DropTable/CreateIndex/Analyze and the migration executor's
+/// publish windows) hold it exclusive. Row-level reader/writer conflicts on
+/// one table are covered by TableInfo::latch. The buffer pool and disk
+/// managers latch themselves.
 class Database {
  public:
   /// `pool_pages` is the buffer pool capacity in frames.
@@ -123,6 +139,12 @@ class Database {
   /// the affected tables.
   bool HasPendingMigration() const { return journal_.active; }
 
+  /// Catalog latch. Readers (Session::Execute, any code that holds
+  /// TableInfo* across calls) take it shared; schema changes take it
+  /// exclusive. Exposed rather than wrapped because a reader must span
+  /// rewrite + plan + execute with one shared acquisition.
+  SharedMutex& schema_latch() const { return schema_latch_; }
+
  private:
   Status MaintainIndexesInsert(TableInfo* t, const Row& row, Rid rid);
   Status MaintainIndexesDelete(TableInfo* t, const Row& row, Rid rid);
@@ -132,6 +154,7 @@ class Database {
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
+  mutable SharedMutex schema_latch_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
   MigrationJournal journal_;
   /// Head of the catalog superblock chain (kInvalidPageId until the first

@@ -5,16 +5,18 @@
 namespace pse {
 
 PageId InMemoryDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.push_back(nullptr);  // materialized on first write
-  ++stats_.pages_allocated;
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::IOError("read of unallocated page " + std::to_string(page_id));
   }
-  ++stats_.page_reads;
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   if (pages_[page_id] == nullptr) {
     std::memset(out, 0, kPageSize);
   } else {
@@ -24,10 +26,11 @@ Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::IOError("write of unallocated page " + std::to_string(page_id));
   }
-  ++stats_.page_writes;
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   if (pages_[page_id] == nullptr) {
     pages_[page_id] = std::make_unique<char[]>(kPageSize);
   }
@@ -36,6 +39,7 @@ Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 void InMemoryDiskManager::DeallocatePage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id < pages_.size()) pages_[page_id].reset();
 }
 
@@ -54,12 +58,13 @@ FileDiskManager::~FileDiskManager() {
 }
 
 PageId FileDiskManager::AllocatePage() {
-  ++stats_.pages_allocated;
-  return static_cast<PageId>(next_page_id_++);
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<PageId>(next_page_id_.fetch_add(1, std::memory_order_relaxed));
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
-  ++stats_.page_reads;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize), SEEK_SET) !=
       0) {
     return Status::IOError("seek failed");
@@ -73,7 +78,8 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
-  ++stats_.page_writes;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize), SEEK_SET) !=
       0) {
     return Status::IOError("seek failed");

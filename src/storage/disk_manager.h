@@ -1,11 +1,19 @@
 // Page-granular storage backends. Every physical read/write in the system
 // funnels through a DiskManager, which counts them — these counters are the
 // experiments' "I/O number".
+//
+// Thread safety: all DiskManager implementations are safe for concurrent
+// use. Counters are atomics (readable without a latch, e.g. by the
+// per-phase measurement code while foreground sessions run), and the
+// concrete backends serialize their page-store access internally. See
+// DESIGN.md §15 for the full latching hierarchy.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,14 +22,37 @@
 
 namespace pse {
 
-/// Raw physical I/O counters.
+/// Raw physical I/O counters. Atomic so concurrent sessions can bump and
+/// read them without a latch; copies/assignments snapshot the values
+/// (relaxed — the counters are statistics, not synchronization).
 struct IoStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
-  uint64_t pages_allocated = 0;
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> page_writes{0};
+  std::atomic<uint64_t> pages_allocated{0};
 
-  uint64_t TotalIo() const { return page_reads + page_writes; }
-  void Reset() { *this = IoStats{}; }
+  IoStats() = default;
+  IoStats(const IoStats& o) { *this = o; }
+  IoStats& operator=(const IoStats& o) {
+    if (this != &o) {
+      page_reads.store(o.page_reads.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      page_writes.store(o.page_writes.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      pages_allocated.store(o.pages_allocated.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  uint64_t TotalIo() const {
+    return page_reads.load(std::memory_order_relaxed) +
+           page_writes.load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    page_reads.store(0, std::memory_order_relaxed);
+    page_writes.store(0, std::memory_order_relaxed);
+    pages_allocated.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// \brief Abstract page store.
@@ -52,15 +83,20 @@ class DiskManager {
 
 /// Heap-backed page store. Fast and deterministic; the default for tests and
 /// benchmarks (the experiments measure I/O *counts*, not device latency).
+/// A single mutex serializes page-vector growth and page copies.
 class InMemoryDiskManager : public DiskManager {
  public:
   PageId AllocatePage() override;
   Status ReadPage(PageId page_id, char* out) override;
   Status WritePage(PageId page_id, const char* data) override;
   void DeallocatePage(PageId page_id) override;
-  uint64_t NumAllocatedPages() const override { return pages_.size(); }
+  uint64_t NumAllocatedPages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
 };
 
@@ -72,6 +108,9 @@ class InMemoryDiskManager : public DiskManager {
 /// operations are counted in this manager's own stats so Database::TotalIo
 /// keeps working through the wrapper. Used by the crash-recovery and
 /// failure-injection test suites; inert (all limits off) by default.
+/// Counters are atomic; under concurrency a budget may be overshot by the
+/// number of in-flight operations (budgets are configured while the
+/// database is quiescent, so the tests never see that window).
 class FaultInjectionDiskManager : public DiskManager {
  public:
   static constexpr uint64_t kNoLimit = ~uint64_t{0};
@@ -86,30 +125,34 @@ class FaultInjectionDiskManager : public DiskManager {
   /// Fails everything once `n` reads+writes have succeeded.
   void set_io_budget(uint64_t n) { io_budget_ = n; }
 
-  uint64_t reads_done() const { return reads_; }
-  uint64_t writes_done() const { return writes_; }
+  uint64_t reads_done() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes_done() const { return writes_.load(std::memory_order_relaxed); }
   DiskManager* inner() { return inner_.get(); }
 
   PageId AllocatePage() override {
-    ++stats_.pages_allocated;
+    stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
     return inner_->AllocatePage();
   }
   Status ReadPage(PageId page_id, char* out) override {
-    if (reads_ >= read_budget_ || reads_ + writes_ >= io_budget_) {
+    uint64_t reads = reads_.load(std::memory_order_relaxed);
+    if (reads >= read_budget_ ||
+        reads + writes_.load(std::memory_order_relaxed) >= io_budget_) {
       return Status::IOError("injected read failure at page " + std::to_string(page_id));
     }
     PSE_RETURN_NOT_OK(inner_->ReadPage(page_id, out));
-    ++reads_;
-    ++stats_.page_reads;
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   Status WritePage(PageId page_id, const char* data) override {
-    if (writes_ >= write_budget_ || reads_ + writes_ >= io_budget_) {
+    uint64_t writes = writes_.load(std::memory_order_relaxed);
+    if (writes >= write_budget_ ||
+        reads_.load(std::memory_order_relaxed) + writes >= io_budget_) {
       return Status::IOError("injected write failure at page " + std::to_string(page_id));
     }
     PSE_RETURN_NOT_OK(inner_->WritePage(page_id, data));
-    ++writes_;
-    ++stats_.page_writes;
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   void DeallocatePage(PageId page_id) override { inner_->DeallocatePage(page_id); }
@@ -120,12 +163,13 @@ class FaultInjectionDiskManager : public DiskManager {
   uint64_t write_budget_ = kNoLimit;
   uint64_t read_budget_ = kNoLimit;
   uint64_t io_budget_ = kNoLimit;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 /// File-backed page store (single file, page_id * kPageSize offsets). Used
-/// by the durability-oriented examples/tests.
+/// by the durability-oriented examples/tests. A mutex serializes the
+/// seek+read/write pairs on the shared FILE handle.
 class FileDiskManager : public DiskManager {
  public:
   /// Opens (creating if needed) the backing file.
@@ -136,13 +180,16 @@ class FileDiskManager : public DiskManager {
   Status ReadPage(PageId page_id, char* out) override;
   Status WritePage(PageId page_id, const char* data) override;
   void DeallocatePage(PageId page_id) override;
-  uint64_t NumAllocatedPages() const override { return next_page_id_; }
+  uint64_t NumAllocatedPages() const override {
+    return next_page_id_.load(std::memory_order_relaxed);
+  }
 
  private:
   FileDiskManager(std::FILE* f, uint64_t existing_pages)
       : file_(f), next_page_id_(existing_pages) {}
+  mutable std::mutex mu_;
   std::FILE* file_;
-  uint64_t next_page_id_;
+  std::atomic<uint64_t> next_page_id_;
 };
 
 }  // namespace pse

@@ -1,0 +1,140 @@
+// AnalyzeConcurrency: the CONCURRENCY_* lints predicting reader/migration
+// interference for a serve window before any data moves.
+#include <gtest/gtest.h>
+
+#include "analysis/concurrency.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+class ConcurrencyLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bs_ = Bookstore::Make();
+    data_ = bs_->MakeData(5, 8, 60);
+    stats_ = data_->ComputeStats();
+    auto opset = ComputeOperatorSet(bs_->source, bs_->object);
+    ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+    opset_ = std::move(*opset);
+
+    // Old-version query over book x author; old-version query over user;
+    // new-version query needing the not-yet-created b_abstract.
+    LogicalQuery book;
+    book.name = "O1";
+    book.anchor = bs_->book;
+    book.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+    book.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+    queries_.emplace_back(std::move(book), /*is_old=*/true);
+
+    LogicalQuery user;
+    user.name = "O2";
+    user.anchor = bs_->user;
+    user.select.emplace_back(Col("u_name"), AggFunc::kNone, "n");
+    queries_.emplace_back(std::move(user), /*is_old=*/true);
+
+    LogicalQuery abstract_q;
+    abstract_q.name = "N1";
+    abstract_q.anchor = bs_->book;
+    abstract_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "ab");
+    queries_.emplace_back(std::move(abstract_q), /*is_old=*/false);
+
+    freqs_ = {10, 10, 10};
+  }
+
+  ConcurrencyInput Input() {
+    ConcurrencyInput in;
+    in.source = &bs_->source;
+    in.opset = &opset_;
+    in.queries = &queries_;
+    in.freqs = &freqs_;
+    in.stats = &stats_;
+    in.sessions = 4;
+    return in;
+  }
+
+  std::unique_ptr<Bookstore> bs_;
+  std::unique_ptr<LogicalDatabase> data_;
+  LogicalStats stats_;
+  OperatorSet opset_;
+  std::vector<WorkloadQuery> queries_;
+  std::vector<double> freqs_;
+};
+
+TEST_F(ConcurrencyLintTest, MissingInputsAreAnError) {
+  ConcurrencyInput in;
+  DiagnosticReport report = AnalyzeConcurrency(in);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasCode(DiagCode::kConcurrencyUnservablePhase));
+}
+
+TEST_F(ConcurrencyLintTest, FrequencyArityMismatchIsAnError) {
+  ConcurrencyInput in = Input();
+  std::vector<double> short_freqs = {1.0};
+  in.freqs = &short_freqs;
+  EXPECT_FALSE(AnalyzeConcurrency(in).ok());
+}
+
+TEST_F(ConcurrencyLintTest, FewerThanTwoSessionsNotes) {
+  ConcurrencyInput in = Input();
+  in.sessions = 1;
+  DiagnosticReport report = AnalyzeConcurrency(in);
+  EXPECT_TRUE(report.ok());  // notes don't fail the report
+  EXPECT_TRUE(report.HasCode(DiagCode::kConcurrencySingleLane));
+
+  in.sessions = 4;
+  EXPECT_FALSE(AnalyzeConcurrency(in).HasCode(DiagCode::kConcurrencySingleLane));
+}
+
+TEST_F(ConcurrencyLintTest, ActiveNewQueryUnservableMidWindowWarns) {
+  DiagnosticReport report = AnalyzeConcurrency(Input());
+  auto diags = report.WithCode(DiagCode::kConcurrencyUnservablePhase);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kWarning);
+  EXPECT_EQ(diags[0].location, "query 'N1'");
+
+  // Inactive this phase: no warning.
+  freqs_ = {10, 10, 0};
+  EXPECT_FALSE(AnalyzeConcurrency(Input()).HasCode(DiagCode::kConcurrencyUnservablePhase));
+}
+
+TEST_F(ConcurrencyLintTest, HotSourceTablesNote) {
+  // Every source table the operators drop is read by an active query with a
+  // large frequency share, so each data-moving operator gets the note.
+  DiagnosticReport report = AnalyzeConcurrency(Input());
+  EXPECT_TRUE(report.HasCode(DiagCode::kConcurrencyHotSource));
+
+  // Raise the share threshold beyond any query's mass: the note disappears.
+  ConcurrencyOptions opt;
+  opt.hot_source_share = 1.1;
+  EXPECT_FALSE(AnalyzeConcurrency(Input(), opt).HasCode(DiagCode::kConcurrencyHotSource));
+}
+
+TEST_F(ConcurrencyLintTest, QuiesceStallThresholdGatesTheWarning) {
+  // 5 authors + 40 books + 60 users: the book x author query drains ~45 rows.
+  ConcurrencyOptions opt;
+  opt.quiesce_drain_rows = 10;
+  DiagnosticReport report = AnalyzeConcurrency(Input(), opt);
+  EXPECT_TRUE(report.HasCode(DiagCode::kConcurrencyQuiesceStall));
+
+  EXPECT_FALSE(AnalyzeConcurrency(Input()).HasCode(DiagCode::kConcurrencyQuiesceStall));
+
+  // No stats: the scan-size estimate (and the warning) is unavailable.
+  ConcurrencyInput in = Input();
+  in.stats = nullptr;
+  EXPECT_FALSE(AnalyzeConcurrency(in, opt).HasCode(DiagCode::kConcurrencyQuiesceStall));
+}
+
+TEST_F(ConcurrencyLintTest, AppliedOperatorsAreSkipped) {
+  std::vector<bool> applied(opset_.size(), true);
+  ConcurrencyInput in = Input();
+  in.applied = &applied;
+  DiagnosticReport report = AnalyzeConcurrency(in);
+  EXPECT_FALSE(report.HasCode(DiagCode::kConcurrencyHotSource));
+  EXPECT_FALSE(report.HasCode(DiagCode::kConcurrencyUnservablePhase));
+}
+
+}  // namespace
+}  // namespace pse

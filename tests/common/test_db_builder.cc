@@ -1,0 +1,126 @@
+#include "tests/common/test_db_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pse {
+namespace testutil {
+
+std::vector<Row> SortRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+std::vector<Row> TableRows(Database* db, const std::string& name) {
+  auto info = db->GetTable(name);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  std::vector<Row> out;
+  if (!info.ok()) return out;
+  for (auto it = (*info)->heap->Begin(); !it.AtEnd();) {
+    out.push_back(it.row());
+    EXPECT_TRUE(it.Next().ok());
+  }
+  return SortRows(std::move(out));
+}
+
+bool SameRows(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      if (a[i][c].Compare(b[i][c]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+RandomInstance MakeInstance(Rng* rng, size_t num_rows) {
+  RandomInstance inst;
+  inst.db = std::make_unique<Database>(256);
+  TableSchema schema("t",
+                     {Column("id", TypeId::kInt64, 0, false), Column("a", TypeId::kInt64),
+                      Column("b", TypeId::kInt64), Column("s", TypeId::kVarchar, 8)},
+                     {"id"});
+  EXPECT_TRUE(inst.db->CreateTable(schema).ok());
+  for (size_t i = 0; i < num_rows; ++i) {
+    Row row{Value::Int(static_cast<int64_t>(i)),
+            rng->Bernoulli(0.1) ? Value::Null(TypeId::kInt64)
+                                : Value::Int(rng->UniformInt(-20, 20)),
+            rng->Bernoulli(0.1) ? Value::Null(TypeId::kInt64)
+                                : Value::Int(rng->UniformInt(0, 5)),
+            Value::Varchar(std::string(1, static_cast<char>('a' + rng->Index(4))))};
+    EXPECT_TRUE(inst.db->Insert("t", row).ok());
+    inst.rows.push_back(std::move(row));
+  }
+  EXPECT_TRUE(inst.db->AnalyzeAll().ok());
+  return inst;
+}
+
+std::unique_ptr<Bookstore> Bookstore::Make() {
+  auto out = std::make_unique<Bookstore>();
+  Bookstore& s = *out;
+  LogicalSchema& L = s.logical;
+  s.author = L.AddEntity("author", "a_id");
+  s.book = L.AddEntity("book", "b_id");
+  s.user = L.AddEntity("user", "u_id");
+  s.a_id = *L.AttrByName("a_id");
+  s.b_id = *L.AttrByName("b_id");
+  s.u_id = *L.AttrByName("u_id");
+  s.a_name = *L.AddAttribute(s.author, "a_name", TypeId::kVarchar, 16);
+  s.a_bio = *L.AddAttribute(s.author, "a_bio", TypeId::kVarchar, 40);
+  s.b_title = *L.AddAttribute(s.book, "b_title", TypeId::kVarchar, 24);
+  s.b_cost = *L.AddAttribute(s.book, "b_cost", TypeId::kDouble);
+  s.b_a_id = *L.AddForeignKey(s.book, "b_a_id", s.author);
+  s.b_abstract = *L.AddAttribute(s.book, "b_abstract", TypeId::kVarchar, 60, /*is_new=*/true);
+  s.u_name = *L.AddAttribute(s.user, "u_name", TypeId::kVarchar, 16);
+  s.u_bday = *L.AddAttribute(s.user, "u_bday", TypeId::kInt64);
+  s.u_addr = *L.AddAttribute(s.user, "u_addr", TypeId::kVarchar, 32);
+
+  s.source = PhysicalSchema(&L);
+  (void)s.source.AddTable("author", s.author, {s.a_name, s.a_bio});
+  (void)s.source.AddTable("book", s.book, {s.b_title, s.b_cost, s.b_a_id});
+  (void)s.source.AddTable("user", s.user, {s.u_name, s.u_bday, s.u_addr});
+
+  s.object = PhysicalSchema(&L);
+  (void)s.object.AddTable("glossary", s.book,
+                          {s.b_title, s.b_cost, s.b_a_id, s.a_name, s.a_bio, s.b_abstract});
+  (void)s.object.AddTable("user_gen", s.user, {s.u_name, s.u_bday});
+  (void)s.object.AddTable("user_rest", s.user, {s.u_addr});
+  return out;
+}
+
+std::unique_ptr<LogicalDatabase> Bookstore::MakeData(int authors, int books_per_author,
+                                                     int users) const {
+  auto data = std::make_unique<LogicalDatabase>(&logical);
+  for (int a = 0; a < authors; ++a) {
+    // attribute order: a_id, a_name, a_bio
+    (void)data->AddRow(author, {Value::Int(a), Value::Varchar("author-" + std::to_string(a)),
+                                Value::Varchar("bio of author " + std::to_string(a))});
+  }
+  int b = 0;
+  for (int a = 0; a < authors; ++a) {
+    for (int k = 0; k < books_per_author; ++k, ++b) {
+      // attribute order: b_id, b_title, b_cost, b_a_id, b_abstract
+      (void)data->AddRow(book, {Value::Int(b), Value::Varchar("title-" + std::to_string(b)),
+                                Value::Double(5.0 + b % 37), Value::Int(a),
+                                Value::Varchar("abstract for book " + std::to_string(b))});
+    }
+  }
+  for (int u = 0; u < users; ++u) {
+    // attribute order: u_id, u_name, u_bday, u_addr
+    (void)data->AddRow(user, {Value::Int(u), Value::Varchar("user-" + std::to_string(u)),
+                              Value::Int(19600101 + u * 37),
+                              Value::Varchar("street " + std::to_string(u * 7))});
+  }
+  return data;
+}
+
+}  // namespace testutil
+}  // namespace pse

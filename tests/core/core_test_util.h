@@ -1,100 +1,17 @@
-// Shared fixture for core tests: a miniature bookstore modeled after the
-// paper's running examples (combine book+author, split user, new abstract
-// column).
+// Shim: the shared fixtures moved to tests/common/test_db_builder.h so the
+// engine and analysis suites can use them too. Kept so existing includes
+// (and out-of-tree test patches) keep compiling.
 #pragma once
 
-#include <memory>
-
-#include "core/logical_database.h"
-#include "core/logical_schema.h"
-#include "core/physical_schema.h"
-#include "common/rng.h"
+#include "tests/common/test_db_builder.h"
 
 namespace pse {
 namespace coretest {
 
-struct Bookstore {
-  // PhysicalSchema holds a pointer to `logical`, so a Bookstore must never
-  // be copied or moved; Make() heap-allocates it.
-  Bookstore() = default;
-  Bookstore(const Bookstore&) = delete;
-  Bookstore& operator=(const Bookstore&) = delete;
-
-  LogicalSchema logical;
-  EntityId author = kInvalidId, book = kInvalidId, user = kInvalidId;
-  AttrId a_id, a_name, a_bio;
-  AttrId b_id, b_title, b_cost, b_a_id, b_abstract;  // b_abstract is new
-  AttrId u_id, u_name, u_bday, u_addr;
-  PhysicalSchema source;
-  PhysicalSchema object;
-
-  /// Paper-style schemas:
-  ///   source: author(a_id,a_name,a_bio), book(b_id,b_title,b_cost,b_a_id),
-  ///           user(u_id,u_name,u_bday,u_addr)
-  ///   object: glossary = book x author (+ new b_abstract) anchored at book,
-  ///           user_gen(u_id,u_name,u_bday), user_rest(u_id,u_addr)
-  static std::unique_ptr<Bookstore> Make() {
-    auto out = std::make_unique<Bookstore>();
-    Bookstore& s = *out;
-    LogicalSchema& L = s.logical;
-    s.author = L.AddEntity("author", "a_id");
-    s.book = L.AddEntity("book", "b_id");
-    s.user = L.AddEntity("user", "u_id");
-    s.a_id = *L.AttrByName("a_id");
-    s.b_id = *L.AttrByName("b_id");
-    s.u_id = *L.AttrByName("u_id");
-    s.a_name = *L.AddAttribute(s.author, "a_name", TypeId::kVarchar, 16);
-    s.a_bio = *L.AddAttribute(s.author, "a_bio", TypeId::kVarchar, 40);
-    s.b_title = *L.AddAttribute(s.book, "b_title", TypeId::kVarchar, 24);
-    s.b_cost = *L.AddAttribute(s.book, "b_cost", TypeId::kDouble);
-    s.b_a_id = *L.AddForeignKey(s.book, "b_a_id", s.author);
-    s.b_abstract = *L.AddAttribute(s.book, "b_abstract", TypeId::kVarchar, 60, /*is_new=*/true);
-    s.u_name = *L.AddAttribute(s.user, "u_name", TypeId::kVarchar, 16);
-    s.u_bday = *L.AddAttribute(s.user, "u_bday", TypeId::kInt64);
-    s.u_addr = *L.AddAttribute(s.user, "u_addr", TypeId::kVarchar, 32);
-
-    s.source = PhysicalSchema(&L);
-    (void)s.source.AddTable("author", s.author, {s.a_name, s.a_bio});
-    (void)s.source.AddTable("book", s.book, {s.b_title, s.b_cost, s.b_a_id});
-    (void)s.source.AddTable("user", s.user, {s.u_name, s.u_bday, s.u_addr});
-
-    s.object = PhysicalSchema(&L);
-    (void)s.object.AddTable("glossary", s.book,
-                            {s.b_title, s.b_cost, s.b_a_id, s.a_name, s.a_bio, s.b_abstract});
-    (void)s.object.AddTable("user_gen", s.user, {s.u_name, s.u_bday});
-    (void)s.object.AddTable("user_rest", s.user, {s.u_addr});
-    return out;
-  }
-
-  /// Deterministic data: `authors` authors, `books_per_author` books each
-  /// (covering: every author has books), `users` users.
-  std::unique_ptr<LogicalDatabase> MakeData(int authors = 10, int books_per_author = 20,
-                                            int users = 50) const {
-    auto data = std::make_unique<LogicalDatabase>(&logical);
-    for (int a = 0; a < authors; ++a) {
-      // attribute order: a_id, a_name, a_bio
-      (void)data->AddRow(author, {Value::Int(a), Value::Varchar("author-" + std::to_string(a)),
-                                  Value::Varchar("bio of author " + std::to_string(a))});
-    }
-    int b = 0;
-    for (int a = 0; a < authors; ++a) {
-      for (int k = 0; k < books_per_author; ++k, ++b) {
-        // attribute order: b_id, b_title, b_cost, b_a_id, b_abstract
-        (void)data->AddRow(
-            book, {Value::Int(b), Value::Varchar("title-" + std::to_string(b)),
-                   Value::Double(5.0 + b % 37), Value::Int(a),
-                   Value::Varchar("abstract for book " + std::to_string(b))});
-      }
-    }
-    for (int u = 0; u < users; ++u) {
-      // attribute order: u_id, u_name, u_bday, u_addr
-      (void)data->AddRow(user, {Value::Int(u), Value::Varchar("user-" + std::to_string(u)),
-                                Value::Int(19600101 + u * 37),
-                                Value::Varchar("street " + std::to_string(u * 7))});
-    }
-    return data;
-  }
-};
+using testutil::Bookstore;
+using testutil::SameRows;
+using testutil::SortRows;
+using testutil::TableRows;
 
 }  // namespace coretest
 }  // namespace pse

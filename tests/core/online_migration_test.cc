@@ -15,37 +15,8 @@ namespace pse {
 namespace {
 
 using coretest::Bookstore;
-
-/// Sorted contents of one table (whole rows), for equality checks.
-std::vector<Row> TableRows(Database* db, const std::string& name) {
-  auto info = db->GetTable(name);
-  EXPECT_TRUE(info.ok()) << info.status().ToString();
-  std::vector<Row> out;
-  if (!info.ok()) return out;
-  for (auto it = (*info)->heap->Begin(); !it.AtEnd();) {
-    out.push_back(it.row());
-    EXPECT_TRUE(it.Next().ok());
-  }
-  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
-    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
-      int c = a[i].Compare(b[i]);
-      if (c != 0) return c < 0;
-    }
-    return a.size() < b.size();
-  });
-  return out;
-}
-
-bool SameRows(const std::vector<Row>& a, const std::vector<Row>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].size() != b[i].size()) return false;
-    for (size_t c = 0; c < a[i].size(); ++c) {
-      if (a[i][c].Compare(b[i][c]) != 0) return false;
-    }
-  }
-  return true;
-}
+using coretest::SameRows;
+using coretest::TableRows;
 
 MigrationOperator SplitUserOp(const Bookstore& bs) {
   MigrationOperator op;

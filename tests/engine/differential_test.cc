@@ -7,42 +7,28 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "core/logical_database.h"
+#include "core/mapping.h"
+#include "core/migration_executor.h"
+#include "core/migration_planner.h"
+#include "core/rewriter.h"
 #include "engine/catalog_view.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
 #include "sql/session.h"
+#include "tests/common/test_db_builder.h"
+#include "tpcw/datagen.h"
+#include "tpcw/queries.h"
+#include "tpcw/schema.h"
+#include "tpcw/workloads.h"
 
 namespace pse {
 namespace {
 
-struct RandomInstance {
-  std::unique_ptr<Database> db;
-  std::vector<Row> rows;  // ground truth copy
-};
-
-/// Builds a table t(id BIGINT, a BIGINT, b BIGINT, s VARCHAR) with random
-/// data, including NULLs.
-RandomInstance MakeInstance(Rng* rng, size_t num_rows) {
-  RandomInstance inst;
-  inst.db = std::make_unique<Database>(256);
-  TableSchema schema("t",
-                     {Column("id", TypeId::kInt64, 0, false), Column("a", TypeId::kInt64),
-                      Column("b", TypeId::kInt64), Column("s", TypeId::kVarchar, 8)},
-                     {"id"});
-  EXPECT_TRUE(inst.db->CreateTable(schema).ok());
-  for (size_t i = 0; i < num_rows; ++i) {
-    Row row{Value::Int(static_cast<int64_t>(i)),
-            rng->Bernoulli(0.1) ? Value::Null(TypeId::kInt64)
-                                : Value::Int(rng->UniformInt(-20, 20)),
-            rng->Bernoulli(0.1) ? Value::Null(TypeId::kInt64)
-                                : Value::Int(rng->UniformInt(0, 5)),
-            Value::Varchar(std::string(1, static_cast<char>('a' + rng->Index(4))))};
-    EXPECT_TRUE(inst.db->Insert("t", row).ok());
-    inst.rows.push_back(std::move(row));
-  }
-  EXPECT_TRUE(inst.db->AnalyzeAll().ok());
-  return inst;
-}
+using testutil::MakeInstance;
+using testutil::RandomInstance;
+using testutil::SameRows;
+using testutil::SortRows;
 
 /// Random predicate over columns id/a/b/s. Depth-bounded.
 ExprPtr RandomPredicate(Rng* rng, int depth = 0) {
@@ -69,17 +55,6 @@ ExprPtr RandomPredicate(Rng* rng, int depth = 0) {
                      CompareOp::kLe,  CompareOp::kGt, CompareOp::kGe};
   return Cmp(ops[rng->Index(6)], Col(cols[rng->Index(3)]),
              Const(Value::Int(rng->UniformInt(-20, 20))));
-}
-
-std::vector<Row> SortRows(std::vector<Row> rows) {
-  std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
-    for (size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
-      int c = x[i].Compare(y[i]);
-      if (c != 0) return c < 0;
-    }
-    return false;
-  });
-  return rows;
 }
 
 class DifferentialProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -210,6 +185,125 @@ TEST_P(DifferentialProperty, AggregateQueriesMatchReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialProperty, ::testing::Values(1, 17, 23, 99));
+
+// --- cross-schema differential oracle ---
+//
+// The rewriter's correctness invariant (core/rewriter.h) says a query
+// answers identically on every valid intermediate schema. This test checks
+// it end to end on the paper's own trajectory: ground truth is the full
+// TPC-W workload executed on the fully-migrated object schema; then the
+// Fig-7-style LAA trajectory is replayed operator by operator with the
+// MigrationExecutor, and after every single operator each servable query is
+// rewritten onto the current intermediate schema, executed, and compared
+// row for row.
+
+/// Rewrites + executes `query` on `schema` over `db`; unservable (BindError)
+/// comes back as std::nullopt, any other failure is a test failure.
+std::optional<std::vector<Row>> RunOnSchema(Database* db, const LogicalQuery& query,
+                                            const PhysicalSchema& schema) {
+  Result<BoundQuery> bound = RewriteQuery(query, schema);
+  if (!bound.ok()) {
+    EXPECT_TRUE(bound.status().IsBindError())
+        << query.name << ": " << bound.status().ToString();
+    return std::nullopt;
+  }
+  DatabaseCatalogView view(db);
+  auto plan = PlanQuery(*bound, view);
+  EXPECT_TRUE(plan.ok()) << query.name << ": " << plan.status().ToString();
+  if (!plan.ok()) return std::nullopt;
+  auto rows = ExecutePlan(**plan, db);
+  EXPECT_TRUE(rows.ok()) << query.name << ": " << rows.status().ToString();
+  if (!rows.ok()) return std::nullopt;
+  return SortRows(std::move(*rows));
+}
+
+TEST(CrossSchemaOracle, TpcwWorkloadRowEqualOnEveryLaaIntermediate) {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  std::vector<std::vector<double>> phase_freqs = Fig9IrregularFrequencies();
+  std::unique_ptr<LogicalDatabase> data = GenerateTpcwData(*schema, ScaleTiny());
+  std::vector<LogicalStats> phase_stats = {data->ComputeStats()};
+
+  // Ground truth: every query on the fully-migrated object schema.
+  std::vector<std::vector<Row>> oracle(queries->size());
+  {
+    Database db(4096);
+    ASSERT_TRUE(data->Materialize(&db, schema->object).ok());
+    ASSERT_TRUE(db.AnalyzeAll().ok());
+    for (size_t q = 0; q < queries->size(); ++q) {
+      auto rows = RunOnSchema(&db, (*queries)[q].query, schema->object);
+      ASSERT_TRUE(rows.has_value()) << "query " << (*queries)[q].query.name
+                                    << " must be servable on the object schema";
+      oracle[q] = std::move(*rows);
+    }
+  }
+
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+
+  Database db(4096);
+  ASSERT_TRUE(data->Materialize(&db, schema->source).ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  PhysicalSchema current = schema->source;
+  MigrationExecutor exec(&db, data.get());
+
+  MigrationContext ctx;
+  ctx.object = &schema->object;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &phase_freqs;
+  ctx.phase_stats = &phase_stats;
+  ctx.queries = &*queries;
+
+  size_t intermediates = 0;
+  auto check_all = [&](const std::string& where) {
+    for (size_t q = 0; q < queries->size(); ++q) {
+      auto rows = RunOnSchema(&db, (*queries)[q].query, current);
+      if (!rows.has_value()) continue;  // unservable here: allowed
+      EXPECT_TRUE(SameRows(*rows, oracle[q]))
+          << (*queries)[q].query.name << " diverges from the object-schema oracle "
+          << where << " (" << rows->size() << " vs " << oracle[q].size() << " rows)";
+    }
+    ++intermediates;
+  };
+
+  check_all("on the source schema");
+  for (size_t p = 0; p < phase_freqs.size(); ++p) {
+    ctx.current = &current;
+    auto laa = SelectOpsLaa(ctx, p);
+    ASSERT_TRUE(laa.ok()) << laa.status().ToString();
+    for (int op : laa->ops_to_apply) {
+      auto io = exec.Apply(opset->ops[static_cast<size_t>(op)], &current);
+      ASSERT_TRUE(io.ok()) << "op#" << opset->ops[static_cast<size_t>(op)].id << ": "
+                           << io.status().ToString();
+      ctx.applied[static_cast<size_t>(op)] = true;
+      ASSERT_TRUE(db.AnalyzeAll().ok());
+      check_all("after op#" + std::to_string(opset->ops[static_cast<size_t>(op)].id));
+    }
+  }
+
+  // Final migration: ops LAA never found cost-beneficial are applied at the
+  // end of the last phase (what MigrationSimulation does), still checking
+  // every intermediate.
+  auto topo = opset->TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  for (int op : *topo) {
+    if (ctx.applied[static_cast<size_t>(op)]) continue;
+    auto io = exec.Apply(opset->ops[static_cast<size_t>(op)], &current);
+    ASSERT_TRUE(io.ok()) << io.status().ToString();
+    ctx.applied[static_cast<size_t>(op)] = true;
+    ASSERT_TRUE(db.AnalyzeAll().ok());
+    check_all("after final-migration op#" + std::to_string(opset->ops[static_cast<size_t>(op)].id));
+  }
+
+  // The trajectory must have moved through several distinct intermediates.
+  EXPECT_GT(intermediates, 2u);
+  for (size_t q = 0; q < queries->size(); ++q) {
+    EXPECT_TRUE(RewriteQuery((*queries)[q].query, current).ok())
+        << (*queries)[q].query.name << " must be servable once migration completes";
+  }
+}
 
 }  // namespace
 }  // namespace pse
