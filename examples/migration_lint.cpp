@@ -13,18 +13,29 @@
 //               schema (and at every intermediate)
 //   dead-op     operator no workload query ever touches: the interaction
 //               analysis flags it ANALYSIS_COST_IRRELEVANT_OP (note)
+//   lossy-combine  seeded write-unsafe plan: both versions live across a
+//               trajectory whose cross-entity combine is lossy forward and
+//               whose CreateTable publishes late — WRITE_LOSSY_COMBINE,
+//               WRITE_UNSERVABLE_WINDOW, WRITE_PROVENANCE_REQUIRED
 //   all         every scenario in sequence
 //
 // Scenarios with a workload also print the operator-interaction analysis
-// (footprints, interference clusters, plan-space reduction) as a section.
+// (footprints, interference clusters, plan-space reduction) as a section;
+// the tpcw scenario adds a write-safety section (the per-version DML
+// writability matrix of analysis/writability.h). Diagnostics print in
+// sorted order (severity, code, location, message) so output is stable and
+// diffable regardless of analyzer traversal order.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/concurrency.h"
 #include "analysis/interaction.h"
 #include "analysis/verifier.h"
+#include "analysis/writability.h"
 #include "core/mapping.h"
 #include "tpcw/queries.h"
 #include "tpcw/schema.h"
@@ -74,12 +85,31 @@ struct Bookstore {
   }
 };
 
+/// Prints a report's findings in deterministic sorted order — severity,
+/// then code name, location, message. Analyzer traversal order is an
+/// implementation detail (multi-cluster plans interleave their findings),
+/// so sorting here keeps example output stable and diffable in CI.
+void PrintSorted(const DiagnosticReport& report) {
+  std::vector<Diagnostic> sorted = report.diagnostics();
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.severity != b.severity) return a.severity < b.severity;
+    int c = std::strcmp(DiagCodeName(a.code), DiagCodeName(b.code));
+    if (c != 0) return c < 0;
+    if (a.location != b.location) return a.location < b.location;
+    return a.message < b.message;
+  });
+  for (const Diagnostic& d : sorted) std::printf("%s\n", d.ToString().c_str());
+  std::printf("%zu error(s), %zu warning(s), %zu note(s)\n", report.errors(),
+              report.warnings(), report.notes());
+}
+
 int Report(const char* title, const DiagnosticReport& report) {
   std::printf("== %s ==\n", title);
   if (report.diagnostics().empty()) {
     std::printf("clean: no diagnostics\n\n");
   } else {
-    std::printf("%s\n", report.ToString().c_str());
+    PrintSorted(report);
+    std::printf("\n");
   }
   return static_cast<int>(report.errors());
 }
@@ -107,6 +137,33 @@ int ReportInteractions(const char* title, const LogicalSchema& logical,
   return 0;
 }
 
+/// Write-safety section: the information-flow pass over the plan's default
+/// trajectory. WRITE_* findings are warnings and notes — the writability
+/// matrix is advice for the planner knob and the PR-7 DML rewriter, not a
+/// verification failure — so this section never contributes to the exit
+/// code; a replay failure (broken plan) does.
+int ReportWritability(const char* title, const LogicalSchema& logical,
+                      const PhysicalSchema& source, const PhysicalSchema& object,
+                      const OperatorSet& opset, bool old_live = true, bool new_live = true) {
+  std::printf("== %s: write safety ==\n", title);
+  WritabilityInput input;
+  input.old_schema = &source;
+  input.new_schema = &object;
+  input.opset = &opset;
+  input.old_live = old_live;
+  input.new_live = new_live;
+  DiagnosticReport report;
+  auto analysis = AnalyzeWritability(input, &report);
+  if (!analysis.ok()) {
+    std::printf("analysis failed: %s\n\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", analysis->ToString(opset, logical).c_str());
+  if (!report.diagnostics().empty()) PrintSorted(report);
+  std::printf("\n");
+  return 0;
+}
+
 int LintTpcw() {
   std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
   auto queries = BuildTpcwWorkload(*schema);
@@ -123,16 +180,20 @@ int LintTpcw() {
   int errors = Report("tpcw: source -> object with the 20-query workload",
                       VerifyMigration(input));
   errors += ReportInteractions("tpcw", schema->logical, schema->source, *opset, *queries);
+  errors += ReportWritability("tpcw", schema->logical, schema->source, schema->object, *opset);
 
   // Concurrency lint for a 4-session serve window at the first phase mix.
+  // With `object` set the report also carries the WRITE_* findings, so the
+  // serving lint covers writes as well as reads.
   ConcurrencyInput cin;
   cin.source = &schema->source;
   cin.opset = &*opset;
   cin.queries = &*queries;
+  cin.object = &schema->object;
   std::vector<double> phase0 = Fig9IrregularFrequencies().front();
   cin.freqs = &phase0;
   cin.sessions = 4;
-  errors += Report("tpcw: concurrent serving, 4 sessions at the phase-0 mix",
+  errors += Report("tpcw: concurrent serving, 4 sessions at the phase-0 mix (reads + writes)",
                    AnalyzeConcurrency(cin));
   return errors;
 }
@@ -236,6 +297,21 @@ int LintDeadOp() {
                             bs->source, *opset, queries);
 }
 
+int LintLossyCombine() {
+  auto bs = Bookstore::Make();
+  auto opset = ComputeOperatorSet(bs->source, bs->object);
+  if (!opset.ok()) return 1;
+  // Seeded write-unsafe deployment: both application versions accept DML for
+  // the whole trajectory. The glossary combine folds author rows into book
+  // rows (lossy forward: old-version writes to the collapsed fragments need
+  // row provenance), and the new version's glossary table cannot accept any
+  // writes until the b_abstract CreateTable publishes — a write-unservable
+  // window the planner knob would have penalized away.
+  return ReportWritability("lossy-combine: both versions live across a lossy plan",
+                           bs->logical, bs->source, bs->object, *opset,
+                           /*old_live=*/true, /*new_live=*/true);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,10 +342,14 @@ int main(int argc, char** argv) {
     errors += LintDeadOp();
     known = true;
   }
+  if (scenario == "lossy-combine" || scenario == "all") {
+    errors += LintLossyCombine();
+    known = true;
+  }
   if (!known) {
     std::fprintf(stderr,
                  "unknown scenario '%s' (expected tpcw, bookstore, bad-fd, bad-split, "
-                 "bad-query, dead-op, or all)\n",
+                 "bad-query, dead-op, lossy-combine, or all)\n",
                  scenario.c_str());
     return 2;
   }

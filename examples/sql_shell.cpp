@@ -14,10 +14,13 @@
 // the operator-interaction analysis of that migration (footprints,
 // interference clusters, plan-space reduction), ".coststats" runs cached +
 // parallel LAA planning over that migration twice and prints the cost-cache
-// hit/miss/collision counters, ".migrate" executes that migration *online*
-// (batched, journaled, with a simulated crash + resume) on a scratch
-// database, ".serve" runs it again under live concurrent mixed-version
-// sessions and prints throughput + latency quantiles, ".quit" exits.
+// hit/miss/collision counters, ".writability" prints the per-version DML
+// writability matrix over that migration's trajectory (operator lenses,
+// per-step Safe/NeedsPropagation/Unservable cells, WRITE_* findings),
+// ".migrate" executes that migration *online* (batched, journaled, with a
+// simulated crash + resume) on a scratch database, ".serve" runs it again
+// under live concurrent mixed-version sessions and prints throughput +
+// latency quantiles, ".quit" exits.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -25,6 +28,7 @@
 
 #include "analysis/interaction.h"
 #include "analysis/verifier.h"
+#include "analysis/writability.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/mapping.h"
@@ -161,6 +165,51 @@ int RunCostStatsDemo() {
                 laa->cache_stats.ToString().c_str());
   }
   std::printf("cache holds %zu distinct (query, layout, stats) entries\n", cache.size());
+  return 0;
+}
+
+/// `.writability`: the per-version DML writability matrix of the TPC-W
+/// migration. The trajectory groups operators by interference cluster (the
+/// clusters are dependency-closed, so each is a legal publish step), then the
+/// information-flow pass classifies every (version, table, DML-kind) cell on
+/// every intermediate schema and reports the WRITE_* findings.
+int RunWritabilityDemo() {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto queries = BuildTpcwWorkload(*schema);
+  if (!queries.ok()) {
+    std::printf("error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  if (!opset.ok()) {
+    std::printf("error: %s\n", opset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<bool> applied(opset->size(), false);
+  auto analysis = AnalyzeInteractions(*opset, schema->source, applied, &*queries);
+  if (!analysis.ok()) {
+    std::printf("error: %s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  WritabilityInput input;
+  input.old_schema = &schema->source;
+  input.new_schema = &schema->object;
+  input.opset = &*opset;
+  for (const InteractionCluster& cluster : analysis->clusters) {
+    input.trajectory.push_back(cluster.ops);
+  }
+  DiagnosticReport report;
+  auto wa = AnalyzeWritability(input, &report);
+  if (!wa.ok()) {
+    std::printf("error: %s\n", wa.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TPC-W source -> object migration: %zu operators, one step per "
+              "interference cluster\n",
+              opset->size());
+  std::printf("%s", wa->ToString(*opset, schema->logical).c_str());
+  if (!report.diagnostics().empty()) std::printf("%s", report.ToString().c_str());
+  std::printf("%zu live unservable cell(s) across the trajectory\n", wa->unservable_cells);
   return 0;
 }
 
@@ -312,6 +361,7 @@ int RunStatement(Session* session, const std::string& stmt) {
   if (trimmed == ".verify") return RunVerifyDemo();
   if (trimmed == ".interactions") return RunInteractionsDemo();
   if (trimmed == ".coststats") return RunCostStatsDemo();
+  if (trimmed == ".writability") return RunWritabilityDemo();
   if (trimmed == ".migrate") return RunMigrateDemo(session->db());
   if (trimmed == ".serve") return RunServeDemo();
   if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
@@ -389,7 +439,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .interactions, "
-      ".coststats, .migrate, .serve, .quit)\n");
+      ".coststats, .writability, .migrate, .serve, .quit)\n");
   std::string buffer, line;
   while (true) {
     std::printf(buffer.empty() ? "sql> " : "...> ");

@@ -2,14 +2,15 @@
 # Line-coverage gate over the migration-critical modules.
 #
 #   scripts/coverage.sh            # coverage build + ctest + gcovr report
-#   scripts/coverage.sh --floor N  # additionally fail when
-#                                  # src/core/migration_executor.cc line
-#                                  # coverage drops below N percent
+#   scripts/coverage.sh --floor N  # additionally fail when any gated file's
+#                                  # line coverage drops below N percent
 #
 # The report covers src/core + src/storage (the online-migration execution
-# path). With gcovr installed, writes coverage.xml (Cobertura) and
-# coverage.txt into the build dir for CI to upload; without it, falls back
-# to plain gcov for the floor check and skips the report artifact.
+# path) and src/analysis (the static verification stack); the floor gates
+# src/core/migration_executor.cc and src/analysis/writability.cc. With gcovr
+# installed, writes coverage.xml (Cobertura) and coverage.txt into the build
+# dir for CI to upload; without it, falls back to plain gcov for the floor
+# check and skips the report artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,48 +33,70 @@ cmake --build "$build_dir" -j "$jobs" >/dev/null
 echo "== coverage: running the test suite =="
 (cd "$build_dir" && ctest --output-on-failure -j "$jobs" >/dev/null)
 
-target_file="src/core/migration_executor.cc"
+target_files=(
+  "src/core/migration_executor.cc"
+  "src/analysis/writability.cc"
+)
 
 if command -v gcovr >/dev/null 2>&1; then
-  echo "== coverage: gcovr report over src/core + src/storage =="
+  echo "== coverage: gcovr report over src/core + src/storage + src/analysis =="
   gcovr --root . --object-directory "$build_dir" \
-    --filter 'src/core/.*' --filter 'src/storage/.*' \
+    --filter 'src/core/.*' --filter 'src/storage/.*' --filter 'src/analysis/.*' \
     --xml "$build_dir/coverage.xml" \
     --txt "$build_dir/coverage.txt" \
     --print-summary
   cat "$build_dir/coverage.txt"
-  # Row format: name, lines, exec, cover%, missing-ranges — find the % field.
-  pct="$(awk -v f="$target_file" '$0 ~ f {
-      for (i = 1; i <= NF; ++i) if ($i ~ /%$/) { gsub(/%/, "", $i); print $i; exit }
-    }' "$build_dir/coverage.txt")"
-else
-  echo "== coverage: gcovr not found; falling back to gcov =="
-  # gcno/gcda live next to the object files; resolve the executor's.
-  obj_dir="$(dirname "$(find "$build_dir" -name 'migration_executor.cc.gcda' | head -1)")"
+fi
+
+# Per-file line coverage: from the gcovr table when available, else gcov.
+file_pct() {
+  local target_file="$1"
+  local base; base="$(basename "$target_file")"
+  if command -v gcovr >/dev/null 2>&1; then
+    # Row format: name, lines, exec, cover%, missing-ranges — find the % field.
+    awk -v f="$target_file" '$0 ~ f {
+        for (i = 1; i <= NF; ++i) if ($i ~ /%$/) { gsub(/%/, "", $i); print $i; exit }
+      }' "$build_dir/coverage.txt"
+    return
+  fi
+  # gcno/gcda live next to the object files; resolve this file's.
+  local obj_dir; obj_dir="$(dirname "$(find "$build_dir" -name "$base.gcda" | head -1)")"
   if [ -z "$obj_dir" ]; then
-    echo "coverage: no .gcda for $target_file — tests did not exercise it" >&2
-    exit 1
+    return
   fi
   # gcov reports one block per file; take the percentage that follows the
-  # executor's own "File '...'" line (headers get their own blocks).
-  pct="$( (cd "$obj_dir" && gcov -n migration_executor.cc.gcda 2>/dev/null) \
-    | awk -v f="migration_executor.cc" '
+  # file's own "File '...'" line (headers get their own blocks).
+  (cd "$obj_dir" && gcov -n "$base.gcda" 2>/dev/null) \
+    | awk -v f="$base" '
         /^File / { hit = index($0, f) > 0 }
         hit && /^Lines executed:/ {
           split($2, parts, ":"); gsub(/%/, "", parts[2]); print parts[2]; exit
-        }' )"
+        }'
+}
+
+if ! command -v gcovr >/dev/null 2>&1; then
+  echo "== coverage: gcovr not found; falling back to gcov =="
 fi
 
-if [ -z "${pct:-}" ]; then
-  echo "coverage: could not determine $target_file line coverage" >&2
+failed=0
+for target_file in "${target_files[@]}"; do
+  pct="$(file_pct "$target_file")"
+  if [ -z "${pct:-}" ]; then
+    echo "coverage: could not determine $target_file line coverage" >&2
+    failed=1
+    continue
+  fi
+  echo "== coverage: $target_file line coverage: ${pct}% =="
+  if [ -n "$floor" ]; then
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+      echo "coverage: $target_file at ${pct}% is below the ${floor}% floor" >&2
+      failed=1
+    fi
+  fi
+done
+if [ "$failed" -ne 0 ]; then
   exit 1
 fi
-echo "== coverage: $target_file line coverage: ${pct}% =="
-
 if [ -n "$floor" ]; then
-  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
-    echo "coverage: $target_file at ${pct}% is below the ${floor}% floor" >&2
-    exit 1
-  fi
   echo "== coverage: floor ${floor}% OK =="
 fi

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "analysis/writability.h"
 #include "common/string_util.h"
 #include "core/operators.h"
 #include "core/rewriter.h"
@@ -139,6 +140,18 @@ DiagnosticReport AnalyzeConcurrency(const ConcurrencyInput& input,
                       "unservable while " + ops +
                           " execute(s): live sessions see BindError until the missing "
                           "attributes publish");
+  }
+
+  // Write-side lints: the writability matrix over the same operator walk.
+  // Replay failures stay the verifier's finding, exactly like the read loop
+  // above — AnalyzeWritability appends nothing on error.
+  if (input.object != nullptr) {
+    WritabilityInput writes;
+    writes.old_schema = input.source;
+    writes.new_schema = input.object;
+    writes.opset = input.opset;
+    if (input.applied != nullptr) writes.applied = *input.applied;
+    (void)AnalyzeWritability(writes, &report);
   }
   return report;
 }

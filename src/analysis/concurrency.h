@@ -56,6 +56,11 @@ struct ConcurrencyInput {
   const LogicalStats* stats = nullptr;
   /// Foreground sessions the serve window will run (ServeOptions::sessions).
   size_t sessions = 0;
+  /// The new application's layout (optional). When set, the writability
+  /// matrix over the window's operator sequence is computed
+  /// (analysis/writability.h) and its WRITE_* findings merge into the
+  /// report, so serving-phase lints cover writes, not just reads.
+  const PhysicalSchema* object = nullptr;
 };
 
 /// \brief Predicts reader/migration interference for one serve window.

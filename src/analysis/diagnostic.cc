@@ -50,6 +50,14 @@ const char* DiagCodeName(DiagCode code) {
       return "CONCURRENCY_UNSERVABLE_PHASE";
     case DiagCode::kConcurrencySingleLane:
       return "CONCURRENCY_SINGLE_LANE";
+    case DiagCode::kWriteLossyCombine:
+      return "WRITE_LOSSY_COMBINE";
+    case DiagCode::kWriteSplitRoutingAmbiguous:
+      return "WRITE_SPLIT_ROUTING_AMBIGUOUS";
+    case DiagCode::kWriteUnservableWindow:
+      return "WRITE_UNSERVABLE_WINDOW";
+    case DiagCode::kWriteProvenanceRequired:
+      return "WRITE_PROVENANCE_REQUIRED";
   }
   return "UNKNOWN";
 }

@@ -48,6 +48,11 @@ enum class DiagCode {
   kConcurrencyHotSource,       ///< CONCURRENCY_HOT_SOURCE: copy loop contends with hot reads
   kConcurrencyUnservablePhase, ///< CONCURRENCY_UNSERVABLE_PHASE: live query unservable mid-window
   kConcurrencySingleLane,      ///< CONCURRENCY_SINGLE_LANE: serve window has < 2 sessions
+  // -- write-safety information flow --
+  kWriteLossyCombine,          ///< WRITE_LOSSY_COMBINE: combine collapses/duplicates rows
+  kWriteSplitRoutingAmbiguous, ///< WRITE_SPLIT_ROUTING_AMBIGUOUS: old inserts cannot route
+  kWriteUnservableWindow,      ///< WRITE_UNSERVABLE_WINDOW: live version cannot write a table
+  kWriteProvenanceRequired,    ///< WRITE_PROVENANCE_REQUIRED: writes need row provenance
 };
 
 const char* DiagCodeName(DiagCode code);

@@ -65,6 +65,30 @@ struct AnalysisOptions {
   /// either way: costs land in index-addressed slots and are reduced
   /// serially in enumeration order.
   ThreadPool* pool = nullptr;
+
+  // -- write-safety planning dimension (analysis/writability.h) --
+  /// Price each candidate schema by its writability matrix for the declared
+  /// live versions: write_unservable_penalty per unservable write cell plus
+  /// write_propagation_penalty per needs-propagation one, added to the
+  /// phase cost C(Schema) and surfaced in the planner result's
+  /// write_penalty. Off by default: results stay bit-identical to planning
+  /// without the knob.
+  bool write_safety = false;
+  /// The old application's layout (defines the old version's tables). Null =
+  /// the planner's starting schema — correct at migration start; pass the
+  /// original source explicitly when planning resumes mid-migration.
+  const PhysicalSchema* write_old_schema = nullptr;
+  /// Which versions are live (drive whose matrices are priced). The new
+  /// version's layout is the planner's object schema.
+  bool write_old_live = true;
+  bool write_new_live = true;
+  double write_unservable_penalty = 1e6;
+  double write_propagation_penalty = 0.0;
+  /// Hard-reject: candidates opening a write-unservable window for a live
+  /// version price as +infinity instead (they lose to any servable plan;
+  /// when every candidate is rejected the least-bad one is still returned,
+  /// recognizable by an infinite write_penalty).
+  bool write_reject_unservable = false;
 };
 
 /// Read/write footprint of one operator, per (a) above.
@@ -143,14 +167,21 @@ uint64_t StatsFingerprint(const LogicalStats& stats);
 /// (null disables query coupling and relevance sets — clusters then reflect
 /// footprint overlap and dependencies only, which is still exact for any
 /// workload whose every query couples at most one cluster... callers that
-/// plan against a workload must pass it).
+/// plan against a workload must pass it). `coupling` (optional) supplies
+/// extra attribute groups that must not span clusters: all remaining
+/// operators whose footprint intersects one group are united, exactly like a
+/// query's support set. The write-safety planners pass the live versions'
+/// per-table attribute sets here so each table's penalty term is confined to
+/// one cluster (analysis/writability.h); null changes nothing.
 ///
 /// Fails when the operator set cannot be replayed (cycle, inapplicable op) —
 /// run VerifyMigration first; the planners' gate already does.
 Result<InteractionAnalysis> AnalyzeInteractions(const OperatorSet& opset,
                                                 const PhysicalSchema& source,
                                                 const std::vector<bool>& applied,
-                                                const std::vector<WorkloadQuery>* queries);
+                                                const std::vector<WorkloadQuery>* queries,
+                                                const std::vector<std::set<AttrId>>* coupling =
+                                                    nullptr);
 
 /// Appends ANALYSIS_COST_IRRELEVANT_OP notes to `report`: one per remaining
 /// operator whose footprint no workload query's support set touches. Such

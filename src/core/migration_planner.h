@@ -77,6 +77,10 @@ struct LaaResult {
   size_t threads = 1;
   /// Wall-clock time of this planning run, milliseconds.
   double wall_ms = 0;
+  /// Write-safety penalty of the winning schema (analysis/writability.h);
+  /// included in best_cost. 0 when AnalysisOptions::write_safety is off;
+  /// +infinity when hard-reject left only rejected candidates.
+  double write_penalty = 0;
 };
 
 /// Runs LAA at the migration point opening `current_phase`, scoring the
@@ -136,6 +140,9 @@ struct GaaResult {
   size_t threads = 1;
   /// Wall-clock time of this planning run, milliseconds.
   double wall_ms = 0;
+  /// Write-safety penalty summed over the plan's phase schemas (analysis/
+  /// writability.h); included in best_cost. 0 when the knob is off.
+  double write_penalty = 0;
   /// Ops assigned to offset 0, in dependency order — what to apply now.
   std::vector<int> ApplyNow() const;
 };

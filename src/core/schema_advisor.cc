@@ -5,6 +5,7 @@
 
 #include "analysis/interaction.h"
 #include "analysis/verifier.h"
+#include "analysis/writability.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/cost_estimator.h"
@@ -136,8 +137,20 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     result.steps.push_back(std::move(step));
   }
 
+  // Write-safety pricing: the seed's tables are the live version whose DML
+  // the climb must keep cheap to translate. Every score below is then
+  // C(S) + penalty(S), so accepted steps trade query cost against write
+  // propagation on equal terms.
+  const bool write_safety = options.analysis.write_safety;
+  const WriteSafetySpec write_spec =
+      ResolveWriteSafety(options.analysis, &seed, /*new_schema=*/nullptr);
+  auto write_penalty_of = [&](const PhysicalSchema& s) {
+    return write_safety ? WriteSafetyPenalty(s, write_spec) : 0.0;
+  };
+
   PSE_ASSIGN_OR_RETURN(double cost,
                        estimator.WorkloadCost(result.schema, stats, freqs, CostOptions{}));
+  cost += write_penalty_of(result.schema);
   result.initial_cost = cost;
   if (!result.steps.empty()) {
     // Back-fill the create steps' costs now that the workload is servable.
@@ -197,6 +210,9 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
         std::set<AttrId> delta = SchemaDeltaAttrs(result.schema, trial);
         s.value = cost;
         s.estimable = true;
+        if (write_safety) {
+          s.value += write_penalty_of(trial) - write_penalty_of(result.schema);
+        }
         for (size_t q = 0; q < queries.size() && s.estimable; ++q) {
           if (freqs[q] <= 0) continue;
           bool affected = false;
@@ -219,7 +235,7 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
         auto trial_cost = estimator.WorkloadCost(trial, stats, freqs, CostOptions{});
         if (trial_cost.ok()) {
           for (double f : freqs) s.queries_estimated += f > 0 ? 1 : 0;
-          s.value = *trial_cost;
+          s.value = *trial_cost + write_penalty_of(trial);
           s.estimable = true;
         }
       }
@@ -254,6 +270,7 @@ Result<AdvisorResult> AdviseSchema(const PhysicalSchema& seed, const LogicalStat
     cost = best_cost;
   }
   result.final_cost = cost;
+  result.write_penalty = write_penalty_of(result.schema);
   if (options.analysis.cost_cache != nullptr) {
     result.cache_stats = options.analysis.cost_cache->Snapshot() - cache_before;
   }

@@ -60,6 +60,11 @@ struct AdvisorResult {
   size_t threads = 1;
   /// Wall-clock time of this advisory run, milliseconds.
   double wall_ms = 0;
+  /// Write-safety penalty of the recommended design against the seed layout
+  /// as the live version (analysis/writability.h). With
+  /// `analysis.write_safety` every candidate is scored as C(S) + penalty, so
+  /// initial_cost/final_cost include it; 0 when the knob is off.
+  double write_penalty = 0;
 };
 
 /// Searches for the best physical design for (queries, freqs) reachable

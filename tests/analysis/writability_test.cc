@@ -1,0 +1,521 @@
+// Write-safety information-flow analyzer: operator lens classification,
+// per-version writability matrices with provenance, the WRITE_* diagnostic
+// family (one seeded fixture per code), and the agreement property between
+// the matrix's SELECT column and Rewriter servability over randomized
+// trajectories.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/writability.h"
+#include "common/rng.h"
+#include "core/rewriter.h"
+#include "engine/expr.h"
+#include "tests/core/core_test_util.h"
+#include "tpcw/schema.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+/// Indices of operators of `kind` in the set.
+std::vector<size_t> OpsOfKind(const OperatorSet& opset, OperatorKind kind) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < opset.size(); ++i) {
+    if (opset.ops[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+class WritabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bs_ = Bookstore::Make();
+    auto opset = ComputeOperatorSet(bs_->source, bs_->object);
+    ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+    opset_ = std::move(*opset);
+  }
+
+  WritabilityInput Input() {
+    WritabilityInput in;
+    in.old_schema = &bs_->source;
+    in.new_schema = &bs_->object;
+    in.opset = &opset_;
+    return in;
+  }
+
+  std::unique_ptr<Bookstore> bs_;
+  OperatorSet opset_;
+};
+
+TEST_F(WritabilityTest, LensClassification) {
+  auto analysis = AnalyzeWritability(Input());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  ASSERT_EQ(analysis->lenses.size(), opset_.size());
+
+  // CreateTable: forward invertible (nothing pre-existing moves), backward
+  // lossy (the new attributes have no pre-create storage).
+  for (size_t i : OpsOfKind(opset_, OperatorKind::kCreateTable)) {
+    EXPECT_EQ(analysis->lenses[i].forward, LensClass::kInvertible);
+    EXPECT_EQ(analysis->lenses[i].backward, LensClass::kLossy);
+  }
+  // The user split keeps the host anchor on both sides: a vertical
+  // partition, invertible both ways.
+  for (size_t i : OpsOfKind(opset_, OperatorKind::kSplitTable)) {
+    EXPECT_EQ(analysis->lenses[i].forward, LensClass::kInvertible);
+    EXPECT_EQ(analysis->lenses[i].backward, LensClass::kInvertible);
+  }
+  // The glossary chain has one same-entity combine (invertible) and one
+  // cross-entity combine (join duplicates rows: provenance both ways).
+  std::vector<LensClass> combine_forward;
+  for (size_t i : OpsOfKind(opset_, OperatorKind::kCombineTable)) {
+    combine_forward.push_back(analysis->lenses[i].forward);
+    EXPECT_EQ(analysis->lenses[i].forward, analysis->lenses[i].backward);
+  }
+  EXPECT_NE(std::count(combine_forward.begin(), combine_forward.end(),
+                       LensClass::kRecoverableWithProvenance),
+            0);
+  EXPECT_NE(std::count(combine_forward.begin(), combine_forward.end(),
+                       LensClass::kInvertible),
+            0);
+}
+
+TEST_F(WritabilityTest, MatrixCoversEveryCellWithProvenance) {
+  auto analysis = AnalyzeWritability(Input());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  ASSERT_EQ(analysis->steps.size(), analysis->trajectory.size() + 1);
+  ASSERT_EQ(analysis->trajectory.size(), opset_.size());  // default: one op per step
+
+  for (const StepWritability& step : analysis->steps) {
+    ASSERT_EQ(step.old_version.cells.size(), analysis->old_tables.size());
+    ASSERT_EQ(step.new_version.cells.size(), analysis->new_tables.size());
+    for (const auto& row : step.old_version.cells) {
+      for (const WritabilityCell& cell : row) {
+        if (cell.level != Writability::kSafe) {
+          EXPECT_GE(cell.provenance_op, 0);
+          EXPECT_FALSE(cell.detail.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(WritabilityTest, CombineStepDowngradesOldTablesToNeedsPropagation) {
+  auto analysis = AnalyzeWritability(Input());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+
+  // After the cross-entity combine executes, old-version writes to book and
+  // author must fan into the shared glossary row — kNeedsPropagation with the
+  // combine as provenance.
+  bool found = false;
+  for (const StepWritability& step : analysis->steps) {
+    for (size_t t = 0; t < analysis->old_tables.size(); ++t) {
+      const WritabilityCell& cell =
+          step.old_version.cells[t][static_cast<size_t>(DmlKind::kInsert)];
+      if (cell.level == Writability::kNeedsPropagation && cell.provenance_op >= 0 &&
+          opset_.ops[static_cast<size_t>(cell.provenance_op)].kind ==
+              OperatorKind::kCombineTable) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WritabilityTest, DeleteIsNeverUnservable) {
+  auto analysis = AnalyzeWritability(Input());
+  ASSERT_TRUE(analysis.ok());
+  for (const StepWritability& step : analysis->steps) {
+    for (const auto* matrix : {&step.old_version, &step.new_version}) {
+      for (const auto& row : matrix->cells) {
+        EXPECT_NE(row[static_cast<size_t>(DmlKind::kDelete)].level,
+                  Writability::kUnservable);
+      }
+    }
+  }
+}
+
+// -- seeded fixtures, one per WRITE_* code --
+
+TEST_F(WritabilityTest, SeededLossyCombineWarns) {
+  DiagnosticReport report;
+  ASSERT_TRUE(AnalyzeWritability(Input(), &report).ok());
+  auto diags = report.WithCode(DiagCode::kWriteLossyCombine);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kWarning);
+  EXPECT_TRUE(report.ok());  // WRITE_* never carries errors
+}
+
+TEST_F(WritabilityTest, SeededUnservableWindowWarnsOnlyWhenLive) {
+  // The new version's glossary needs b_abstract, which no schema stores
+  // until the CreateTable publishes: a write-unservable window at step 0.
+  DiagnosticReport live;
+  auto analysis = AnalyzeWritability(Input(), &live);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_GT(analysis->unservable_cells, 0u);
+  auto diags = live.WithCode(DiagCode::kWriteUnservableWindow);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kWarning);
+
+  // Declare the new version not live: the window no longer matters.
+  WritabilityInput dormant = Input();
+  dormant.new_live = false;
+  DiagnosticReport quiet;
+  auto dormant_analysis = AnalyzeWritability(dormant, &quiet);
+  ASSERT_TRUE(dormant_analysis.ok());
+  EXPECT_EQ(dormant_analysis->unservable_cells, 0u);
+  EXPECT_FALSE(quiet.HasCode(DiagCode::kWriteUnservableWindow));
+}
+
+TEST_F(WritabilityTest, SeededProvenanceRequiredNotes) {
+  DiagnosticReport report;
+  ASSERT_TRUE(AnalyzeWritability(Input(), &report).ok());
+  auto diags = report.WithCode(DiagCode::kWriteProvenanceRequired);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kNote);
+}
+
+TEST(WritabilitySplit, SeededCrossAnchorSplitIsRoutingAmbiguous) {
+  // Denormalized source: one book-anchored table carrying the author's
+  // attributes. Splitting them back out to the author anchor de-duplicates
+  // rows — old-version INSERTs into the wide table cannot route without
+  // provenance.
+  auto bs = Bookstore::Make();
+  PhysicalSchema source(&bs->logical);
+  ASSERT_TRUE(source
+                  .AddTable("book_all", bs->book,
+                            {bs->b_title, bs->b_cost, bs->b_a_id, bs->a_name, bs->a_bio})
+                  .ok());
+  ASSERT_TRUE(source.AddTable("user", bs->user, {bs->u_name, bs->u_bday, bs->u_addr}).ok());
+  PhysicalSchema object(&bs->logical);
+  ASSERT_TRUE(
+      object.AddTable("book", bs->book, {bs->b_title, bs->b_cost, bs->b_a_id}).ok());
+  ASSERT_TRUE(object.AddTable("author", bs->author, {bs->a_name, bs->a_bio}).ok());
+  ASSERT_TRUE(object.AddTable("user", bs->user, {bs->u_name, bs->u_bday, bs->u_addr}).ok());
+  auto opset = ComputeOperatorSet(source, object);
+  ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+
+  WritabilityInput input;
+  input.old_schema = &source;
+  input.new_schema = &object;
+  input.opset = &*opset;
+  DiagnosticReport report;
+  auto analysis = AnalyzeWritability(input, &report);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  auto diags = report.WithCode(DiagCode::kWriteSplitRoutingAmbiguous);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kWarning);
+  bool has_recoverable_split = false;
+  for (size_t i : OpsOfKind(*opset, OperatorKind::kSplitTable)) {
+    if (analysis->lenses[i].forward == LensClass::kRecoverableWithProvenance) {
+      has_recoverable_split = true;
+    }
+  }
+  EXPECT_TRUE(has_recoverable_split);
+}
+
+// -- classifier corner cases (direct ClassifyVersionTable calls) --
+
+TEST_F(WritabilityTest, KeyOnlyFragmentIsAlwaysSafe) {
+  VersionTable table;
+  table.name = "pivot";
+  table.anchor = bs_->book;
+  auto cells = ClassifyVersionTable(table, bs_->source);
+  for (const WritabilityCell& cell : cells) {
+    EXPECT_EQ(cell.level, Writability::kSafe);
+    EXPECT_EQ(cell.detail, "key-only fragment");
+  }
+}
+
+TEST_F(WritabilityTest, AllAttributesMissingLeavesDeleteSafe) {
+  // Nothing stored anywhere: reads and inserts are unservable (and the
+  // detail counts the extra missing attributes), but a delete-by-key has
+  // nothing to remove, so it stays safe.
+  PhysicalSchema empty(&bs_->logical);
+  VersionTable table;
+  table.name = "glossary";
+  table.anchor = bs_->book;
+  table.attrs = {bs_->b_abstract, bs_->b_title};
+  auto cells = ClassifyVersionTable(table, empty);
+  const WritabilityCell& sel = cells[static_cast<size_t>(DmlKind::kSelect)];
+  EXPECT_EQ(sel.level, Writability::kUnservable);
+  EXPECT_NE(sel.detail.find("(+1 more)"), std::string::npos);
+  const WritabilityCell& del = cells[static_cast<size_t>(DmlKind::kDelete)];
+  EXPECT_EQ(del.level, Writability::kSafe);
+  EXPECT_EQ(del.detail, "no fragment stored on this schema");
+}
+
+TEST_F(WritabilityTest, DeduplicatedIntoParentFragmentDetail) {
+  // a_name lives in an author-anchored fragment; a book-anchored version
+  // table touching it must create-or-merge the shared parent row (the
+  // author entity does not reach book, so this is not denormalization).
+  VersionTable table;
+  table.name = "book_author_name";
+  table.anchor = bs_->book;
+  table.attrs = {bs_->a_name};
+  auto cells = ClassifyVersionTable(table, bs_->source);
+  const WritabilityCell& ins = cells[static_cast<size_t>(DmlKind::kInsert)];
+  EXPECT_EQ(ins.level, Writability::kNeedsPropagation);
+  EXPECT_NE(ins.detail.find("de-duplicated into parent fragment"), std::string::npos);
+}
+
+// -- rendering --
+
+TEST_F(WritabilityTest, ToStringRendersLensesAndMatrix) {
+  auto analysis = AnalyzeWritability(Input());
+  ASSERT_TRUE(analysis.ok());
+  std::string text = analysis->ToString(opset_, bs_->logical);
+  EXPECT_NE(text.find("operator lenses:"), std::string::npos);
+  EXPECT_NE(text.find("step 0 (starting schema)"), std::string::npos);
+  EXPECT_NE(text.find("step 1 (after op#"), std::string::npos);
+  EXPECT_NE(text.find("forward=invertible"), std::string::npos);
+  EXPECT_NE(text.find("backward=lossy"), std::string::npos);
+  EXPECT_NE(text.find("select=safe"), std::string::npos);
+  EXPECT_NE(text.find("insert=unservable(op#"), std::string::npos);
+  EXPECT_NE(text.find("delete="), std::string::npos);
+  EXPECT_NE(text.find("update="), std::string::npos);
+  EXPECT_NE(text.find("needs-propagation"), std::string::npos);
+}
+
+TEST(WritabilityNames, OutOfRangeValuesRenderAsUnknown) {
+  EXPECT_STREQ(DmlKindName(static_cast<DmlKind>(99)), "?");
+  EXPECT_STREQ(WritabilityName(static_cast<Writability>(99)), "?");
+  EXPECT_STREQ(LensClassName(static_cast<LensClass>(99)), "?");
+}
+
+// -- malformed input --
+
+TEST_F(WritabilityTest, MalformedInputsFail) {
+  WritabilityInput in;  // null everything
+  EXPECT_FALSE(AnalyzeWritability(in).ok());
+
+  // Old and new schemas drawn from unrelated logical schemas.
+  auto other = Bookstore::Make();
+  in = Input();
+  in.new_schema = &other->object;
+  EXPECT_FALSE(AnalyzeWritability(in).ok());
+
+  in = Input();
+  in.applied.assign(1, false);  // arity mismatch
+  EXPECT_FALSE(AnalyzeWritability(in).ok());
+
+  in = Input();
+  in.trajectory = {{static_cast<int>(opset_.size())}};  // out of range
+  EXPECT_FALSE(AnalyzeWritability(in).ok());
+
+  auto topo = opset_.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  in = Input();
+  in.trajectory = {{topo->front(), topo->front()}};  // duplicate
+  EXPECT_FALSE(AnalyzeWritability(in).ok());
+
+  // Scheduling only the last operator of a dependency chain is not closed.
+  for (size_t i = 0; i < opset_.size(); ++i) {
+    if (!opset_.deps[i].empty()) {
+      in = Input();
+      in.trajectory = {{static_cast<int>(i)}};
+      EXPECT_FALSE(AnalyzeWritability(in).ok());
+      break;
+    }
+  }
+}
+
+TEST_F(WritabilityTest, GroupMembersMayArriveInAnyOrder) {
+  auto topo = opset_.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  // One big group, members listed in *reverse* topological order: the replay
+  // must reorder them internally.
+  std::vector<int> group(topo->rbegin(), topo->rend());
+  WritabilityInput in = Input();
+  in.trajectory = {group};
+  auto analysis = AnalyzeWritability(in);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->steps.size(), 2u);
+  // The final step is the object schema: the new version is fully safe.
+  const StepWritability& last = analysis->steps.back();
+  for (const auto& row : last.new_version.cells) {
+    for (const WritabilityCell& cell : row) {
+      EXPECT_EQ(cell.level, Writability::kSafe);
+    }
+  }
+}
+
+// -- TPC-W: the full evaluation migration --
+
+TEST(WritabilityTpcw, FullPlanClassifiesEveryCell) {
+  std::unique_ptr<TpcwSchema> schema = BuildTpcwSchema();
+  auto opset = ComputeOperatorSet(schema->source, schema->object);
+  ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+  WritabilityInput input;
+  input.old_schema = &schema->source;
+  input.new_schema = &schema->object;
+  input.opset = &*opset;
+  DiagnosticReport report;
+  auto analysis = AnalyzeWritability(input, &report);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+
+  ASSERT_EQ(analysis->steps.size(), opset->size() + 1);
+  size_t needs_propagation_from_combine = 0;
+  for (const StepWritability& step : analysis->steps) {
+    ASSERT_EQ(step.old_version.cells.size(), analysis->old_tables.size());
+    ASSERT_EQ(step.new_version.cells.size(), analysis->new_tables.size());
+    for (const auto* matrix : {&step.old_version, &step.new_version}) {
+      for (const auto& row : matrix->cells) {
+        for (const WritabilityCell& cell : row) {
+          if (cell.level == Writability::kSafe) continue;
+          ASSERT_GE(cell.provenance_op, 0);
+          if (cell.level == Writability::kNeedsPropagation &&
+              opset->ops[static_cast<size_t>(cell.provenance_op)].kind ==
+                  OperatorKind::kCombineTable) {
+            ++needs_propagation_from_combine;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(needs_propagation_from_combine, 0u);
+  // Both versions live across the default trajectory: the not-yet-created
+  // attributes open a write-unservable window for the new version.
+  EXPECT_GT(analysis->unservable_cells, 0u);
+  EXPECT_TRUE(report.HasCode(DiagCode::kWriteUnservableWindow));
+  EXPECT_TRUE(report.HasCode(DiagCode::kWriteLossyCombine));
+  EXPECT_TRUE(report.ok());
+}
+
+// -- property: the SELECT column agrees with the Rewriter --
+
+/// Scrambles the bookstore source into a random reachable object schema
+/// (the parallel-planner property test's recipe, without the workload).
+std::optional<PhysicalSchema> ScrambleSchema(const Bookstore& s, Rng* rng) {
+  PhysicalSchema object = s.source;
+  int next_id = 3000;
+  for (int step = 0; step < 6; ++step) {
+    double roll = rng->UniformDouble();
+    MigrationOperator op;
+    op.id = next_id++;
+    if (roll < 0.4) {
+      std::vector<std::pair<size_t, std::vector<AttrId>>> candidates;
+      for (size_t t = 0; t < object.tables().size(); ++t) {
+        std::vector<AttrId> nonkey;
+        for (AttrId a : object.tables()[t].attrs) {
+          if (!s.logical.attr(a).is_key) nonkey.push_back(a);
+        }
+        if (nonkey.size() >= 2) candidates.emplace_back(t, nonkey);
+      }
+      if (candidates.empty()) continue;
+      auto& [t, nonkey] = candidates[rng->Index(candidates.size())];
+      size_t count = 1 + rng->Index(nonkey.size() - 1);
+      rng->Shuffle(&nonkey);
+      op.kind = OperatorKind::kSplitTable;
+      op.split_moved.assign(nonkey.begin(), nonkey.begin() + static_cast<long>(count));
+      op.split_moved_anchor = s.logical.attr(op.split_moved[0]).entity;
+    } else {
+      if (object.tables().size() < 2) continue;
+      size_t a = rng->Index(object.tables().size());
+      size_t b = rng->Index(object.tables().size());
+      if (a == b) continue;
+      std::vector<AttrId> a_nonkey, b_nonkey;
+      for (AttrId x : object.tables()[a].attrs) {
+        if (!s.logical.attr(x).is_key) a_nonkey.push_back(x);
+      }
+      for (AttrId x : object.tables()[b].attrs) {
+        if (!s.logical.attr(x).is_key) b_nonkey.push_back(x);
+      }
+      if (a_nonkey.empty() || b_nonkey.empty()) continue;
+      op.kind = OperatorKind::kCombineTable;
+      op.combine_left_rep = a_nonkey[0];
+      op.combine_right_rep = b_nonkey[0];
+    }
+    (void)ApplyOperator(op, &object);
+  }
+  return object;
+}
+
+/// The canonical full-projection query of a version table: anchored at the
+/// table's anchor, selecting every non-key attribute it carries.
+LogicalQuery CanonicalQuery(const VersionTable& table, const LogicalSchema& L) {
+  LogicalQuery q;
+  q.name = "canon_";  // += form: GCC 12's operator+ trips -Wrestrict
+  q.name += table.name;
+  q.anchor = table.anchor;
+  for (AttrId a : table.attrs) {
+    const std::string& name = L.attr(a).name;
+    q.select.emplace_back(Col(name), AggFunc::kNone, name);
+  }
+  return q;
+}
+
+class WritabilityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// On every intermediate schema of randomized trajectories, a version table's
+// SELECT cell is kUnservable exactly when the Rewriter cannot bind its
+// canonical full-projection query.
+TEST_P(WritabilityProperty, SelectColumnAgreesWithRewriter) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  Rng rng(GetParam());
+
+  int instances = 0;
+  for (int iter = 0; iter < 12 && instances < 6; ++iter) {
+    auto object = ScrambleSchema(s, &rng);
+    if (!object.has_value()) continue;
+    auto opset = ComputeOperatorSet(s.source, *object);
+    if (!opset.ok() || opset->size() == 0) continue;
+    auto topo = opset->TopologicalOrder();
+    ASSERT_TRUE(topo.ok());
+    ++instances;
+
+    // Random trajectory: the topological order cut into random contiguous
+    // groups (prefix-closed, so always dependency-closed).
+    std::vector<std::vector<int>> trajectory;
+    for (size_t i = 0; i < topo->size();) {
+      size_t len = 1 + rng.Index(topo->size() - i);
+      trajectory.emplace_back(topo->begin() + static_cast<long>(i),
+                              topo->begin() + static_cast<long>(i + len));
+      i += len;
+    }
+
+    WritabilityInput input;
+    input.old_schema = &s.source;
+    input.new_schema = &*object;
+    input.opset = &*opset;
+    input.trajectory = trajectory;
+    auto analysis = AnalyzeWritability(input);
+    ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+
+    // Replay the intermediate schemas independently and compare.
+    PhysicalSchema state = s.source;
+    for (size_t step = 0; step < analysis->steps.size(); ++step) {
+      if (step > 0) {
+        for (int op : trajectory[step - 1]) {
+          ASSERT_TRUE(ApplyOperator(opset->ops[static_cast<size_t>(op)], &state).ok());
+        }
+      }
+      auto check = [&](const std::vector<VersionTable>& tables, const VersionMatrix& matrix) {
+        for (size_t t = 0; t < tables.size(); ++t) {
+          if (tables[t].attrs.empty()) continue;  // key-only: nothing to project
+          LogicalQuery q = CanonicalQuery(tables[t], s.logical);
+          bool servable = RewriteQuery(q, state).ok();
+          bool matrix_servable =
+              matrix.cells[t][static_cast<size_t>(DmlKind::kSelect)].level !=
+              Writability::kUnservable;
+          EXPECT_EQ(servable, matrix_servable)
+              << "step " << step << " table " << tables[t].name;
+        }
+      };
+      check(analysis->old_tables, analysis->steps[step].old_version);
+      check(analysis->new_tables, analysis->steps[step].new_version);
+    }
+  }
+  EXPECT_GT(instances, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WritabilityProperty, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace pse

@@ -1,0 +1,430 @@
+// The write-safety planning knob (AnalysisOptions::write_safety).
+//
+// Three contracts, property-tested like parallel_planner_test.cc:
+//  1. Knob off — the default — is the planners' pre-knob behavior; with the
+//     knob on but zero-priced, the brute LAA sweep, GAA, and the advisor are
+//     *bit-identical* (EXPECT_EQ on doubles) to the knob-off run, because the
+//     penalty hook only ever adds 0.0.
+//  2. With real prices, the pruned cluster-wise LAA equals the brute-force
+//     sweep exactly — the coupling-group decomposition of the penalty is
+//     exact, not approximate.
+//  3. On the paper's Fig 7 bookstore migration with both versions live, the
+//     knob-on walk chooses intermediate schemas with zero write-unservable
+//     windows, and the penalty annotation in the results says so.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/writability.h"
+#include "common/rng.h"
+#include "core/migration_planner.h"
+#include "core/schema_advisor.h"
+#include "engine/expr.h"
+#include "tests/core/core_test_util.h"
+
+namespace pse {
+namespace {
+
+using coretest::Bookstore;
+
+constexpr size_t kPhases = 3;
+
+struct Instance {
+  PhysicalSchema object;
+  OperatorSet opset;
+  std::vector<WorkloadQuery> queries;
+  std::vector<std::vector<double>> freqs;
+};
+
+/// The parallel-planner property test's instance generator: scramble the
+/// bookstore source with valid operators, recompute the operator set, draw a
+/// random workload and per-phase frequencies.
+std::optional<Instance> DrawInstance(const Bookstore& s, Rng* rng, size_t max_m) {
+  Instance inst;
+  inst.object = s.source;
+  int next_id = 4000;
+  for (int step = 0; step < 6; ++step) {
+    double roll = rng->UniformDouble();
+    MigrationOperator op;
+    op.id = next_id++;
+    if (roll < 0.4) {
+      std::vector<std::pair<size_t, std::vector<AttrId>>> candidates;
+      for (size_t t = 0; t < inst.object.tables().size(); ++t) {
+        std::vector<AttrId> nonkey;
+        for (AttrId a : inst.object.tables()[t].attrs) {
+          if (!s.logical.attr(a).is_key) nonkey.push_back(a);
+        }
+        if (nonkey.size() >= 2) candidates.emplace_back(t, nonkey);
+      }
+      if (candidates.empty()) continue;
+      auto& [t, nonkey] = candidates[rng->Index(candidates.size())];
+      size_t count = 1 + rng->Index(nonkey.size() - 1);
+      rng->Shuffle(&nonkey);
+      op.kind = OperatorKind::kSplitTable;
+      op.split_moved.assign(nonkey.begin(), nonkey.begin() + static_cast<long>(count));
+      op.split_moved_anchor = s.logical.attr(op.split_moved[0]).entity;
+    } else {
+      if (inst.object.tables().size() < 2) continue;
+      size_t a = rng->Index(inst.object.tables().size());
+      size_t b = rng->Index(inst.object.tables().size());
+      if (a == b) continue;
+      std::vector<AttrId> a_nonkey, b_nonkey;
+      for (AttrId x : inst.object.tables()[a].attrs) {
+        if (!s.logical.attr(x).is_key) a_nonkey.push_back(x);
+      }
+      for (AttrId x : inst.object.tables()[b].attrs) {
+        if (!s.logical.attr(x).is_key) b_nonkey.push_back(x);
+      }
+      if (a_nonkey.empty() || b_nonkey.empty()) continue;
+      op.kind = OperatorKind::kCombineTable;
+      op.combine_left_rep = a_nonkey[0];
+      op.combine_right_rep = b_nonkey[0];
+    }
+    (void)ApplyOperator(op, &inst.object);
+  }
+  auto opset = ComputeOperatorSet(s.source, inst.object);
+  if (!opset.ok()) return std::nullopt;
+  if (opset->size() == 0 || opset->size() > max_m) return std::nullopt;
+  inst.opset = std::move(*opset);
+
+  size_t num_queries = 3 + rng->Index(4);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    EntityId anchor = rng->Index(s.logical.num_entities());
+    std::vector<AttrId> reachable;
+    for (AttrId a = 0; a < s.logical.num_attributes(); ++a) {
+      const LogicalAttribute& attr = s.logical.attr(a);
+      if (attr.is_key || attr.is_new) continue;
+      if (s.logical.Reaches(anchor, attr.entity)) reachable.push_back(a);
+    }
+    if (reachable.empty()) continue;
+    rng->Shuffle(&reachable);
+    size_t picks = 1 + rng->Index(std::min<size_t>(3, reachable.size()));
+    LogicalQuery q;
+    q.name = "q";  // += form: GCC 12's operator+(const char*, string&&) trips -Wrestrict
+    q.name += std::to_string(qi);
+    q.anchor = anchor;
+    for (size_t k = 0; k < picks; ++k) {
+      const std::string& name = s.logical.attr(reachable[k]).name;
+      q.select.emplace_back(Col(name), AggFunc::kNone, name);
+    }
+    inst.queries.emplace_back(std::move(q), /*is_old=*/true);
+  }
+  if (inst.queries.empty()) return std::nullopt;
+  inst.freqs.assign(kPhases, std::vector<double>(inst.queries.size()));
+  for (auto& phase : inst.freqs) {
+    for (double& f : phase) f = static_cast<double>(rng->Index(41));
+  }
+  return inst;
+}
+
+class WriteSafetyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Contract 1 + 2 for LAA across randomized migration walks.
+TEST_P(WriteSafetyProperty, LaaKnobOffZeroPricedAndPrunedAgree) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  Rng rng(GetParam());
+
+  AnalysisOptions off_brute;
+  off_brute.prune_laa = false;
+  AnalysisOptions zero_brute = off_brute;
+  zero_brute.write_safety = true;
+  zero_brute.write_unservable_penalty = 0;
+  zero_brute.write_propagation_penalty = 0;
+  AnalysisOptions priced_brute = off_brute;
+  priced_brute.write_safety = true;
+  priced_brute.write_unservable_penalty = 1e6;
+  priced_brute.write_propagation_penalty = 3.0;
+  AnalysisOptions priced_pruned = priced_brute;
+  priced_pruned.prune_laa = true;
+
+  int instances = 0;
+  for (int iter = 0; iter < 10 && instances < 5; ++iter) {
+    auto inst = DrawInstance(s, &rng, /*max_m=*/10);
+    if (!inst.has_value()) continue;
+    ++instances;
+
+    PhysicalSchema current = s.source;
+    MigrationContext ctx;
+    ctx.current = &current;
+    ctx.object = &inst->object;
+    ctx.opset = &inst->opset;
+    ctx.applied.assign(inst->opset.size(), false);
+    ctx.phase_freqs = &inst->freqs;
+    ctx.phase_stats = &stats;
+    ctx.queries = &inst->queries;
+
+    for (size_t p = 0; p < kPhases; ++p) {
+      auto off = SelectOpsLaa(ctx, p, p, /*max_ops=*/12, off_brute);
+      ASSERT_TRUE(off.ok()) << off.status().ToString();
+      auto zero = SelectOpsLaa(ctx, p, p, /*max_ops=*/12, zero_brute);
+      ASSERT_TRUE(zero.ok()) << zero.status().ToString();
+
+      // Zero-priced knob: bit-identical sweep, annotation reads 0.
+      EXPECT_EQ(zero->ops_to_apply, off->ops_to_apply);
+      EXPECT_EQ(zero->best_cost, off->best_cost);
+      EXPECT_EQ(zero->schemas_evaluated, off->schemas_evaluated);
+      EXPECT_EQ(zero->write_penalty, 0.0);
+      EXPECT_EQ(off->write_penalty, 0.0);
+
+      // Real prices: the pruned decomposition equals brute force exactly.
+      auto brute = SelectOpsLaa(ctx, p, p, /*max_ops=*/12, priced_brute);
+      ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+      auto pruned = SelectOpsLaa(ctx, p, p, /*max_ops=*/12, priced_pruned);
+      ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+      EXPECT_EQ(pruned->ops_to_apply, brute->ops_to_apply);
+      EXPECT_EQ(pruned->best_cost, brute->best_cost);  // bit-identical
+      EXPECT_EQ(pruned->write_penalty, brute->write_penalty);
+      EXPECT_GE(brute->write_penalty, 0.0);
+
+      for (int op : off->ops_to_apply) {
+        ASSERT_TRUE(ApplyOperator(inst->opset.ops[static_cast<size_t>(op)], &current).ok());
+        ctx.applied[static_cast<size_t>(op)] = true;
+      }
+    }
+  }
+  EXPECT_GT(instances, 0);
+}
+
+// Contract 1 for GAA and the advisor.
+TEST_P(WriteSafetyProperty, GaaAndAdvisorZeroPricedAreBitIdentical) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  Rng rng(GetParam() ^ 0xc3c3);
+
+  int instances = 0;
+  for (int iter = 0; iter < 8 && instances < 3; ++iter) {
+    auto inst = DrawInstance(s, &rng, /*max_m=*/8);
+    if (!inst.has_value()) continue;
+    ++instances;
+
+    MigrationContext ctx;
+    ctx.current = &s.source;
+    ctx.object = &inst->object;
+    ctx.opset = &inst->opset;
+    ctx.applied.assign(inst->opset.size(), false);
+    ctx.phase_freqs = &inst->freqs;
+    ctx.phase_stats = &stats;
+    ctx.queries = &inst->queries;
+
+    GaaOptions off;
+    off.seed = 42 + GetParam();
+    off.ga.population_size = 16;
+    off.ga.generations = 8;
+    GaaOptions zero = off;
+    zero.analysis.write_safety = true;
+    zero.analysis.write_unservable_penalty = 0;
+    zero.analysis.write_propagation_penalty = 0;
+
+    auto off_result = PlanGaa(ctx, 0, off);
+    ASSERT_TRUE(off_result.ok()) << off_result.status().ToString();
+    auto zero_result = PlanGaa(ctx, 0, zero);
+    ASSERT_TRUE(zero_result.ok()) << zero_result.status().ToString();
+    EXPECT_EQ(zero_result->assignment, off_result->assignment);
+    EXPECT_EQ(zero_result->best_cost, off_result->best_cost);  // bit-identical
+    EXPECT_EQ(zero_result->evaluations, off_result->evaluations);
+    EXPECT_EQ(zero_result->write_penalty, 0.0);
+    EXPECT_EQ(off_result->write_penalty, 0.0);
+  }
+  EXPECT_GT(instances, 0);
+
+  // Advisor: zero-priced knob reproduces the knob-off climb step for step.
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery q;
+  q.name = "adv";
+  q.anchor = s.book;
+  q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  q.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+  queries.emplace_back(std::move(q), /*is_old=*/true);
+  std::vector<double> freqs{25.0};
+  LogicalStats adv_stats = data->ComputeStats();
+
+  AdvisorOptions off_adv;
+  off_adv.allow_creates = false;
+  AdvisorOptions zero_adv = off_adv;
+  zero_adv.analysis.write_safety = true;
+  zero_adv.analysis.write_unservable_penalty = 0;
+  zero_adv.analysis.write_propagation_penalty = 0;
+  auto off_rec = AdviseSchema(s.source, adv_stats, queries, freqs, off_adv);
+  ASSERT_TRUE(off_rec.ok()) << off_rec.status().ToString();
+  auto zero_rec = AdviseSchema(s.source, adv_stats, queries, freqs, zero_adv);
+  ASSERT_TRUE(zero_rec.ok()) << zero_rec.status().ToString();
+  EXPECT_EQ(zero_rec->final_cost, off_rec->final_cost);  // bit-identical
+  EXPECT_EQ(zero_rec->initial_cost, off_rec->initial_cost);
+  ASSERT_EQ(zero_rec->steps.size(), off_rec->steps.size());
+  for (size_t i = 0; i < off_rec->steps.size(); ++i) {
+    EXPECT_EQ(zero_rec->steps[i].op.ToString(s.logical),
+              off_rec->steps[i].op.ToString(s.logical));
+  }
+  EXPECT_EQ(zero_rec->write_penalty, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteSafetyProperty, ::testing::Values(11, 211, 3111));
+
+// Contract 3: on the Fig 7 bookstore migration with both versions live, the
+// knob-on LAA walk never dwells on a schema with a write-unservable window,
+// and the trajectory it builds has zero kUnservable cells after step 0 (the
+// starting schema itself predates the planner's control).
+TEST(WriteSafetyFig7, LaaWalkAvoidsUnservableWindows) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  auto opset = ComputeOperatorSet(s.source, s.object);
+  ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery old_q;
+  old_q.name = "O1";
+  old_q.anchor = s.book;
+  old_q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  queries.emplace_back(std::move(old_q), /*is_old=*/true);
+  LogicalQuery new_q;
+  new_q.name = "N1";
+  new_q.anchor = s.book;
+  new_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "ab");
+  queries.emplace_back(std::move(new_q), /*is_old=*/false);
+  std::vector<std::vector<double>> freqs(kPhases, std::vector<double>{10.0, 10.0});
+
+  PhysicalSchema current = s.source;
+  MigrationContext ctx;
+  ctx.current = &current;
+  ctx.object = &s.object;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &freqs;
+  ctx.phase_stats = &stats;
+  ctx.queries = &queries;
+
+  AnalysisOptions knob;
+  knob.write_safety = true;
+  knob.write_old_schema = &s.source;  // the old app's layout stays the source
+
+  std::vector<std::vector<int>> trajectory;
+  for (size_t p = 0; p < kPhases; ++p) {
+    auto laa = SelectOpsLaa(ctx, p, p, /*max_ops=*/30, knob);
+    ASSERT_TRUE(laa.ok()) << laa.status().ToString();
+    // The chosen schema never opens a write-unservable window: the 1e6
+    // penalty forces the pending CreateTable in immediately.
+    EXPECT_EQ(laa->write_penalty, 0.0) << "phase " << p;
+    if (!laa->ops_to_apply.empty()) trajectory.push_back(laa->ops_to_apply);
+    for (int op : laa->ops_to_apply) {
+      ASSERT_TRUE(ApplyOperator(opset->ops[static_cast<size_t>(op)], &current).ok());
+      ctx.applied[static_cast<size_t>(op)] = true;
+    }
+  }
+
+  // Hard-reject mode agrees: a zero-penalty trajectory exists, so nothing is
+  // rejected and the annotation stays finite.
+  AnalysisOptions reject = knob;
+  reject.write_reject_unservable = true;
+  auto tail = SelectOpsLaa(ctx, kPhases - 1, kPhases - 1, /*max_ops=*/30, reject);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_TRUE(std::isfinite(tail->write_penalty));
+
+  // The walked trajectory, re-analyzed end to end: no kUnservable cell on
+  // any schema the planner chose (steps >= 1).
+  WritabilityInput input;
+  input.old_schema = &s.source;
+  input.new_schema = &s.object;
+  input.opset = &*opset;
+  input.trajectory = trajectory;
+  auto analysis = AnalyzeWritability(input);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  for (size_t step = 1; step < analysis->steps.size(); ++step) {
+    for (const auto* matrix :
+         {&analysis->steps[step].old_version, &analysis->steps[step].new_version}) {
+      for (const auto& row : matrix->cells) {
+        for (const WritabilityCell& cell : row) {
+          EXPECT_NE(cell.level, Writability::kUnservable) << "step " << step;
+        }
+      }
+    }
+  }
+}
+
+// The deterministic global optimum with the knob on pays no write penalty on
+// the Fig 7 migration — the annotation surfaces it, and GAA (seeded from the
+// cluster trajectory) finds a zero-penalty plan too.
+TEST(WriteSafetyFig7, GlobalAndGaaPlansCarryZeroPenalty) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  std::vector<LogicalStats> stats{data->ComputeStats()};
+  auto opset = ComputeOperatorSet(s.source, s.object);
+  ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery q;
+  q.name = "O1";
+  q.anchor = s.book;
+  q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  q.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+  queries.emplace_back(std::move(q), /*is_old=*/true);
+  std::vector<std::vector<double>> freqs(kPhases, std::vector<double>{20.0});
+
+  MigrationContext ctx;
+  ctx.current = &s.source;
+  ctx.object = &s.object;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &freqs;
+  ctx.phase_stats = &stats;
+  ctx.queries = &queries;
+
+  GaaOptions options;
+  options.seed = 99;
+  options.ga.population_size = 32;
+  options.ga.generations = 30;
+  options.analysis.write_safety = true;
+  options.analysis.write_old_schema = &s.source;
+
+  auto global = PlanExhaustiveGlobal(ctx, 0, options, /*max_ops=*/10);
+  ASSERT_TRUE(global.ok()) << global.status().ToString();
+  EXPECT_EQ(global->write_penalty, 0.0);
+
+  auto gaa = PlanGaa(ctx, 0, options);
+  ASSERT_TRUE(gaa.ok()) << gaa.status().ToString();
+  EXPECT_EQ(gaa->write_penalty, 0.0);
+  EXPECT_GE(gaa->best_cost, 0.0);
+}
+
+// With a prohibitive propagation price and the seed as the live version, the
+// advisor recommends no layout-changing move: every split/combine would
+// downgrade some seed table's writes to kNeedsPropagation.
+TEST(WriteSafetyAdvisor, ProhibitivePropagationPriceFreezesTheLayout) {
+  auto bs = Bookstore::Make();
+  Bookstore& s = *bs;
+  auto data = s.MakeData(10, 30, 60);
+  LogicalStats stats = data->ComputeStats();
+
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery q;
+  q.name = "O1";
+  q.anchor = s.book;
+  q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  q.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+  queries.emplace_back(std::move(q), /*is_old=*/true);
+  std::vector<double> freqs{25.0};
+
+  AdvisorOptions options;
+  options.allow_creates = false;
+  options.analysis.write_safety = true;
+  options.analysis.write_propagation_penalty = 1e9;
+  auto rec = AdviseSchema(s.source, stats, queries, freqs, options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  for (const AdvisorStep& step : rec->steps) {
+    EXPECT_EQ(step.op.kind, OperatorKind::kCreateTable) << step.op.ToString(s.logical);
+  }
+  EXPECT_EQ(rec->write_penalty, 0.0);
+}
+
+}  // namespace
+}  // namespace pse
