@@ -17,6 +17,10 @@
 //               trajectory whose cross-entity combine is lossy forward and
 //               whose CreateTable publishes late — WRITE_LOSSY_COMBINE,
 //               WRITE_UNSERVABLE_WINDOW, WRITE_PROVENANCE_REQUIRED
+//   lock-order  seeded latch-discipline violations: an inverted two-table
+//               acquisition closing a cycle plus a shared->exclusive
+//               upgrade — LOCK_ORDER_INVERSION, LOCK_UPGRADE, LOCK_CYCLE
+//               (the offline half of DESIGN.md section 17's lockdep)
 //   all         every scenario in sequence
 //
 // Scenarios with a workload also print the operator-interaction analysis
@@ -34,6 +38,7 @@
 
 #include "analysis/concurrency.h"
 #include "analysis/interaction.h"
+#include "analysis/lockorder.h"
 #include "analysis/verifier.h"
 #include "analysis/writability.h"
 #include "core/mapping.h"
@@ -312,6 +317,44 @@ int LintLossyCombine() {
                            /*old_live=*/true, /*new_live=*/true);
 }
 
+int LintLockOrder() {
+  // Seeded acquisition-order graph, the shape the instrumented latches
+  // (common/lock_registry.h) record in a PROGSCHEMA_LOCKDEP run: one lane
+  // took table 'aa_dst' before 'zz_src' (canonical sorted-name order), a
+  // second lane took them reversed — together a deadlock-capable cycle —
+  // and a third upgraded a shared hold in place.
+  LockOrderGraph g;
+  g.classes = {
+      {"table:aa_dst", kLockRankTable, /*allows_io=*/true},
+      {"table:zz_src", kLockRankTable, /*allows_io=*/true},
+  };
+  auto edge = [&g](size_t from, size_t to, const char* from_site, const char* to_site) {
+    LockEdge e;
+    e.from = from;
+    e.to = to;
+    e.from_site = from_site;
+    e.to_site = to_site;
+    e.count = 1;
+    g.edges.push_back(e);
+  };
+  edge(0, 1, "lane1:copy", "lane1:copy");      // canonical direction
+  edge(1, 0, "lane2:insert", "lane2:insert");  // inverted: closes the cycle
+  LockViolation upgrade;
+  upgrade.kind = LockViolationKind::kUpgrade;
+  upgrade.held_lock = "table:aa_dst";
+  upgrade.held_site = "lane3:scan";
+  upgrade.held_mode = LockMode::kShared;
+  upgrade.acquired_lock = "table:aa_dst";
+  upgrade.acquired_site = "lane3:mutate";
+  upgrade.acquired_mode = LockMode::kExclusive;
+  g.violations.push_back(upgrade);
+  g.acquisitions = 6;
+  int errors = Report("lock-order: seeded inverted acquisition + upgrade + cycle",
+                      AnalyzeLockOrder(g));
+  std::printf("%s\n", LockGraphToDot(g).c_str());
+  return errors;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -346,10 +389,14 @@ int main(int argc, char** argv) {
     errors += LintLossyCombine();
     known = true;
   }
+  if (scenario == "lock-order" || scenario == "all") {
+    errors += LintLockOrder();
+    known = true;
+  }
   if (!known) {
     std::fprintf(stderr,
                  "unknown scenario '%s' (expected tpcw, bookstore, bad-fd, bad-split, "
-                 "bad-query, dead-op, lossy-combine, or all)\n",
+                 "bad-query, dead-op, lossy-combine, lock-order, or all)\n",
                  scenario.c_str());
     return 2;
   }

@@ -20,15 +20,20 @@
 // ".migrate" executes that migration *online* (batched, journaled, with a
 // simulated crash + resume) on a scratch database, ".serve" runs it again
 // under live concurrent mixed-version sessions and prints throughput +
-// latency quantiles, ".quit" exits.
+// latency quantiles, ".lockgraph" analyzes the latch-acquisition-order
+// graph recorded so far (build with -DPROGSCHEMA_LOCKDEP=ON and run ".serve"
+// first for a live graph; otherwise the canonical DESIGN.md section 17
+// hierarchy is shown) and dumps it as GraphViz DOT, ".quit" exits.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "analysis/interaction.h"
+#include "analysis/lockorder.h"
 #include "analysis/verifier.h"
 #include "analysis/writability.h"
+#include "common/lock_registry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/mapping.h"
@@ -351,6 +356,31 @@ int RunServeDemo() {
   return metrics->errors == 0 ? 0 : 1;
 }
 
+/// `.lockgraph`: offline lock-order analysis of whatever the instrumented
+/// latches recorded in this process, DOT graph included. Nonzero exit when
+/// the analysis finds violations, so scripts/check.sh can gate on it.
+int RunLockGraphDemo() {
+  LockOrderGraph graph = LockRegistry::Instance().Snapshot();
+  if (graph.acquisitions == 0) {
+    std::printf(
+        "no latch acquisitions recorded (build with -DPROGSCHEMA_LOCKDEP=ON and run .serve "
+        "or .migrate first); showing the canonical hierarchy\n");
+    graph = CanonicalLockGraph();
+  } else {
+    std::printf("recorded %llu acquisitions over %zu lock classes, %zu ordered pairs\n",
+                static_cast<unsigned long long>(graph.acquisitions), graph.classes.size(),
+                graph.edges.size());
+  }
+  DiagnosticReport report = AnalyzeLockOrder(graph);
+  if (report.diagnostics().empty()) {
+    std::printf("clean: no diagnostics\n");
+  } else {
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  std::printf("%s", LockGraphToDot(graph).c_str());
+  return static_cast<int>(report.errors());
+}
+
 int RunStatement(Session* session, const std::string& stmt) {
   std::string trimmed(Trim(stmt));
   if (trimmed.empty()) return 0;
@@ -364,6 +394,7 @@ int RunStatement(Session* session, const std::string& stmt) {
   if (trimmed == ".writability") return RunWritabilityDemo();
   if (trimmed == ".migrate") return RunMigrateDemo(session->db());
   if (trimmed == ".serve") return RunServeDemo();
+  if (trimmed == ".lockgraph") return RunLockGraphDemo();
   if (StartsWith(ToUpper(trimmed), "EXPLAIN ")) {
     auto plan = session->Explain(trimmed.substr(8));
     if (!plan.ok()) {
@@ -439,7 +470,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "ProgSchema SQL shell — try: SELECT * FROM book; (.tables, .verify, .interactions, "
-      ".coststats, .writability, .migrate, .serve, .quit)\n");
+      ".coststats, .writability, .migrate, .serve, .lockgraph, .quit)\n");
   std::string buffer, line;
   while (true) {
     std::printf(buffer.empty() ? "sql> " : "...> ");

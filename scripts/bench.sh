@@ -62,5 +62,17 @@ grep -Eq '"sessions": [48], "phase": [0-9]+, "queries": [1-9]' BENCH_laa_scaling
   echo "concurrent serving answered no queries in any phase" >&2
   exit 1
 }
+# Lockdep is a compile-time option and this is a lockdep-off Release build:
+# the serving numbers must stay at the seed level (~3.4-4.9k qps on the CI
+# class of machine). A generous floor catches the instrumentation being
+# accidentally compiled in (or another order-of-magnitude regression)
+# without flaking on slow runners.
+peak_qps="$(grep -o '"throughput_qps": [0-9.]*' BENCH_laa_scaling.json \
+  | awk '{ if ($2 > m) m = $2 } END { printf "%d", m }')"
+if [ "${peak_qps:-0}" -lt 1000 ]; then
+  echo "concurrent serving peak throughput ${peak_qps} qps is below the 1000 qps floor" >&2
+  exit 1
+fi
+echo "== bench: peak concurrent-serving throughput ${peak_qps} qps (floor 1000) =="
 
 echo "== bench: OK =="

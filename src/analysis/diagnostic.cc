@@ -58,6 +58,18 @@ const char* DiagCodeName(DiagCode code) {
       return "WRITE_UNSERVABLE_WINDOW";
     case DiagCode::kWriteProvenanceRequired:
       return "WRITE_PROVENANCE_REQUIRED";
+    case DiagCode::kLockOrderInversion:
+      return "LOCK_ORDER_INVERSION";
+    case DiagCode::kLockUpgrade:
+      return "LOCK_UPGRADE";
+    case DiagCode::kLockRecursive:
+      return "LOCK_RECURSIVE";
+    case DiagCode::kLockHeldAcrossIo:
+      return "LOCK_HELD_ACROSS_IO";
+    case DiagCode::kLockCycle:
+      return "LOCK_CYCLE";
+    case DiagCode::kLockGraphClean:
+      return "LOCK_GRAPH_CLEAN";
   }
   return "UNKNOWN";
 }

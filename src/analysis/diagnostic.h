@@ -53,6 +53,13 @@ enum class DiagCode {
   kWriteSplitRoutingAmbiguous, ///< WRITE_SPLIT_ROUTING_AMBIGUOUS: old inserts cannot route
   kWriteUnservableWindow,      ///< WRITE_UNSERVABLE_WINDOW: live version cannot write a table
   kWriteProvenanceRequired,    ///< WRITE_PROVENANCE_REQUIRED: writes need row provenance
+  // -- lock-order (lockdep) analysis --
+  kLockOrderInversion, ///< LOCK_ORDER_INVERSION: acquisition against rank order
+  kLockUpgrade,        ///< LOCK_UPGRADE: shared->exclusive on a held latch
+  kLockRecursive,      ///< LOCK_RECURSIVE: latch re-acquired while held
+  kLockHeldAcrossIo,   ///< LOCK_HELD_ACROSS_IO: disk I/O under a no-I/O latch
+  kLockCycle,          ///< LOCK_CYCLE: acquisition-order graph has a cycle
+  kLockGraphClean,     ///< LOCK_GRAPH_CLEAN: recorded graph is violation-free
 };
 
 const char* DiagCodeName(DiagCode code);

@@ -1,0 +1,259 @@
+#include "analysis/lockorder.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace pse {
+
+namespace {
+
+bool EdgeInverted(const LockOrderGraph& g, const LockEdge& e) {
+  if (e.from >= g.classes.size() || e.to >= g.classes.size()) return true;
+  const LockClassDesc& from = g.classes[e.from];
+  const LockClassDesc& to = g.classes[e.to];
+  return std::tie(to.rank, to.name) <= std::tie(from.rank, from.name);
+}
+
+/// Strongly connected components of the class graph (iterative Tarjan, so a
+/// pathological graph cannot blow the stack). Returns components in a
+/// deterministic order; singleton components without a self-loop are not
+/// cycles and are dropped by the caller.
+std::vector<std::vector<size_t>> StronglyConnectedComponents(size_t n,
+                                                             const std::vector<LockEdge>& edges) {
+  std::vector<std::vector<size_t>> adj(n);
+  for (const LockEdge& e : edges) {
+    if (e.from < n && e.to < n) adj[e.from].push_back(e.to);
+  }
+  for (auto& out : adj) std::sort(out.begin(), out.end());
+
+  constexpr size_t kUnvisited = static_cast<size_t>(-1);
+  std::vector<size_t> index(n, kUnvisited);
+  std::vector<size_t> lowlink(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> components;
+  size_t next_index = 0;
+
+  struct Frame {
+    size_t v;
+    size_t edge = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        size_t w = adj[f.v][f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          std::vector<size_t> component;
+          size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+          } while (w != f.v);
+          components.push_back(std::move(component));
+        }
+        size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+DiagCode CodeFor(LockViolationKind kind) {
+  switch (kind) {
+    case LockViolationKind::kOrderInversion:
+      return DiagCode::kLockOrderInversion;
+    case LockViolationKind::kUpgrade:
+      return DiagCode::kLockUpgrade;
+    case LockViolationKind::kRecursive:
+      return DiagCode::kLockRecursive;
+    case LockViolationKind::kHeldAcrossIo:
+      return DiagCode::kLockHeldAcrossIo;
+  }
+  return DiagCode::kLockOrderInversion;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+LockOrderGraph CanonicalLockGraph() {
+  LockOrderGraph g;
+  g.classes = {
+      {"catalog", kLockRankCatalog, /*allows_io=*/true},
+      {"servingschema", kLockRankServing, /*allows_io=*/false},
+      {"table:<name>", kLockRankTable, /*allows_io=*/true},
+      {"bufferpool", kLockRankBufferPool, /*allows_io=*/true},
+  };
+  const char* site = "DESIGN.md section 17";
+  auto edge = [&](size_t from, size_t to) {
+    LockEdge e;
+    e.from = from;
+    e.to = to;
+    e.from_site = site;
+    e.to_site = site;
+    e.count = 0;
+    g.edges.push_back(e);
+  };
+  edge(0, 1);  // catalog -> servingschema (snapshot publish under quiesce)
+  edge(0, 2);  // catalog -> table (scan under catalog latch)
+  edge(0, 3);  // catalog -> bufferpool (quiesce-window checkpoint)
+  edge(2, 3);  // table -> bufferpool (heap scan page fetch)
+  return g;
+}
+
+DiagnosticReport AnalyzeLockOrder(const LockOrderGraph& graph) {
+  DiagnosticReport report;
+
+  // 1. Runtime violations, verbatim: the registry already attributed both
+  //    acquisition sites and deduplicated per class pair.
+  std::set<std::pair<std::string, std::string>> runtime_inversions;
+  for (const LockViolation& v : graph.violations) {
+    std::string location;
+    switch (v.kind) {
+      case LockViolationKind::kOrderInversion:
+        location = "lock '" + v.acquired_lock + "'";
+        runtime_inversions.insert({v.held_lock, v.acquired_lock});
+        break;
+      case LockViolationKind::kUpgrade:
+      case LockViolationKind::kRecursive:
+      case LockViolationKind::kHeldAcrossIo:
+        location = "lock '" + v.held_lock + "'";
+        break;
+    }
+    report.AddError(CodeFor(v.kind), std::move(location), v.ToString());
+  }
+
+  // 2. Rank-violating edges not already covered by a runtime inversion —
+  //    this is what fires on hand-built or replayed graphs.
+  for (const LockEdge& e : graph.edges) {
+    if (e.from >= graph.classes.size() || e.to >= graph.classes.size()) {
+      report.AddError(DiagCode::kLockOrderInversion, "edge",
+                      "edge references an unknown lock class (from=" + std::to_string(e.from) +
+                          ", to=" + std::to_string(e.to) + ")");
+      continue;
+    }
+    if (!EdgeInverted(graph, e)) continue;
+    const LockClassDesc& from = graph.classes[e.from];
+    const LockClassDesc& to = graph.classes[e.to];
+    if (runtime_inversions.count({from.name, to.name}) != 0) continue;
+    report.AddError(DiagCode::kLockOrderInversion, "lock '" + to.name + "'",
+                    "'" + to.name + "' (rank " + std::to_string(to.rank) + ", at " + e.to_site +
+                        ") acquired while holding '" + from.name + "' (rank " +
+                        std::to_string(from.rank) + ", at " + e.from_site +
+                        "); canonical order requires '" + to.name + "' first");
+  }
+
+  // 3. Cycles. A strongly connected component of size > 1 (or a self-loop)
+  //    is a potential deadlock even if every individual edge looked benign
+  //    and no run ever hung.
+  auto components = StronglyConnectedComponents(graph.classes.size(), graph.edges);
+  for (const auto& component : components) {
+    std::set<size_t> members(component.begin(), component.end());
+    bool self_loop = false;
+    if (component.size() == 1) {
+      for (const LockEdge& e : graph.edges) {
+        if (e.from == component[0] && e.to == component[0]) self_loop = true;
+      }
+      if (!self_loop) continue;
+    }
+    std::vector<std::string> names;
+    names.reserve(component.size());
+    for (size_t idx : component) names.push_back(graph.classes[idx].name);
+    std::sort(names.begin(), names.end());
+
+    std::string edges_desc;
+    for (const LockEdge& e : graph.edges) {
+      if (members.count(e.from) == 0 || members.count(e.to) == 0) continue;
+      if (!edges_desc.empty()) edges_desc += ", ";
+      edges_desc += graph.classes[e.from].name + " -> " + graph.classes[e.to].name + " (" +
+                    e.from_site + " -> " + e.to_site + ")";
+    }
+    report.AddError(DiagCode::kLockCycle, "cycle [" + JoinNames(names) + "]",
+                    "potential deadlock: " + std::to_string(names.size()) +
+                        " lock class(es) form an acquisition cycle: " + edges_desc);
+  }
+
+  if (report.ok() && graph.acquisitions > 0) {
+    report.AddNote(DiagCode::kLockGraphClean, "graph",
+                   "acquisition-order graph is acyclic and rank-ordered (" +
+                       std::to_string(graph.acquisitions) + " acquisitions, " +
+                       std::to_string(graph.edges.size()) + " edges, " +
+                       std::to_string(graph.classes.size()) + " lock classes)");
+  }
+  return report;
+}
+
+std::string LockGraphToDot(const LockOrderGraph& graph) {
+  // Stable ordering: nodes by (rank, name), edges by (from name, to name).
+  std::vector<size_t> order(graph.classes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::tie(graph.classes[a].rank, graph.classes[a].name) <
+           std::tie(graph.classes[b].rank, graph.classes[b].name);
+  });
+
+  std::string out = "digraph lockorder {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (size_t idx : order) {
+    const LockClassDesc& c = graph.classes[idx];
+    out += "  \"" + c.name + "\" [label=\"" + c.name + "\\nrank " + std::to_string(c.rank) +
+           (c.allows_io ? "" : "\\nno-io") + "\"];\n";
+  }
+
+  std::vector<const LockEdge*> edges;
+  edges.reserve(graph.edges.size());
+  for (const LockEdge& e : graph.edges) {
+    if (e.from < graph.classes.size() && e.to < graph.classes.size()) edges.push_back(&e);
+  }
+  std::sort(edges.begin(), edges.end(), [&](const LockEdge* a, const LockEdge* b) {
+    return std::tie(graph.classes[a->from].name, graph.classes[a->to].name) <
+           std::tie(graph.classes[b->from].name, graph.classes[b->to].name);
+  });
+  for (const LockEdge* e : edges) {
+    bool inverted = EdgeInverted(graph, *e);
+    out += "  \"" + graph.classes[e->from].name + "\" -> \"" + graph.classes[e->to].name +
+           "\" [label=\"" + std::to_string(e->count) + "\"" +
+           (inverted ? ", color=red, penwidth=2" : "") + "];\n";
+  }
+  for (const LockViolation& v : graph.violations) {
+    out += "  // violation " + v.ToString() + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pse

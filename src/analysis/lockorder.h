@@ -1,0 +1,49 @@
+// Offline lock-order ("lockdep") analysis over recorded latch-acquisition
+// graphs (DESIGN.md §17).
+//
+// The runtime half lives in src/common/lock_registry.h: instrumented latches
+// record which lock classes each thread held while acquiring others, plus
+// at-acquire-time violations. This pass consumes a LockOrderGraph snapshot
+// and turns it into LOCK_* diagnostics:
+//
+//   LOCK_ORDER_INVERSION  an acquisition (runtime-flagged, or an edge whose
+//                         target does not sort after its source in
+//                         (rank, name) order) against the canonical order
+//   LOCK_UPGRADE          shared->exclusive upgrade of a held latch
+//   LOCK_RECURSIVE        re-acquisition of a held latch
+//   LOCK_HELD_ACROSS_IO   disk I/O under a no-I/O class
+//   LOCK_CYCLE            a strongly connected component in the acquisition
+//                         graph — a potential deadlock even if no run hung
+//
+// All LOCK_* findings are errors: migration_lint and check.sh --lockdep gate
+// on report.ok().
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "common/lock_registry.h"
+
+namespace pse {
+
+/// The designed latch hierarchy as a graph: catalog -> servingschema ->
+/// table:<name> -> bufferpool. This is the reference picture `.lockgraph`
+/// renders when no acquisitions were recorded (e.g. a build without
+/// PROGSCHEMA_LOCKDEP).
+LockOrderGraph CanonicalLockGraph();
+
+/// Runs the offline pass: re-emits recorded runtime violations, derives
+/// inversions from rank-violating edges the runtime did not already flag
+/// (so hand-built graphs analyze cleanly without double-reporting live
+/// ones), and runs Tarjan SCC cycle detection. A LOCK_CYCLE diagnostic is
+/// emitted once per multi-node component with its sorted membership in the
+/// location ("cycle [a, b]") and the component's edges with both
+/// acquisition sites in the message.
+DiagnosticReport AnalyzeLockOrder(const LockOrderGraph& graph);
+
+/// GraphViz rendering of the graph: nodes grouped by rank, rank-violating
+/// edges in red, edge labels carrying observation counts. Paste into `dot
+/// -Tsvg` or a DOT viewer.
+std::string LockGraphToDot(const LockOrderGraph& graph);
+
+}  // namespace pse

@@ -1,0 +1,206 @@
+#include "common/lock_registry.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace pse {
+
+/// One active acquisition on the calling thread. Class metadata is cached at
+/// acquire time so OnIo and the order checks can read it without taking the
+/// registry mutex; the name pointer stays valid because classes_ is a
+/// std::map (node-stable) and classes are never unregistered.
+struct LockRegistry::HeldLock {
+  uint32_t cls = 0;
+  LockMode mode = LockMode::kShared;
+  int rank = 0;
+  const std::string* name = nullptr;
+  bool allows_io = false;
+  const char* site = "";
+};
+
+namespace {
+
+thread_local std::vector<LockRegistry::HeldLock> t_held;  // acquisition stack
+thread_local std::vector<const char*> t_sites;            // PSE_LOCKDEP_SCOPE stack
+
+const char* CurrentSite() { return t_sites.empty() ? "(unannotated)" : t_sites.back(); }
+
+}  // namespace
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kShared ? "shared" : "exclusive";
+}
+
+const char* LockViolationKindName(LockViolationKind kind) {
+  switch (kind) {
+    case LockViolationKind::kOrderInversion:
+      return "order-inversion";
+    case LockViolationKind::kUpgrade:
+      return "upgrade";
+    case LockViolationKind::kRecursive:
+      return "recursive";
+    case LockViolationKind::kHeldAcrossIo:
+      return "held-across-io";
+  }
+  return "unknown";
+}
+
+std::string LockViolation::ToString() const {
+  std::string out = LockViolationKindName(kind);
+  out += ": ";
+  switch (kind) {
+    case LockViolationKind::kOrderInversion:
+      out += "acquired '" + acquired_lock + "' (" + LockModeName(acquired_mode) + ", at " +
+             acquired_site + ") while holding '" + held_lock + "' (" + LockModeName(held_mode) +
+             ", at " + held_site + "); rank order requires '" + acquired_lock + "' before '" +
+             held_lock + "'";
+      break;
+    case LockViolationKind::kUpgrade:
+      out += "'" + held_lock + "' upgraded shared->exclusive (held at " + held_site +
+             ", upgraded at " + acquired_site + "); two threads racing this upgrade deadlock";
+      break;
+    case LockViolationKind::kRecursive:
+      out += "'" + held_lock + "' re-acquired " + LockModeName(acquired_mode) +
+             " while already held " + LockModeName(held_mode) + " (held at " + held_site +
+             ", re-acquired at " + acquired_site +
+             "); writer-preferring latches deadlock on self-nesting";
+      break;
+    case LockViolationKind::kHeldAcrossIo:
+      out += "disk I/O at " + acquired_site + " while holding no-I/O lock '" + held_lock + "' (" +
+             LockModeName(held_mode) + ", at " + held_site + ")";
+      break;
+  }
+  return out;
+}
+
+LockRegistry& LockRegistry::Instance() {
+  static LockRegistry* instance = new LockRegistry();
+  return *instance;
+}
+
+uint32_t LockRegistry::RegisterClass(const std::string& name, int rank, bool allows_io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(classes_.size()) + 1;
+  classes_[id] = LockClassDesc{name, rank, allows_io};
+  by_name_[name] = id;
+  return id;
+}
+
+void LockRegistry::RecordViolation(LockViolationKind kind, const HeldLock& held,
+                                   const std::string& acquired_lock, const char* acquired_site,
+                                   LockMode acquired_mode, uint32_t acquired_cls) {
+  // mu_ is held by the caller.
+  auto key = std::make_tuple(static_cast<uint8_t>(kind), held.cls, acquired_cls);
+  if (!reported_.insert(key).second) return;
+  LockViolation v;
+  v.kind = kind;
+  v.held_lock = *held.name;
+  v.held_site = held.site;
+  v.held_mode = held.mode;
+  v.acquired_lock = acquired_lock;
+  v.acquired_site = acquired_site;
+  v.acquired_mode = acquired_mode;
+  violations_.push_back(std::move(v));
+}
+
+void LockRegistry::OnAcquire(uint32_t cls, LockMode mode, bool try_acquire) {
+  if (cls == 0) return;
+  HeldLock h;
+  h.cls = cls;
+  h.mode = mode;
+  h.site = CurrentSite();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = classes_.find(cls);
+    if (it == classes_.end()) return;
+    h.rank = it->second.rank;
+    h.name = &it->second.name;
+    h.allows_io = it->second.allows_io;
+    ++acquisitions_;
+    // A trylock cannot block, so it cannot close a wait cycle: push held
+    // state for downstream I/O checks but record no edges or violations.
+    if (!try_acquire) {
+      for (const HeldLock& held : t_held) {
+        if (held.cls == cls) {
+          LockViolationKind kind =
+              (held.mode == LockMode::kShared && mode == LockMode::kExclusive)
+                  ? LockViolationKind::kUpgrade
+                  : LockViolationKind::kRecursive;
+          RecordViolation(kind, held, *h.name, h.site, mode, cls);
+          continue;
+        }
+        LockEdge& e = edges_[{held.cls, cls}];
+        if (e.count == 0) {
+          e.from = held.cls - 1;
+          e.to = cls - 1;
+          e.from_site = held.site;
+          e.to_site = h.site;
+        }
+        ++e.count;
+        if (std::tie(h.rank, *h.name) <= std::tie(held.rank, *held.name)) {
+          RecordViolation(LockViolationKind::kOrderInversion, held, *h.name, h.site, mode, cls);
+        }
+      }
+    }
+  }
+  t_held.push_back(h);
+}
+
+void LockRegistry::OnRelease(uint32_t cls) {
+  if (cls == 0) return;
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->cls == cls) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unmatched release: the latch was acquired before registration or the
+  // events were cleared mid-hold. Bookkeeping only — ignore.
+}
+
+void LockRegistry::OnIo() {
+  if (t_held.empty()) return;
+  for (const HeldLock& held : t_held) {
+    if (held.allows_io) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordViolation(LockViolationKind::kHeldAcrossIo, held, "", CurrentSite(),
+                    LockMode::kExclusive, 0);
+  }
+}
+
+void LockRegistry::PushSite(const char* site) { t_sites.push_back(site); }
+
+void LockRegistry::PopSite() {
+  if (!t_sites.empty()) t_sites.pop_back();
+}
+
+LockOrderGraph LockRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LockOrderGraph g;
+  g.classes.reserve(classes_.size());
+  for (const auto& [id, desc] : classes_) g.classes.push_back(desc);
+  g.edges.reserve(edges_.size());
+  for (const auto& [key, edge] : edges_) g.edges.push_back(edge);
+  g.violations = violations_;
+  g.acquisitions = acquisitions_;
+  return g;
+}
+
+size_t LockRegistry::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.size();
+}
+
+void LockRegistry::ClearEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  edges_.clear();
+  violations_.clear();
+  reported_.clear();
+  acquisitions_ = 0;
+  t_held.clear();
+  t_sites.clear();
+}
+
+}  // namespace pse

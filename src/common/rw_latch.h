@@ -21,6 +21,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
+
+#include "common/lock_registry.h"
 
 namespace pse {
 
@@ -30,7 +33,22 @@ class SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
+  /// Registers this latch with the lockdep hierarchy (no-op unless built
+  /// with PROGSCHEMA_LOCKDEP). Call once, before the latch is contended.
+  void LockdepRegister(const std::string& name, int rank, bool allows_io) {
+#ifdef PSE_LOCKDEP
+    lockdep_class_ = LockRegistry::Instance().RegisterClass(name, rank, allows_io);
+#else
+    static_cast<void>(name);
+    static_cast<void>(rank);
+    static_cast<void>(allows_io);
+#endif
+  }
+
   void lock() {
+    // Hook fires before blocking: lockdep flags the deadlock-to-be at the
+    // acquisition site instead of after the hang.
+    PSE_LOCKDEP_ACQUIRE(lockdep_class_, LockMode::kExclusive);
     std::unique_lock<std::mutex> lock(mu_);
     ++writers_waiting_;
     writer_cv_.wait(lock, [&] { return !writer_ && readers_ == 0; });
@@ -42,6 +60,7 @@ class SharedMutex {
     std::unique_lock<std::mutex> lock(mu_);
     if (writer_ || readers_ != 0) return false;
     writer_ = true;
+    PSE_LOCKDEP_TRY_ACQUIRED(lockdep_class_, LockMode::kExclusive);
     return true;
   }
 
@@ -53,9 +72,11 @@ class SharedMutex {
     // Waiting writers go first (preference); readers wake when none remain.
     writer_cv_.notify_one();
     reader_cv_.notify_all();
+    PSE_LOCKDEP_RELEASE(lockdep_class_);
   }
 
   void lock_shared() {
+    PSE_LOCKDEP_ACQUIRE(lockdep_class_, LockMode::kShared);
     std::unique_lock<std::mutex> lock(mu_);
     reader_cv_.wait(lock, [&] { return !writer_ && writers_waiting_ == 0; });
     ++readers_;
@@ -65,6 +86,7 @@ class SharedMutex {
     std::unique_lock<std::mutex> lock(mu_);
     if (writer_ || writers_waiting_ != 0) return false;
     ++readers_;
+    PSE_LOCKDEP_TRY_ACQUIRED(lockdep_class_, LockMode::kShared);
     return true;
   }
 
@@ -75,6 +97,7 @@ class SharedMutex {
       left = --readers_;
     }
     if (left == 0) writer_cv_.notify_one();
+    PSE_LOCKDEP_RELEASE(lockdep_class_);
   }
 
  private:
@@ -84,6 +107,9 @@ class SharedMutex {
   uint64_t readers_ = 0;
   uint64_t writers_waiting_ = 0;
   bool writer_ = false;
+#ifdef PSE_LOCKDEP
+  uint32_t lockdep_class_ = 0;
+#endif
 };
 
 }  // namespace pse

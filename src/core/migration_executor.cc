@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/lock_registry.h"
 #include "common/string_util.h"
 
 namespace pse {
@@ -188,6 +189,7 @@ Result<MigrationExecutor::OpPlan> MigrationExecutor::BuildPlan(const MigrationOp
 }
 
 Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
+  PSE_LOCKDEP_SCOPE("MigrationExecutor::CopyTarget");
   const OpPlan::Target& t = plan.targets[target_idx];
   MigrationJournal* j = db_->mutable_migration_journal();
 
@@ -247,6 +249,8 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
     // the hook's own queries) never stack behind a whole operator.
     std::shared_lock<SharedMutex> batch_lock;
     if (src_info != nullptr) batch_lock = std::shared_lock<SharedMutex>(src_info->latch);
+    std::vector<Row> staged;
+    staged.reserve(options_.batch_rows);
     uint64_t batch_io_start = db_->TotalIo();
     uint64_t batch_rows = 0;
     while (!exhausted() && batch_rows < options_.batch_rows &&
@@ -296,16 +300,23 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
           break;
         }
       }
-      if (insert) {
-        PSE_RETURN_NOT_OK(db_->Insert(t.schema.name(), dst).status());
-        ++j->targets[target_idx].dest_rows;
-      }
+      if (insert) staged.push_back(std::move(dst));
       ++cursor;
       ++batch_rows;
       if (t.source != OpPlan::Source::kEntity) PSE_RETURN_NOT_OK(it.Next());
     }
 
     if (batch_lock.owns_lock()) batch_lock.unlock();
+
+    // Inserts take the destination's exclusive content latch; staging them
+    // until the source's shared latch drops keeps this lane at one
+    // table-rank latch at a time. Holding both inverts the canonical
+    // sorted-name order whenever the destination sorts before the source
+    // (lockdep regression: CopyBatchHoldsOneTableLatchAtATime).
+    for (Row& dst : staged) {
+      PSE_RETURN_NOT_OK(db_->Insert(t.schema.name(), dst).status());
+      ++j->targets[target_idx].dest_rows;
+    }
 
     // Commit point: data + journal cursor become durable together. A crash
     // after this survives with the cursor; a crash before it re-runs the
@@ -328,6 +339,7 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
 }
 
 Status MigrationExecutor::RecoverTargets(const OpPlan& plan) {
+  PSE_LOCKDEP_SCOPE("MigrationExecutor::RecoverTargets");
   // Recovery may drop and re-create torn targets — catalog mutations, so
   // the whole repair runs under the exclusive catalog latch.
   std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
@@ -372,6 +384,7 @@ Status MigrationExecutor::RecoverTargets(const OpPlan& plan) {
 }
 
 Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
+  PSE_LOCKDEP_SCOPE("MigrationExecutor::RunPhases");
   MigrationJournal* j = db_->mutable_migration_journal();
 
   if (!resume) {
@@ -536,6 +549,7 @@ Status MigrationExecutor::Rollback() {
 }
 
 Status MigrationExecutor::RollbackInternal() {
+  PSE_LOCKDEP_SCOPE("MigrationExecutor::RollbackInternal");
   // Dropping half-built targets mutates the catalog: exclusive latch.
   std::unique_lock<SharedMutex> schema_lock(db_->schema_latch());
   MigrationJournal* j = db_->mutable_migration_journal();

@@ -7,6 +7,7 @@
 #include <random>
 #include <shared_mutex>
 
+#include "common/lock_registry.h"
 #include "common/thread_pool.h"
 #include "core/rewriter.h"
 #include "engine/catalog_view.h"
@@ -94,6 +95,7 @@ Result<ServeMetrics> ServeDuringMigration(Database* db, ServingSchema* serving,
       Status failed;
       bool ran = false;
       {
+        PSE_LOCKDEP_SCOPE("ServeDuringMigration::lane");
         // Catalog latch shared across rewrite+plan+execute; the snapshot is
         // taken under the same latch the migration publishes under, so it
         // always matches the physical catalog (file comment in serving.h).

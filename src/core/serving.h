@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "common/status.h"
 #include "core/physical_schema.h"
 #include "core/workload.h"
@@ -62,20 +63,24 @@ struct ServeMetrics {
 class ServingSchema {
  public:
   explicit ServingSchema(const PhysicalSchema& initial)
-      : current_(std::make_shared<PhysicalSchema>(initial)) {}
+      : current_(std::make_shared<PhysicalSchema>(initial)) {
+    // Snapshot swaps are pointer moves; nothing under this mutex may fault
+    // a page, so lockdep treats any I/O under it as a violation.
+    mu_.LockdepRegister("servingschema", kLockRankServing, /*allows_io=*/false);
+  }
 
   std::shared_ptr<const PhysicalSchema> Get() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Mutex> lock(mu_);
     return current_;
   }
   void Publish(const PhysicalSchema& schema) {
     auto next = std::make_shared<PhysicalSchema>(schema);
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<Mutex> lock(mu_);
     current_ = std::move(next);
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::shared_ptr<const PhysicalSchema> current_;
 };
 

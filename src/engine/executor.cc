@@ -1,5 +1,7 @@
 #include "engine/executor.h"
 
+#include "common/lock_registry.h"
+
 #include <algorithm>
 #include <mutex>
 #include <shared_mutex>
@@ -510,6 +512,7 @@ void CollectPlanTables(const PlanNode& plan, std::vector<std::string>* out) {
 }  // namespace
 
 Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db) {
+  PSE_LOCKDEP_SCOPE("ExecutePlan");
   // Shared content latch on every table the plan reads, held for the whole
   // execution. Sorted + deduped so concurrent executions acquire in one
   // global order (and a self-join never double-locks). Writers

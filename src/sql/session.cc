@@ -1,5 +1,7 @@
 #include "sql/session.h"
 
+#include "common/lock_registry.h"
+
 #include <mutex>
 #include <shared_mutex>
 
@@ -18,6 +20,7 @@ Result<ExecResult> Session::Execute(const std::string& sql) {
   // concurrently. DDL (and the migration executor's publish windows) holds
   // it exclusive. Row-level conflicts are the table latches' job
   // (DESIGN.md §15).
+  PSE_LOCKDEP_SCOPE("Session::Execute");
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
       std::shared_lock<SharedMutex> schema_lock(db_->schema_latch());
@@ -148,6 +151,7 @@ Status CollectMatches(TableInfo* t, const Expr* where,
       return schema->ColumnIndex(dot == std::string::npos ? n : n.substr(dot + 1));
     }));
   }
+  PSE_LOCKDEP_SCOPE("Session::CollectMatches");
   // Shared content latch for the scan only — released before the caller
   // re-enters Database::Update/Delete, which take it exclusive.
   std::shared_lock<SharedMutex> table_lock(t->latch);

@@ -28,6 +28,9 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity, ReplacementPolicy policy)
     : disk_(disk), capacity_(capacity), policy_(policy), frames_(capacity) {
+  // Leaf of the latch hierarchy; the miss path does disk I/O under mu_ by
+  // design, hence allows_io.
+  mu_.LockdepRegister("bufferpool", kLockRankBufferPool, /*allows_io=*/true);
   free_frames_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) free_frames_.push_back(capacity - 1 - i);
 }
@@ -80,7 +83,7 @@ Result<size_t> BufferPool::GetFreeFrame() {
 }
 
 Result<PageGuard> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> lock(mu_);
   PSE_ASSIGN_OR_RETURN(size_t f, GetFreeFrame());
   PageId pid = disk_->AllocatePage();
   Frame& fr = frames_[f];
@@ -94,7 +97,7 @@ Result<PageGuard> BufferPool::NewPage() {
 
 Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
   if (page_id == kInvalidPageId) return Status::InvalidArgument("fetch of invalid page id");
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -123,7 +126,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
 }
 
 void BufferPool::Unpin(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   Frame& fr = frames_[it->second];
@@ -138,7 +141,7 @@ void BufferPool::Unpin(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::DeletePage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     Frame& fr = frames_[it->second];
@@ -156,7 +159,7 @@ Status BufferPool::DeletePage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> lock(mu_);
   for (auto& [pid, f] : page_table_) {
     Frame& fr = frames_[f];
     if (fr.dirty) {
@@ -169,7 +172,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> lock(mu_);
   for (auto& [pid, f] : page_table_) {
     Frame& fr = frames_[f];
     if (fr.dirty) {

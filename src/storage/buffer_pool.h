@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/storage_defs.h"
@@ -141,7 +142,7 @@ class BufferPool {
   DiskManager* disk_;
   size_t capacity_;
   ReplacementPolicy policy_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t clock_hand_ = 0;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "common/lock_registry.h"
 #include "common/string_util.h"
 
 namespace pse {
@@ -16,7 +17,11 @@ const IndexInfo* TableInfo::FindIndex(const std::string& column) const {
 
 Database::Database(size_t pool_pages, std::unique_ptr<DiskManager> disk)
     : disk_(disk ? std::move(disk) : std::make_unique<InMemoryDiskManager>()),
-      pool_(std::make_unique<BufferPool>(disk_.get(), pool_pages)) {}
+      pool_(std::make_unique<BufferPool>(disk_.get(), pool_pages)) {
+  // The catalog latch legitimately covers page I/O: quiesce windows
+  // checkpoint and scans fault pages while holding it.
+  schema_latch_.LockdepRegister("catalog", kLockRankCatalog, /*allows_io=*/true);
+}
 
 Status Database::CreateTable(const TableSchema& schema, bool auto_key_index) {
   std::string key = ToLower(schema.name());
@@ -24,6 +29,9 @@ Status Database::CreateTable(const TableSchema& schema, bool auto_key_index) {
     return Status::AlreadyExists("table '" + schema.name() + "' already exists");
   }
   auto info = std::make_unique<TableInfo>();
+  // Lock classes are per-name: dropping and recreating a table maps back to
+  // the same class, so ordering history survives schema churn.
+  info->latch.LockdepRegister("table:" + key, kLockRankTable, /*allows_io=*/true);
   info->schema = std::make_unique<TableSchema>(schema);
   PSE_ASSIGN_OR_RETURN(TableHeap heap, TableHeap::Create(pool_.get(), info->schema.get()));
   info->heap = std::make_unique<TableHeap>(std::move(heap));
@@ -144,6 +152,7 @@ Status Database::MaintainIndexesDelete(TableInfo* t, const Row& row, Rid rid) {
 }
 
 Result<Rid> Database::Insert(const std::string& table, const Row& row) {
+  PSE_LOCKDEP_SCOPE("Database::Insert");
   PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
   std::unique_lock<SharedMutex> table_lock(t->latch);
   PSE_ASSIGN_OR_RETURN(Rid rid, t->heap->Insert(row));
@@ -154,6 +163,7 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
 }
 
 Status Database::Delete(const std::string& table, const Rid& rid) {
+  PSE_LOCKDEP_SCOPE("Database::Delete");
   PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
   std::unique_lock<SharedMutex> table_lock(t->latch);
   Row old_row;
@@ -166,6 +176,7 @@ Status Database::Delete(const std::string& table, const Rid& rid) {
 }
 
 Result<Rid> Database::Update(const std::string& table, const Rid& rid, const Row& row) {
+  PSE_LOCKDEP_SCOPE("Database::Update");
   PSE_ASSIGN_OR_RETURN(TableInfo * t, GetTable(table));
   std::unique_lock<SharedMutex> table_lock(t->latch);
   Row old_row;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/lock_registry.h"
+
 namespace pse {
 
 PageId InMemoryDiskManager::AllocatePage() {
@@ -12,6 +14,7 @@ PageId InMemoryDiskManager::AllocatePage() {
 }
 
 Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  PSE_LOCKDEP_IO();
   std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::IOError("read of unallocated page " + std::to_string(page_id));
@@ -26,6 +29,7 @@ Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  PSE_LOCKDEP_IO();
   std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::IOError("write of unallocated page " + std::to_string(page_id));
@@ -63,6 +67,7 @@ PageId FileDiskManager::AllocatePage() {
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
+  PSE_LOCKDEP_IO();
   std::lock_guard<std::mutex> lock(mu_);
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize), SEEK_SET) !=
@@ -78,6 +83,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
+  PSE_LOCKDEP_IO();
   std::lock_guard<std::mutex> lock(mu_);
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize), SEEK_SET) !=

@@ -268,6 +268,7 @@ Status Database::LoadSuperblock() {
     for (char ch : name) {
       lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
     }
+    info->latch.LockdepRegister("table:" + lowered, kLockRankTable, /*allows_io=*/true);
     tables_[lowered] = std::move(info);
   }
 

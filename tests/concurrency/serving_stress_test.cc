@@ -14,6 +14,8 @@
 #include <random>
 #include <shared_mutex>
 
+#include "analysis/lockorder.h"
+#include "common/lock_registry.h"
 #include "common/thread_pool.h"
 #include "core/mapping.h"
 #include "core/migration_executor.h"
@@ -30,6 +32,29 @@ namespace {
 using testutil::Bookstore;
 using testutil::SameRows;
 using testutil::SortRows;
+
+/// Clears the lock registry before a scenario; at scope end asserts a clean
+/// lockdep report — zero recorded violations and an acyclic, rank-ordered
+/// acquisition graph — plus that instrumentation actually observed latch
+/// traffic. In a non-lockdep build the latch hooks compile out, so the
+/// checks pass trivially; the check.sh --lockdep and --tsan legs build the
+/// suite with PROGSCHEMA_LOCKDEP=ON, where they bite.
+class LockdepCleanScope {
+ public:
+  LockdepCleanScope() { LockRegistry::Instance().ClearEvents(); }
+  ~LockdepCleanScope() {
+    LockOrderGraph g = LockRegistry::Instance().Snapshot();
+    for (const LockViolation& v : g.violations) {
+      ADD_FAILURE() << "lockdep violation: " << v.ToString();
+    }
+    DiagnosticReport report = AnalyzeLockOrder(g);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+#ifdef PSE_LOCKDEP
+    EXPECT_GT(g.acquisitions, 0u) << "lockdep build recorded no acquisitions";
+#endif
+    LockRegistry::Instance().ClearEvents();
+  }
+};
 
 /// Rewrites + executes `query` on `schema` over `db`. BindError (the query
 /// is not servable on this intermediate schema) comes back as nullopt; any
@@ -109,6 +134,7 @@ class ServingStressTest : public ::testing::Test {
 
 TEST_F(ServingStressTest, ReadersMatchSerialOracleDuringMigration) {
   constexpr size_t kReaders = 4;
+  LockdepCleanScope lockdep;
 
   Database db(1024);
   ASSERT_TRUE(data_->Materialize(&db, bs_->source).ok());
@@ -190,6 +216,7 @@ TEST_F(ServingStressTest, ReadersMatchSerialOracleDuringMigration) {
 }
 
 TEST_F(ServingStressTest, ServeHarnessReportsCleanMetrics) {
+  LockdepCleanScope lockdep;
   Database db(1024);
   ASSERT_TRUE(data_->Materialize(&db, bs_->source).ok());
   ASSERT_TRUE(db.AnalyzeAll().ok());
@@ -228,6 +255,7 @@ TEST_F(ServingStressTest, WritersDoNotStarveBehindAReaderStream) {
   // Regression for the glibc shared_mutex starvation that motivated
   // common/rw_latch.h: a tight release/re-acquire reader loop must not keep
   // an exclusive acquisition (the migration's quiesce) waiting forever.
+  LockdepCleanScope lockdep;
   Database db(256);
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> exclusive_grants{0};
