@@ -206,6 +206,7 @@ int RunOnline(std::vector<OnlineRow>* out) {
 struct ServeRow {
   size_t sessions = 0;
   size_t phase = 0;
+  bool vectorized = false;   ///< sessions ran the vectorized batch engine
   uint64_t queries = 0;      ///< foreground queries answered this phase
   uint64_t unservable = 0;   ///< BindError on the intermediate (counted, not failed)
   uint64_t batches = 0;      ///< migration batches committed this phase
@@ -215,44 +216,50 @@ struct ServeRow {
 };
 
 /// Runs the Pro-Schema situation with live concurrent sessions for each
-/// session count; every phase migrates under a real mixed-version read load.
+/// (session count, engine) pair; every phase migrates under a real
+/// mixed-version read load, once through the row iterators and once through
+/// the vectorized batch engine.
 int RunServe(std::vector<ServeRow>* out) {
-  for (size_t sessions : {4u, 8u}) {
-    Synthetic s = MakeIndependent(4);
-    FillData(&s, 512);
-    std::vector<std::vector<double>> freqs(3, std::vector<double>(s.queries.size()));
-    for (size_t p = 0; p < 3; ++p) {
-      for (size_t q = 0; q < s.queries.size(); ++q) {
-        bool old_q = s.queries[q].is_old;
-        freqs[p][q] = old_q ? 30.0 - 10.0 * static_cast<double>(p)
-                            : 10.0 + 10.0 * static_cast<double>(p);
+  for (bool vectorized : {false, true}) {
+    for (size_t sessions : {4u, 8u}) {
+      Synthetic s = MakeIndependent(4);
+      FillData(&s, 512);
+      std::vector<std::vector<double>> freqs(3, std::vector<double>(s.queries.size()));
+      for (size_t p = 0; p < 3; ++p) {
+        for (size_t q = 0; q < s.queries.size(); ++q) {
+          bool old_q = s.queries[q].is_old;
+          freqs[p][q] = old_q ? 30.0 - 10.0 * static_cast<double>(p)
+                              : 10.0 + 10.0 * static_cast<double>(p);
+        }
       }
-    }
-    SimulationConfig config;
-    config.buffer_pool_pages = 256;
-    config.migration_batch_rows = 64;
-    config.serve_sessions = sessions;
-    config.serve_min_queries = 8;
-    MigrationSimulation sim(&s.source, &s.object, &s.queries, freqs, s.data.get(), config);
-    auto pro = sim.Run(Situation::kProSchema);
-    if (!pro.ok()) {
-      std::fprintf(stderr, "serve Pro: %s\n", pro.status().ToString().c_str());
-      return 1;
-    }
-    for (size_t p = 0; p < pro->phases.size(); ++p) {
-      const PhaseReport& ph = pro->phases[p];
-      ServeRow row;
-      row.sessions = sessions;
-      row.phase = p;
-      row.queries = ph.serve_queries;
-      row.unservable = ph.serve_unservable;
-      row.batches = ph.online_batches;
-      row.wall_ms = ph.serve_wall_ms;
-      row.throughput_qps = ph.serve_throughput_qps;
-      row.p50_ms = ph.serve_p50_ms;
-      row.p95_ms = ph.serve_p95_ms;
-      row.p99_ms = ph.serve_p99_ms;
-      out->push_back(row);
+      SimulationConfig config;
+      config.buffer_pool_pages = 256;
+      config.migration_batch_rows = 64;
+      config.serve_sessions = sessions;
+      config.serve_min_queries = 8;
+      config.vectorized_execution = vectorized;
+      MigrationSimulation sim(&s.source, &s.object, &s.queries, freqs, s.data.get(), config);
+      auto pro = sim.Run(Situation::kProSchema);
+      if (!pro.ok()) {
+        std::fprintf(stderr, "serve Pro: %s\n", pro.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t p = 0; p < pro->phases.size(); ++p) {
+        const PhaseReport& ph = pro->phases[p];
+        ServeRow row;
+        row.sessions = sessions;
+        row.phase = p;
+        row.vectorized = vectorized;
+        row.queries = ph.serve_queries;
+        row.unservable = ph.serve_unservable;
+        row.batches = ph.online_batches;
+        row.wall_ms = ph.serve_wall_ms;
+        row.throughput_qps = ph.serve_throughput_qps;
+        row.p50_ms = ph.serve_p50_ms;
+        row.p95_ms = ph.serve_p95_ms;
+        row.p99_ms = ph.serve_p99_ms;
+        out->push_back(row);
+      }
     }
   }
   return 0;
@@ -400,12 +407,13 @@ void PrintOnline(const std::vector<OnlineRow>& rows) {
 void PrintServe(const std::vector<ServeRow>& rows) {
   std::printf(
       "\n=== concurrent serving (Pro-Schema, m=4 independent, 512 rows/entity) ===\n"
-      "%-8s %-5s %8s %10s %8s %9s %10s %8s %8s %8s\n",
-      "sessions", "phase", "queries", "unservable", "batches", "wall-ms", "thr-qps", "p50-ms",
-      "p95-ms", "p99-ms");
+      "%-8s %-5s %-10s %8s %10s %8s %9s %10s %8s %8s %8s\n",
+      "sessions", "phase", "engine", "queries", "unservable", "batches", "wall-ms", "thr-qps",
+      "p50-ms", "p95-ms", "p99-ms");
   for (const ServeRow& r : rows) {
-    std::printf("%-8zu %-5zu %8llu %10llu %8llu %9.1f %10.1f %8.2f %8.2f %8.2f\n", r.sessions,
-                r.phase, static_cast<unsigned long long>(r.queries),
+    std::printf("%-8zu %-5zu %-10s %8llu %10llu %8llu %9.1f %10.1f %8.2f %8.2f %8.2f\n",
+                r.sessions, r.phase, r.vectorized ? "vectorized" : "row",
+                static_cast<unsigned long long>(r.queries),
                 static_cast<unsigned long long>(r.unservable),
                 static_cast<unsigned long long>(r.batches), r.wall_ms, r.throughput_qps,
                 r.p50_ms, r.p95_ms, r.p99_ms);
@@ -467,11 +475,12 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
                  "    {\"sessions\": %zu, \"phase\": %zu, \"queries\": %llu, "
                  "\"unservable\": %llu, \"batches\": %llu, \"wall_ms\": %.2f, "
                  "\"throughput_qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-                 "\"p99_ms\": %.3f}%s\n",
+                 "\"p99_ms\": %.3f, \"vectorized\": %s}%s\n",
                  r.sessions, r.phase, static_cast<unsigned long long>(r.queries),
                  static_cast<unsigned long long>(r.unservable),
                  static_cast<unsigned long long>(r.batches), r.wall_ms, r.throughput_qps,
-                 r.p50_ms, r.p95_ms, r.p99_ms, i + 1 < serve.size() ? "," : "");
+                 r.p50_ms, r.p95_ms, r.p99_ms, r.vectorized ? "true" : "false",
+                 i + 1 < serve.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

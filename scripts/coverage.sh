@@ -6,8 +6,9 @@
 #                                  # line coverage drops below N percent
 #
 # The report covers src/core + src/storage (the online-migration execution
-# path) and src/analysis (the static verification stack); the floor gates
-# src/core/migration_executor.cc and src/analysis/writability.cc. With gcovr
+# path), src/analysis (the static verification stack), and the vectorized
+# engine core; the floor gates src/core/migration_executor.cc,
+# src/analysis/writability.cc, and src/engine/vec_executor.cc. With gcovr
 # installed, writes coverage.xml (Cobertura) and coverage.txt into the build
 # dir for CI to upload; without it, falls back to plain gcov for the floor
 # check and skips the report artifact.
@@ -36,12 +37,14 @@ echo "== coverage: running the test suite =="
 target_files=(
   "src/core/migration_executor.cc"
   "src/analysis/writability.cc"
+  "src/engine/vec_executor.cc"
 )
 
 if command -v gcovr >/dev/null 2>&1; then
-  echo "== coverage: gcovr report over src/core + src/storage + src/analysis =="
+  echo "== coverage: gcovr report over src/core + src/storage + src/analysis + vec engine =="
   gcovr --root . --object-directory "$build_dir" \
     --filter 'src/core/.*' --filter 'src/storage/.*' --filter 'src/analysis/.*' \
+    --filter 'src/engine/vec_executor\.cc' \
     --xml "$build_dir/coverage.xml" \
     --txt "$build_dir/coverage.txt" \
     --print-summary
@@ -59,19 +62,26 @@ file_pct() {
       }' "$build_dir/coverage.txt"
     return
   fi
-  # gcno/gcda live next to the object files; resolve this file's.
-  local obj_dir; obj_dir="$(dirname "$(find "$build_dir" -name "$base.gcda" | head -1)")"
+  # gcno/gcda live next to the object files; resolve this file's. -quit (not
+  # `| head -1`) so find exits itself — under pipefail a SIGPIPE'd find would
+  # abort the whole script.
+  local gcda; gcda="$(find "$build_dir" -name "$base.gcda" -print -quit)"
+  if [ -z "$gcda" ]; then
+    return
+  fi
+  local obj_dir; obj_dir="$(dirname "$gcda")"
   if [ -z "$obj_dir" ]; then
     return
   fi
   # gcov reports one block per file; take the percentage that follows the
-  # file's own "File '...'" line (headers get their own blocks).
-  (cd "$obj_dir" && gcov -n "$base.gcda" 2>/dev/null) \
-    | awk -v f="$base" '
-        /^File / { hit = index($0, f) > 0 }
-        hit && /^Lines executed:/ {
-          split($2, parts, ":"); gsub(/%/, "", parts[2]); print parts[2]; exit
-        }'
+  # file's own "File '...'" line (headers get their own blocks). Capture the
+  # report before awk — an early awk exit would SIGPIPE gcov under pipefail.
+  local report; report="$( (cd "$obj_dir" && gcov -n "$base.gcda" 2>/dev/null) || true )"
+  awk -v f="$base" '
+      /^File / { hit = index($0, f) > 0 }
+      hit && /^Lines executed:/ {
+        split($2, parts, ":"); gsub(/%/, "", parts[2]); print parts[2]; exit
+      }' <<<"$report"
 }
 
 if ! command -v gcovr >/dev/null 2>&1; then

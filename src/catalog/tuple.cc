@@ -113,6 +113,74 @@ Status TupleCodec::Deserialize(const TableSchema& schema, const char* data, size
   return Status::OK();
 }
 
+Status TupleCodec::DeserializeColumns(const TableSchema& schema, const char* data, size_t size,
+                                      const std::vector<size_t>& wanted,
+                                      const std::vector<std::vector<Value>*>& cols) {
+  const size_t n = schema.num_columns();
+  const size_t bitmap_bytes = (n + 7) / 8;
+  if (size < bitmap_bytes) return Status::Internal("tuple too short for null bitmap");
+  const char* bitmap = data;
+  size_t pos = bitmap_bytes;
+  size_t k = 0;  // next entry of `wanted` to satisfy
+  for (size_t i = 0; i < n && k < wanted.size(); ++i) {
+    const bool want = wanted[k] == i;
+    const TypeId t = schema.column(i).type;
+    const bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (is_null) {
+      if (want) {
+        cols[k]->push_back(Value::Null(t));
+        ++k;
+      }
+      continue;
+    }
+    switch (t) {
+      case TypeId::kBoolean: {
+        if (pos + 1 > size) return Status::Internal("tuple truncated (bool)");
+        if (want) cols[k]->push_back(Value::Bool(data[pos] != 0));
+        pos += 1;
+        break;
+      }
+      case TypeId::kInt64: {
+        if (pos + 8 > size) return Status::Internal("tuple truncated (int)");
+        if (want) {
+          uint64_t v;
+          std::memcpy(&v, data + pos, 8);
+          cols[k]->push_back(Value::Int(static_cast<int64_t>(v)));
+        }
+        pos += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        if (pos + 8 > size) return Status::Internal("tuple truncated (double)");
+        if (want) {
+          uint64_t bits;
+          std::memcpy(&bits, data + pos, 8);
+          double d;
+          std::memcpy(&d, &bits, 8);
+          cols[k]->push_back(Value::Double(d));
+        }
+        pos += 8;
+        break;
+      }
+      case TypeId::kVarchar: {
+        if (pos + 4 > size) return Status::Internal("tuple truncated (varchar len)");
+        uint32_t len;
+        std::memcpy(&len, data + pos, 4);
+        pos += 4;
+        if (pos + len > size) return Status::Internal("tuple truncated (varchar data)");
+        if (want) cols[k]->push_back(Value::Varchar(std::string(data + pos, len)));
+        pos += len;
+        break;
+      }
+    }
+    if (want) ++k;
+  }
+  if (k != wanted.size()) {
+    return Status::InvalidArgument("wanted column position out of range for schema");
+  }
+  return Status::OK();
+}
+
 size_t TupleCodec::SerializedSize(const TableSchema& schema, const Row& row) {
   const size_t n = schema.num_columns();
   size_t sz = (n + 7) / 8;

@@ -27,6 +27,15 @@ class TupleCodec {
   /// Deserializes bytes produced by Serialize back into a Row.
   static Status Deserialize(const TableSchema& schema, const char* data, size_t size, Row* out);
 
+  /// Column-pruned form for the vectorized engine: decodes only the columns
+  /// named by `wanted` (strictly ascending positions < schema arity),
+  /// appending one value to the matching `cols[k]` vector each. Skipped
+  /// columns cost a length hop — no Value and no string allocation — and
+  /// decoding stops after the last wanted column.
+  static Status DeserializeColumns(const TableSchema& schema, const char* data, size_t size,
+                                   const std::vector<size_t>& wanted,
+                                   const std::vector<std::vector<Value>*>& cols);
+
   /// Serialized size of a row without materializing the bytes.
   static size_t SerializedSize(const TableSchema& schema, const Row& row);
 };

@@ -7,6 +7,7 @@
 
 #include "common/lock_registry.h"
 #include "common/string_util.h"
+#include "engine/tuple_batch.h"
 
 namespace pse {
 
@@ -244,69 +245,114 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
   };
 
   while (!exhausted()) {
-    // Shared content latch on the scanned source for the batch only —
-    // released before the commit and the hook so foreground statements (and
-    // the hook's own queries) never stack behind a whole operator.
-    std::shared_lock<SharedMutex> batch_lock;
-    if (src_info != nullptr) batch_lock = std::shared_lock<SharedMutex>(src_info->latch);
-    std::vector<Row> staged;
-    staged.reserve(options_.batch_rows);
+    // --- scan-batch: pull raw source rows. The shared content latch on the
+    // scanned source covers the batch only — released before the transform,
+    // the commit, and the hook so foreground statements (and the hook's own
+    // queries) never stack behind a whole operator.
     uint64_t batch_io_start = db_->TotalIo();
-    uint64_t batch_rows = 0;
-    while (!exhausted() && batch_rows < options_.batch_rows &&
-           (options_.batch_io_budget == 0 ||
-            db_->TotalIo() - batch_io_start < options_.batch_io_budget)) {
-      Row dst;
-      bool insert = true;
-      switch (t.source) {
-        case OpPlan::Source::kEntity: {
-          PSE_ASSIGN_OR_RETURN(dst,
-                               data_->BuildTableRow(*plan.after, t.after_idx, (*entity_rows)[cursor]));
-          break;
-        }
-        case OpPlan::Source::kScan: {
-          const Row& src = it.row();
-          dst.reserve(t.mapping.size());
-          for (size_t pos : t.mapping) dst.push_back(src[pos]);
-          if (t.dedup) {
-            if (dst[0].is_null()) {
-              insert = false;  // dangling/unknown parent
-            } else {
-              insert = seen_keys.insert(dst[0]).second;
-            }
-          }
-          break;
-        }
-        case OpPlan::Source::kJoin: {
-          const Row& lrow = it.row();
-          const Row* rrow = nullptr;
-          const Value& jk = lrow[t.left_join_pos];
-          if (!jk.is_null()) {
-            auto found = right_rows.find(jk);
-            if (found != right_rows.end()) rrow = &found->second;
-          }
-          dst.reserve(t.join_mapping.size());
-          for (size_t c = 0; c < t.join_mapping.size(); ++c) {
-            const auto& [from_left, pos] = t.join_mapping[c];
-            if (from_left) {
-              dst.push_back(lrow[pos]);
-            } else if (rrow != nullptr) {
-              dst.push_back((*rrow)[pos]);
-            } else {
-              // Left outer join: anchor rows survive a missing parent.
-              dst.push_back(Value::Null(t.schema.column(c).type));
-            }
-          }
-          break;
+    std::vector<Row> scanned;
+    scanned.reserve(options_.batch_rows);
+    if (t.source == OpPlan::Source::kEntity) {
+      while (cursor + scanned.size() < t.entity_limit && scanned.size() < options_.batch_rows) {
+        scanned.push_back((*entity_rows)[cursor + scanned.size()]);
+      }
+    } else {
+      std::shared_lock<SharedMutex> batch_lock(src_info->latch);
+      if (options_.batch_io_budget == 0) {
+        // One page pin per heap page instead of one per tuple.
+        PSE_RETURN_NOT_OK(it.FillBatch(options_.batch_rows, &scanned).status());
+      } else {
+        // The budget is checked per scanned row, so the batch can stop
+        // mid-page the moment its I/O allowance runs out.
+        while (!it.AtEnd() && scanned.size() < options_.batch_rows &&
+               db_->TotalIo() - batch_io_start < options_.batch_io_budget) {
+          scanned.push_back(it.row());
+          PSE_RETURN_NOT_OK(it.Next());
         }
       }
-      if (insert) staged.push_back(std::move(dst));
-      ++cursor;
-      ++batch_rows;
-      if (t.source != OpPlan::Source::kEntity) PSE_RETURN_NOT_OK(it.Next());
     }
+    const size_t batch_rows = scanned.size();
 
-    if (batch_lock.owns_lock()) batch_lock.unlock();
+    // --- transform-batch: move the scanned rows through a TupleBatch and
+    // gather destination columns column-at-a-time, outside any latch. The
+    // dedup filter is a selection vector over the destination key column.
+    TupleBatch src_batch;
+    src_batch.Reset(batch_rows == 0 ? 0 : scanned[0].size(), batch_rows);
+    for (Row& r : scanned) src_batch.AppendRow(std::move(r));
+
+    std::vector<Row> staged;
+    staged.reserve(batch_rows);
+    TupleBatch dst_batch;
+    switch (t.source) {
+      case OpPlan::Source::kEntity: {
+        for (size_t i = 0; i < batch_rows; ++i) {
+          Row src;
+          src_batch.MoveRowOut(i, &src);
+          PSE_ASSIGN_OR_RETURN(Row dst, data_->BuildTableRow(*plan.after, t.after_idx, src));
+          staged.push_back(std::move(dst));
+        }
+        break;
+      }
+      case OpPlan::Source::kScan: {
+        dst_batch.Reset(t.mapping.size(), batch_rows);
+        // Mapping positions are distinct (one per destination column name),
+        // so whole source columns move instead of copying value by value.
+        for (size_t c = 0; c < t.mapping.size(); ++c) {
+          dst_batch.col(c) = std::move(src_batch.col(t.mapping[c]));
+        }
+        dst_batch.SetNumRows(batch_rows);
+        if (t.dedup) {
+          std::vector<uint32_t> sel;
+          const std::vector<Value>& keys = dst_batch.col(0);
+          for (uint32_t i = 0; i < batch_rows; ++i) {
+            if (keys[i].is_null()) continue;  // dangling/unknown parent
+            if (seen_keys.insert(keys[i]).second) sel.push_back(i);
+          }
+          dst_batch.SetSel(std::move(sel));
+        }
+        for (size_t i = 0; i < dst_batch.size(); ++i) {
+          Row dst;
+          dst_batch.MoveRowOut(dst_batch.SelIndex(i), &dst);
+          staged.push_back(std::move(dst));
+        }
+        break;
+      }
+      case OpPlan::Source::kJoin: {
+        // Resolve each left row's parent once, before the join-key column
+        // may be moved out by the gather below.
+        std::vector<const Row*> matched(batch_rows, nullptr);
+        const std::vector<Value>& jks = src_batch.col(t.left_join_pos);
+        for (size_t i = 0; i < batch_rows; ++i) {
+          if (jks[i].is_null()) continue;
+          auto found = right_rows.find(jks[i]);
+          if (found != right_rows.end()) matched[i] = &found->second;
+        }
+        dst_batch.Reset(t.join_mapping.size(), batch_rows);
+        for (size_t c = 0; c < t.join_mapping.size(); ++c) {
+          const auto& [from_left, pos] = t.join_mapping[c];
+          std::vector<Value>& out = dst_batch.col(c);
+          if (from_left) {
+            out = std::move(src_batch.col(pos));
+          } else {
+            out.reserve(batch_rows);
+            for (size_t i = 0; i < batch_rows; ++i) {
+              // Left outer join: anchor rows survive a missing parent.
+              out.push_back(matched[i] != nullptr
+                                ? (*matched[i])[pos]
+                                : Value::Null(t.schema.column(c).type));
+            }
+          }
+        }
+        dst_batch.SetNumRows(batch_rows);
+        for (size_t i = 0; i < batch_rows; ++i) {
+          Row dst;
+          dst_batch.MoveRowOut(i, &dst);
+          staged.push_back(std::move(dst));
+        }
+        break;
+      }
+    }
+    cursor += batch_rows;
 
     // Inserts take the destination's exclusive content latch; staging them
     // until the source's shared latch drops keeps this lane at one

@@ -67,6 +67,9 @@ Result<ServeMetrics> ServeDuringMigration(Database* db, ServingSchema* serving,
     }
   }
 
+  ExecOptions exec_options = ExecOptions::Default();
+  exec_options.vectorized = exec_options.vectorized || options.vectorized;
+
   const size_t lanes = options.sessions + 1;  // lane 0 drives the migration
   std::vector<LaneResult> results(lanes);
   std::atomic<bool> stop{false};
@@ -114,7 +117,7 @@ Result<ServeMetrics> ServeDuringMigration(Database* db, ServingSchema* serving,
           if (!plan.ok()) {
             failed = plan.status();
           } else {
-            Status s = ExecutePlan(**plan, db).status();
+            Status s = ExecutePlan(**plan, db, exec_options).status();
             if (!s.ok()) {
               failed = s;
             } else {

@@ -91,7 +91,9 @@ Result<double> MigrationSimulation::MeasureQuery(Database* db, const PhysicalSch
   PSE_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*bound, view));
   PSE_RETURN_NOT_OK(db->pool()->EvictAll());
   uint64_t before = db->TotalIo();
-  PSE_RETURN_NOT_OK(ExecutePlan(*plan, db).status());
+  ExecOptions eo = ExecOptions::Default();
+  eo.vectorized = eo.vectorized || config_.vectorized_execution;
+  PSE_RETURN_NOT_OK(ExecutePlan(*plan, db, eo).status());
   return static_cast<double>(db->TotalIo() - before);
 }
 
@@ -290,6 +292,7 @@ Result<SituationReport> MigrationSimulation::Run(Situation situation) {
       so.sessions = config_.serve_sessions;
       so.min_queries_per_lane = config_.serve_min_queries;
       so.seed = config_.serve_seed + p;
+      so.vectorized = config_.vectorized_execution;
       uint64_t mig_io = 0;
       auto migrate = [&]() -> Status {
         for (int op : to_apply) {
@@ -357,7 +360,9 @@ Result<SituationReport> MigrationSimulation::Run(Situation situation) {
         DatabaseCatalogView view(&db);
         PSE_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*bound, view));
         uint64_t before = db.TotalIo();
-        PSE_RETURN_NOT_OK(ExecutePlan(*plan, &db).status());
+        ExecOptions eo = ExecOptions::Default();
+        eo.vectorized = eo.vectorized || config_.vectorized_execution;
+        PSE_RETURN_NOT_OK(ExecutePlan(*plan, &db, eo).status());
         phase.online_probe_io += static_cast<double>(db.TotalIo() - before);
         ++phase.online_probes;
         return Status::OK();

@@ -3,14 +3,27 @@
 #include "common/lock_registry.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "engine/agg_state.h"
+#include "engine/vec_executor.h"
 
 namespace pse {
+
+ExecOptions ExecOptions::Default() {
+  static const bool forced_vectorized = [] {
+    const char* v = std::getenv("PSE_VECTORIZED");
+    return v != nullptr && v[0] == '1';
+  }();
+  ExecOptions options;
+  options.vectorized = forced_vectorized;
+  return options;
+}
 
 namespace {
 
@@ -115,19 +128,40 @@ class FilterExecutor : public Executor {
 
 class ProjectExecutor : public Executor {
  public:
-  ProjectExecutor(const PlanNode& plan, std::unique_ptr<Executor> child)
-      : plan_(plan), child_(std::move(child)) {}
+  ProjectExecutor(const PlanNode& plan, std::unique_ptr<Executor> child,
+                  const ExecOptions& options)
+      : plan_(plan), child_(std::move(child)) {
+    // Zero-copy fast path: a projection that only reorders/narrows resolved
+    // columns moves the values straight out of the child row instead of
+    // routing each through a virtual Eval returning Result<Value>. Moving
+    // is only sound when no source position repeats.
+    if (!options.zero_copy_project) return;
+    std::vector<size_t> positions;
+    positions.reserve(plan_.projections.size());
+    for (const auto& p : plan_.projections) {
+      const auto* col = dynamic_cast<const ColumnRefExpr*>(p.get());
+      if (col == nullptr || !col->resolved()) return;
+      positions.push_back(col->position());
+    }
+    std::vector<size_t> sorted = positions;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return;
+    pass_through_ = std::move(positions);
+  }
 
   Status Init() override { return child_->Init(); }
 
   Result<bool> Next(Row* out) override {
-    Row in;
-    PSE_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+    PSE_ASSIGN_OR_RETURN(bool has, child_->Next(&in_));
     if (!has) return false;
     out->clear();
     out->reserve(plan_.projections.size());
+    if (!pass_through_.empty()) {
+      for (size_t pos : pass_through_) out->push_back(std::move(in_[pos]));
+      return true;
+    }
     for (const auto& p : plan_.projections) {
-      PSE_ASSIGN_OR_RETURN(Value v, p->Eval(in));
+      PSE_ASSIGN_OR_RETURN(Value v, p->Eval(in_));
       out->push_back(std::move(v));
     }
     return true;
@@ -136,6 +170,9 @@ class ProjectExecutor : public Executor {
  private:
   const PlanNode& plan_;
   std::unique_ptr<Executor> child_;
+  /// Child positions when every projection is a distinct resolved column.
+  std::vector<size_t> pass_through_;
+  Row in_;
 };
 
 class HashJoinExecutor : public Executor {
@@ -265,17 +302,6 @@ class DistinctExecutor : public Executor {
   std::unordered_set<Row, RowHash, RowEq> seen_;
 };
 
-/// Accumulator for one aggregate within one group.
-struct AggState {
-  int64_t count = 0;       // rows seen (non-null for arg-based functions)
-  int64_t sum_int = 0;
-  double sum_double = 0.0;
-  bool any_double = false;
-  Value min, max;          // NULL until first value
-  bool has_value = false;
-  std::unordered_set<Value, ValueHash, ValueEq> distinct;  // COUNT(DISTINCT)
-};
-
 class AggregateExecutor : public Executor {
  public:
   AggregateExecutor(const PlanNode& plan, std::unique_ptr<Executor> child)
@@ -303,19 +329,7 @@ class AggregateExecutor : public Executor {
         }
         const Value& v = row[spec.arg_pos];
         if (v.is_null()) continue;
-        ++st.count;
-        st.has_value = true;
-        if (spec.func == AggFunc::kCountDistinct) {
-          st.distinct.insert(v);
-          continue;
-        }
-        if (v.type() == TypeId::kDouble) st.any_double = true;
-        if (spec.func == AggFunc::kSum || spec.func == AggFunc::kAvg) {
-          if (v.type() == TypeId::kInt64) st.sum_int += v.AsInt();
-          st.sum_double += v.AsDouble();
-        }
-        if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
-        if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+        AggAccumulate(spec.func, v, &st);
       }
     }
     // Scalar aggregate over an empty input still yields one row.
@@ -335,39 +349,8 @@ class AggregateExecutor : public Executor {
     out->clear();
     out->insert(out->end(), key.begin(), key.end());
     for (size_t a = 0; a < plan_.aggs.size(); ++a) {
-      const PlanAggSpec& spec = plan_.aggs[a];
-      const AggState& st = states[a];
-      switch (spec.func) {
-        case AggFunc::kCountStar:
-        case AggFunc::kCount:
-          out->push_back(Value::Int(st.count));
-          break;
-        case AggFunc::kCountDistinct:
-          out->push_back(Value::Int(static_cast<int64_t>(st.distinct.size())));
-          break;
-        case AggFunc::kSum:
-          if (!st.has_value) {
-            out->push_back(Value::Null(TypeId::kDouble));
-          } else if (st.any_double) {
-            out->push_back(Value::Double(st.sum_double));
-          } else {
-            out->push_back(Value::Int(st.sum_int));
-          }
-          break;
-        case AggFunc::kAvg:
-          out->push_back(st.has_value
-                             ? Value::Double(st.sum_double / static_cast<double>(st.count))
-                             : Value::Null(TypeId::kDouble));
-          break;
-        case AggFunc::kMin:
-          out->push_back(st.min);
-          break;
-        case AggFunc::kMax:
-          out->push_back(st.max);
-          break;
-        case AggFunc::kNone:
-          return Status::Internal("kNone aggregate in plan");
-      }
+      PSE_ASSIGN_OR_RETURN(Value v, AggFinalize(plan_.aggs[a].func, states[a]));
+      out->push_back(std::move(v));
     }
     return true;
   }
@@ -446,6 +429,11 @@ class LimitExecutor : public Executor {
 }  // namespace
 
 Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* db) {
+  return BuildExecutor(plan, db, ExecOptions{});
+}
+
+Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* db,
+                                                const ExecOptions& options) {
   switch (plan.kind) {
     case PlanNode::Kind::kSeqScan: {
       PSE_ASSIGN_OR_RETURN(TableInfo * t, db->GetTable(plan.table));
@@ -460,21 +448,21 @@ Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* 
       return std::unique_ptr<Executor>(new IndexScanExecutor(plan, t, idx->tree.get()));
     }
     case PlanNode::Kind::kFilter: {
-      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db));
+      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db, options));
       return std::unique_ptr<Executor>(new FilterExecutor(plan, std::move(child)));
     }
     case PlanNode::Kind::kProject: {
-      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db));
-      return std::unique_ptr<Executor>(new ProjectExecutor(plan, std::move(child)));
+      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db, options));
+      return std::unique_ptr<Executor>(new ProjectExecutor(plan, std::move(child), options));
     }
     case PlanNode::Kind::kHashJoin: {
-      PSE_ASSIGN_OR_RETURN(auto build, BuildExecutor(*plan.children[0], db));
-      PSE_ASSIGN_OR_RETURN(auto probe, BuildExecutor(*plan.children[1], db));
+      PSE_ASSIGN_OR_RETURN(auto build, BuildExecutor(*plan.children[0], db, options));
+      PSE_ASSIGN_OR_RETURN(auto probe, BuildExecutor(*plan.children[1], db, options));
       return std::unique_ptr<Executor>(
           new HashJoinExecutor(plan, std::move(build), std::move(probe)));
     }
     case PlanNode::Kind::kIndexNLJoin: {
-      PSE_ASSIGN_OR_RETURN(auto outer, BuildExecutor(*plan.children[0], db));
+      PSE_ASSIGN_OR_RETURN(auto outer, BuildExecutor(*plan.children[0], db, options));
       PSE_ASSIGN_OR_RETURN(TableInfo * t, db->GetTable(plan.table));
       const IndexInfo* idx = t->FindIndex(plan.index_column);
       if (idx == nullptr) {
@@ -484,19 +472,19 @@ Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* 
           new IndexNLJoinExecutor(plan, std::move(outer), t, idx->tree.get()));
     }
     case PlanNode::Kind::kDistinct: {
-      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db));
+      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db, options));
       return std::unique_ptr<Executor>(new DistinctExecutor(std::move(child)));
     }
     case PlanNode::Kind::kAggregate: {
-      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db));
+      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db, options));
       return std::unique_ptr<Executor>(new AggregateExecutor(plan, std::move(child)));
     }
     case PlanNode::Kind::kSort: {
-      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db));
+      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db, options));
       return std::unique_ptr<Executor>(new SortExecutor(plan, std::move(child)));
     }
     case PlanNode::Kind::kLimit: {
-      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db));
+      PSE_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], db, options));
       return std::unique_ptr<Executor>(new LimitExecutor(plan, std::move(child)));
     }
   }
@@ -512,6 +500,12 @@ void CollectPlanTables(const PlanNode& plan, std::vector<std::string>* out) {
 }  // namespace
 
 Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db) {
+  return ExecutePlan(plan, db, ExecOptions::Default());
+}
+
+Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db,
+                                     const ExecOptions& options) {
+  if (options.vectorized) return ExecutePlanVectorized(plan, db, options);
   PSE_LOCKDEP_SCOPE("ExecutePlan");
   // Shared content latch on every table the plan reads, held for the whole
   // execution. Sorted + deduped so concurrent executions acquire in one
@@ -529,7 +523,7 @@ Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db) {
     PSE_ASSIGN_OR_RETURN(TableInfo * t, db->GetTable(name));
     table_locks.emplace_back(t->latch);
   }
-  PSE_ASSIGN_OR_RETURN(auto exec, BuildExecutor(plan, db));
+  PSE_ASSIGN_OR_RETURN(auto exec, BuildExecutor(plan, db, options));
   PSE_RETURN_NOT_OK(exec->Init());
   std::vector<Row> rows;
   Row row;

@@ -11,6 +11,25 @@
 
 namespace pse {
 
+/// \brief Engine selection and tuning knobs, shared by both engines.
+///
+/// The row engine stays the default; the vectorized engine is opt-in per
+/// call site (serve lanes, probe queries, benches) or process-wide via the
+/// PSE_VECTORIZED=1 environment variable (how CI forces the flag on for the
+/// differential oracle and the stress suites without plumbing).
+struct ExecOptions {
+  /// Batch-at-a-time engine (TupleBatch + selection vectors).
+  bool vectorized = false;
+  /// Rows per TupleBatch in the vectorized engine.
+  size_t batch_rows = 1024;
+  /// Row engine: move pass-through projection columns out of the child row
+  /// instead of re-evaluating ColumnRef expressions (zero-copy fast path).
+  bool zero_copy_project = true;
+
+  /// Process defaults: `vectorized` is forced on when PSE_VECTORIZED=1.
+  static ExecOptions Default();
+};
+
 /// \brief Pull-based plan operator.
 class Executor {
  public:
@@ -21,10 +40,16 @@ class Executor {
   virtual Result<bool> Next(Row* out) = 0;
 };
 
-/// Builds the executor tree for a planned query.
+/// Builds the row-engine executor tree for a planned query.
 Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* db);
+Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan, Database* db,
+                                                const ExecOptions& options);
 
-/// Convenience: builds, runs, and collects all output rows.
+/// Convenience: builds, runs, and collects all output rows. Dispatches to
+/// the engine `options` selects (the no-options overload uses
+/// ExecOptions::Default()).
 Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db);
+Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, Database* db,
+                                     const ExecOptions& options);
 
 }  // namespace pse

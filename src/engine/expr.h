@@ -159,6 +159,8 @@ class NotExpr : public Expr {
     child_->VisitColumnRefs(fn);
   }
 
+  const Expr* child() const { return child_.get(); }
+
  private:
   ExprPtr child_;
 };
@@ -178,6 +180,10 @@ class ArithExpr : public Expr {
     left_->VisitColumnRefs(fn);
     right_->VisitColumnRefs(fn);
   }
+
+  ArithOp op() const { return op_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
 
  private:
   ArithOp op_;
@@ -204,6 +210,8 @@ class LikeExpr : public Expr {
     child_->VisitColumnRefs(fn);
   }
   const std::string& pattern() const { return pattern_; }
+  const Expr* child() const { return child_.get(); }
+  bool negated() const { return negated_; }
 
  private:
   ExprPtr child_;
@@ -230,6 +238,9 @@ class IsNullExpr : public Expr {
     child_->VisitColumnRefs(fn);
   }
 
+  const Expr* child() const { return child_.get(); }
+  bool negated() const { return negated_; }
+
  private:
   ExprPtr child_;
   bool negated_;
@@ -252,6 +263,10 @@ class InListExpr : public Expr {
   void VisitColumnRefs(const std::function<void(ColumnRefExpr*)>& fn) override {
     child_->VisitColumnRefs(fn);
   }
+
+  const Expr* child() const { return child_.get(); }
+  const std::vector<Value>& values() const { return values_; }
+  bool negated() const { return negated_; }
 
  private:
   ExprPtr child_;

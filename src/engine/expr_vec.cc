@@ -1,0 +1,378 @@
+#include "engine/expr_vec.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pse {
+
+/// One compiled node. Eval() returns a pointer to either a borrowed column
+/// (ColumnRef) or the node's own scratch vector, sized to the batch's
+/// physical row count so results index by physical position.
+class ExprVecExecutor::Node {
+ public:
+  virtual ~Node() = default;
+  virtual Result<const std::vector<Value>*> Eval(const TupleBatch& batch) = 0;
+
+ protected:
+  /// Grows (never shrinks) the scratch to cover every physical index.
+  std::vector<Value>* Scratch(size_t num_rows) {
+    if (scratch_.size() < num_rows) scratch_.resize(num_rows);
+    return &scratch_;
+  }
+
+ private:
+  std::vector<Value> scratch_;
+};
+
+namespace {
+
+using Node = ExprVecExecutor::Node;
+using NodePtr = std::unique_ptr<Node>;
+
+class ColumnRefNode : public Node {
+ public:
+  explicit ColumnRefNode(size_t pos) : pos_(pos) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    if (pos_ >= batch.num_cols()) {
+      return Status::Internal("column position " + std::to_string(pos_) + " out of batch");
+    }
+    return &batch.col(pos_);
+  }
+
+ private:
+  size_t pos_;
+};
+
+class ConstantNode : public Node {
+ public:
+  explicit ConstantNode(Value v) : value_(std::move(v)) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    // The constant never changes, so previously filled entries stay valid
+    // and only the tail beyond the largest batch seen so far is written.
+    if (filled_ < batch.num_rows()) {
+      std::vector<Value>* out = Scratch(batch.num_rows());
+      for (size_t i = filled_; i < out->size(); ++i) (*out)[i] = value_;
+      filled_ = out->size();
+    }
+    return Scratch(batch.num_rows());
+  }
+
+ private:
+  Value value_;
+  size_t filled_ = 0;
+};
+
+class CompareNode : public Node {
+ public:
+  CompareNode(CompareOp op, NodePtr l, NodePtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* lv, left_->Eval(batch));
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* rv, right_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const Value& l = (*lv)[p];
+      const Value& r = (*rv)[p];
+      if (l.is_null() || r.is_null()) {
+        (*out)[p] = Value::Null(TypeId::kBoolean);
+        continue;
+      }
+      const int c = l.Compare(r);
+      bool pass = false;
+      switch (op_) {
+        case CompareOp::kEq: pass = c == 0; break;
+        case CompareOp::kNe: pass = c != 0; break;
+        case CompareOp::kLt: pass = c < 0; break;
+        case CompareOp::kLe: pass = c <= 0; break;
+        case CompareOp::kGt: pass = c > 0; break;
+        case CompareOp::kGe: pass = c >= 0; break;
+      }
+      (*out)[p] = Value::Bool(pass);
+    }
+    return out;
+  }
+
+ private:
+  CompareOp op_;
+  NodePtr left_, right_;
+};
+
+class LogicNode : public Node {
+ public:
+  LogicNode(LogicOp op, NodePtr l, NodePtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* lv, left_->Eval(batch));
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* rv, right_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const Value& l = (*lv)[p];
+      const Value& r = (*rv)[p];
+      const bool l_null = l.is_null();
+      const bool r_null = r.is_null();
+      const bool l_true = !l_null && l.AsBool();
+      const bool r_true = !r_null && r.AsBool();
+      if (op_ == LogicOp::kAnd) {
+        if ((!l_null && !l_true) || (!r_null && !r_true)) {
+          (*out)[p] = Value::Bool(false);
+        } else if (l_null || r_null) {
+          (*out)[p] = Value::Null(TypeId::kBoolean);
+        } else {
+          (*out)[p] = Value::Bool(true);
+        }
+      } else {
+        if (l_true || r_true) {
+          (*out)[p] = Value::Bool(true);
+        } else if (l_null || r_null) {
+          (*out)[p] = Value::Null(TypeId::kBoolean);
+        } else {
+          (*out)[p] = Value::Bool(false);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  LogicOp op_;
+  NodePtr left_, right_;
+};
+
+class NotNode : public Node {
+ public:
+  explicit NotNode(NodePtr child) : child_(std::move(child)) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* cv, child_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const Value& v = (*cv)[p];
+      (*out)[p] = v.is_null() ? Value::Null(TypeId::kBoolean) : Value::Bool(!v.AsBool());
+    }
+    return out;
+  }
+
+ private:
+  NodePtr child_;
+};
+
+class ArithNode : public Node {
+ public:
+  ArithNode(ArithOp op, NodePtr l, NodePtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* lv, left_->Eval(batch));
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* rv, right_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const Value& l = (*lv)[p];
+      const Value& r = (*rv)[p];
+      if (l.is_null() || r.is_null()) {
+        (*out)[p] = Value::Null(TypeId::kDouble);
+        continue;
+      }
+      const bool both_int = l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64;
+      if (both_int && op_ != ArithOp::kDiv) {
+        const int64_t a = l.AsInt();
+        const int64_t b = r.AsInt();
+        switch (op_) {
+          case ArithOp::kAdd: (*out)[p] = Value::Int(a + b); break;
+          case ArithOp::kSub: (*out)[p] = Value::Int(a - b); break;
+          case ArithOp::kMul: (*out)[p] = Value::Int(a * b); break;
+          default: break;
+        }
+        continue;
+      }
+      const double a = l.AsDouble();
+      const double b = r.AsDouble();
+      switch (op_) {
+        case ArithOp::kAdd: (*out)[p] = Value::Double(a + b); break;
+        case ArithOp::kSub: (*out)[p] = Value::Double(a - b); break;
+        case ArithOp::kMul: (*out)[p] = Value::Double(a * b); break;
+        case ArithOp::kDiv:
+          // SQL: error; we degrade to NULL, matching ArithExpr::Eval.
+          (*out)[p] = b == 0.0 ? Value::Null(TypeId::kDouble) : Value::Double(a / b);
+          break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  ArithOp op_;
+  NodePtr left_, right_;
+};
+
+class LikeNode : public Node {
+ public:
+  LikeNode(NodePtr child, std::string pattern, bool negated)
+      : child_(std::move(child)), pattern_(std::move(pattern)), negated_(negated) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* cv, child_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const Value& v = (*cv)[p];
+      if (v.is_null()) {
+        (*out)[p] = Value::Null(TypeId::kBoolean);
+        continue;
+      }
+      if (v.type() != TypeId::kVarchar) {
+        return Status::InvalidArgument("LIKE requires a string operand");
+      }
+      const bool m = LikeMatch(v.AsString(), pattern_);
+      (*out)[p] = Value::Bool(negated_ ? !m : m);
+    }
+    return out;
+  }
+
+ private:
+  NodePtr child_;
+  std::string pattern_;
+  bool negated_;
+};
+
+class IsNullNode : public Node {
+ public:
+  IsNullNode(NodePtr child, bool negated) : child_(std::move(child)), negated_(negated) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* cv, child_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const bool null = (*cv)[p].is_null();
+      (*out)[p] = Value::Bool(negated_ ? !null : null);
+    }
+    return out;
+  }
+
+ private:
+  NodePtr child_;
+  bool negated_;
+};
+
+class InListNode : public Node {
+ public:
+  InListNode(NodePtr child, std::vector<Value> values, bool negated)
+      : child_(std::move(child)), values_(std::move(values)), negated_(negated) {}
+  Result<const std::vector<Value>*> Eval(const TupleBatch& batch) override {
+    PSE_ASSIGN_OR_RETURN(const std::vector<Value>* cv, child_->Eval(batch));
+    std::vector<Value>* out = Scratch(batch.num_rows());
+    const size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = batch.SelIndex(i);
+      const Value& v = (*cv)[p];
+      if (v.is_null()) {
+        (*out)[p] = Value::Null(TypeId::kBoolean);
+        continue;
+      }
+      bool found = false;
+      for (const auto& item : values_) {
+        if (v.SqlEquals(item)) {
+          found = true;
+          break;
+        }
+      }
+      (*out)[p] = Value::Bool(negated_ ? !found : found);
+    }
+    return out;
+  }
+
+ private:
+  NodePtr child_;
+  std::vector<Value> values_;
+  bool negated_;
+};
+
+Result<NodePtr> Compile(const Expr& expr) {
+  if (const auto* col = dynamic_cast<const ColumnRefExpr*>(&expr)) {
+    if (!col->resolved()) {
+      return Status::Internal("unresolved column '" + col->name() + "' in vector compile");
+    }
+    return NodePtr(new ColumnRefNode(col->position()));
+  }
+  if (const auto* cst = dynamic_cast<const ConstantExpr*>(&expr)) {
+    return NodePtr(new ConstantNode(cst->value()));
+  }
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr l, Compile(*cmp->left()));
+    PSE_ASSIGN_OR_RETURN(NodePtr r, Compile(*cmp->right()));
+    return NodePtr(new CompareNode(cmp->op(), std::move(l), std::move(r)));
+  }
+  if (const auto* lg = dynamic_cast<const LogicExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr l, Compile(*lg->left()));
+    PSE_ASSIGN_OR_RETURN(NodePtr r, Compile(*lg->right()));
+    return NodePtr(new LogicNode(lg->op(), std::move(l), std::move(r)));
+  }
+  if (const auto* nt = dynamic_cast<const NotExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr c, Compile(*nt->child()));
+    return NodePtr(new NotNode(std::move(c)));
+  }
+  if (const auto* ar = dynamic_cast<const ArithExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr l, Compile(*ar->left()));
+    PSE_ASSIGN_OR_RETURN(NodePtr r, Compile(*ar->right()));
+    return NodePtr(new ArithNode(ar->op(), std::move(l), std::move(r)));
+  }
+  if (const auto* lk = dynamic_cast<const LikeExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr c, Compile(*lk->child()));
+    return NodePtr(new LikeNode(std::move(c), lk->pattern(), lk->negated()));
+  }
+  if (const auto* in = dynamic_cast<const IsNullExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr c, Compile(*in->child()));
+    return NodePtr(new IsNullNode(std::move(c), in->negated()));
+  }
+  if (const auto* il = dynamic_cast<const InListExpr*>(&expr)) {
+    PSE_ASSIGN_OR_RETURN(NodePtr c, Compile(*il->child()));
+    return NodePtr(new InListNode(std::move(c), il->values(), il->negated()));
+  }
+  return Status::Internal("vector compile: unsupported expression " + expr.ToString());
+}
+
+}  // namespace
+
+ExprVecExecutor::ExprVecExecutor() = default;
+ExprVecExecutor::ExprVecExecutor(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+ExprVecExecutor::ExprVecExecutor(ExprVecExecutor&&) noexcept = default;
+ExprVecExecutor& ExprVecExecutor::operator=(ExprVecExecutor&&) noexcept = default;
+ExprVecExecutor::~ExprVecExecutor() = default;
+
+Result<ExprVecExecutor> ExprVecExecutor::Create(const Expr& expr) {
+  PSE_ASSIGN_OR_RETURN(NodePtr root, Compile(expr));
+  return ExprVecExecutor(std::move(root));
+}
+
+Status ExprVecExecutor::Eval(const TupleBatch& batch, const std::vector<Value>** out) {
+  if (root_ == nullptr) return Status::Internal("Eval on an empty ExprVecExecutor");
+  PSE_ASSIGN_OR_RETURN(*out, root_->Eval(batch));
+  return Status::OK();
+}
+
+Status ExprVecExecutor::EvalSelect(const TupleBatch& batch, std::vector<uint32_t>* sel) {
+  const std::vector<Value>* vals = nullptr;
+  PSE_RETURN_NOT_OK(Eval(batch, &vals));
+  sel->clear();
+  const size_t n = batch.size();
+  sel->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t p = batch.SelIndex(i);
+    const Value& v = (*vals)[p];
+    if (v.is_null()) continue;
+    if (v.type() != TypeId::kBoolean) {
+      return Status::InvalidArgument("predicate did not evaluate to boolean");
+    }
+    if (v.AsBool()) sel->push_back(static_cast<uint32_t>(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace pse

@@ -1,0 +1,60 @@
+// Vector expression evaluators: a scalar Expr tree compiled once per query
+// into a tree of column-at-a-time evaluators. Each node fills (or borrows) a
+// Value vector for the live rows of a TupleBatch, so the per-row cost is a
+// tight loop instead of a virtual Eval() returning Result<Value>.
+//
+// Semantics are bit-for-bit those of Expr::Eval (three-valued logic, NULL
+// propagation types, div-by-zero degrading to NULL, LIKE's string-operand
+// check) — the differential oracle and the seeded property test in
+// tests/engine/tuple_batch_test.cc hold the two evaluators equal. The one
+// intentional difference: logic operands are evaluated eagerly for the whole
+// batch instead of short-circuited per row, which is observationally equal
+// because operand errors are type errors the binder already rejects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/tuple_batch.h"
+
+namespace pse {
+
+/// \brief Compiled vector evaluator for one resolved scalar Expr tree.
+///
+/// Movable, not copyable; scratch vectors live in the nodes and are reused
+/// across batches.
+class ExprVecExecutor {
+ public:
+  class Node;
+
+  ExprVecExecutor();
+  ExprVecExecutor(ExprVecExecutor&&) noexcept;
+  ExprVecExecutor& operator=(ExprVecExecutor&&) noexcept;
+  ~ExprVecExecutor();
+
+  /// Compiles `expr`; every ColumnRef must already be resolved.
+  static Result<ExprVecExecutor> Create(const Expr& expr);
+
+  /// True once Create() succeeded (default-constructed executors are inert).
+  bool valid() const { return root_ != nullptr; }
+
+  /// Evaluates over the live rows of `batch`. On return `*out` points at a
+  /// vector of at least batch.num_rows() values in which every live
+  /// physical index holds the expression result; dead indices are
+  /// unspecified. The pointer stays valid until the next Eval call.
+  Status Eval(const TupleBatch& batch, const std::vector<Value>** out);
+
+  /// Predicate form: keeps the live rows where the expression is non-NULL
+  /// true, writing their physical indices to `sel` (ascending). NULL counts
+  /// as false; a non-NULL non-boolean result is InvalidArgument, matching
+  /// EvalPredicate.
+  Status EvalSelect(const TupleBatch& batch, std::vector<uint32_t>* sel);
+
+ private:
+  explicit ExprVecExecutor(std::unique_ptr<Node> root);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace pse

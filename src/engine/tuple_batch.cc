@@ -1,0 +1,64 @@
+#include "engine/tuple_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pse {
+
+void TupleBatch::Reset(size_t num_cols, size_t capacity) {
+  cols_.resize(num_cols);
+  for (auto& col : cols_) {
+    col.clear();
+    if (col.capacity() < capacity) col.reserve(capacity);
+  }
+  num_rows_ = 0;
+  use_sel_ = false;
+  sel_.clear();
+}
+
+void TupleBatch::AppendRow(const Row& row) {
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(row[c]);
+  ++num_rows_;
+}
+
+void TupleBatch::AppendRow(Row&& row) {
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(std::move(row[c]));
+  ++num_rows_;
+}
+
+Row TupleBatch::RowAt(size_t physical_row) const {
+  Row out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) out.push_back(col[physical_row]);
+  return out;
+}
+
+void TupleBatch::MoveRowOut(size_t physical_row, Row* out) {
+  out->clear();
+  out->reserve(cols_.size());
+  for (auto& col : cols_) out->push_back(std::move(col[physical_row]));
+}
+
+void TupleBatch::EmitRows(std::vector<Row>* out) const {
+  const size_t n = size();
+  // Grow geometrically: an exact reserve() per batch would reallocate `out`
+  // on every call, moving all previously emitted rows each time.
+  if (out->capacity() < out->size() + n) {
+    out->reserve(std::max(out->size() + n, out->capacity() * 2));
+  }
+  for (size_t i = 0; i < n; ++i) out->push_back(RowAt(SelIndex(i)));
+}
+
+void TupleBatch::Compact() {
+  if (!use_sel_) return;
+  for (auto& col : cols_) {
+    for (size_t i = 0; i < sel_.size(); ++i) {
+      if (i != sel_[i]) col[i] = std::move(col[sel_[i]]);
+    }
+    col.resize(sel_.size());
+  }
+  num_rows_ = sel_.size();
+  ClearSel();
+}
+
+}  // namespace pse

@@ -203,6 +203,78 @@ Status TableHeap::Iterator::LoadFirst() {
 
 Status TableHeap::Iterator::Next() { return Advance(/*include_current=*/false); }
 
+Result<size_t> TableHeap::Iterator::FillBatch(size_t max_rows, std::vector<Row>* out) {
+  if (at_end_ || max_rows == 0) return size_t{0};
+  // The current tuple is already deserialized; hand it over directly.
+  out->push_back(std::move(row_));
+  size_t added = 1;
+  PageId pid = rid_.page_id;
+  uint32_t slot = rid_.slot + 1u;
+  while (pid != kInvalidPageId) {
+    PSE_ASSIGN_OR_RETURN(PageGuard guard, heap_->pool_->FetchPage(pid));
+    const char* p = guard.data();
+    uint16_t slot_count = GetU16(p, 4);
+    while (slot < slot_count) {
+      Slot s = GetSlot(p, static_cast<uint16_t>(slot));
+      if (s.offset != 0) {
+        if (added == max_rows) {
+          // Batch full: this tuple becomes the iterator's current row.
+          rid_ = Rid{pid, static_cast<uint16_t>(slot)};
+          PSE_RETURN_NOT_OK(TupleCodec::Deserialize(*heap_->schema_, p + s.offset, s.size, &row_));
+          return added;
+        }
+        Row r;
+        PSE_RETURN_NOT_OK(TupleCodec::Deserialize(*heap_->schema_, p + s.offset, s.size, &r));
+        out->push_back(std::move(r));
+        ++added;
+      }
+      ++slot;
+    }
+    pid = GetU32(p, 0);
+    slot = 0;
+  }
+  at_end_ = true;
+  return added;
+}
+
+Result<size_t> TableHeap::Iterator::FillBatchColumns(size_t max_rows,
+                                                     const std::vector<size_t>& wanted,
+                                                     const std::vector<std::vector<Value>*>& cols) {
+  if (at_end_ || max_rows == 0) return size_t{0};
+  // The current tuple is already a deserialized Row; scatter its wanted
+  // columns (row_ is re-established before this batch ends, see below).
+  for (size_t k = 0; k < wanted.size(); ++k) {
+    cols[k]->push_back(std::move(row_[wanted[k]]));
+  }
+  size_t added = 1;
+  PageId pid = rid_.page_id;
+  uint32_t slot = rid_.slot + 1u;
+  while (pid != kInvalidPageId) {
+    PSE_ASSIGN_OR_RETURN(PageGuard guard, heap_->pool_->FetchPage(pid));
+    const char* p = guard.data();
+    uint16_t slot_count = GetU16(p, 4);
+    while (slot < slot_count) {
+      Slot s = GetSlot(p, static_cast<uint16_t>(slot));
+      if (s.offset != 0) {
+        if (added == max_rows) {
+          // Batch full: this tuple becomes the iterator's current row.
+          rid_ = Rid{pid, static_cast<uint16_t>(slot)};
+          PSE_RETURN_NOT_OK(TupleCodec::Deserialize(*heap_->schema_, p + s.offset, s.size, &row_));
+          return added;
+        }
+        PSE_RETURN_NOT_OK(
+            TupleCodec::DeserializeColumns(*heap_->schema_, p + s.offset, s.size, wanted, cols));
+        ++added;
+      }
+      ++slot;
+    }
+    pid = GetU32(p, 0);
+    slot = 0;
+  }
+  at_end_ = true;
+  return added;
+}
+
 Status TableHeap::Iterator::Advance(bool include_current) {
   PageId pid = rid_.page_id;
   uint32_t slot = include_current ? rid_.slot : rid_.slot + 1u;

@@ -63,6 +63,26 @@ class TableHeap {
     const Row& row() const { return row_; }
     Rid rid() const { return rid_; }
 
+    /// \brief Appends up to `max_rows` live tuples to `out`, advancing past
+    /// them.
+    ///
+    /// Equivalent to repeating { out->push_back(row()); Next(); } but pins
+    /// each heap page once instead of once per tuple — the storage half of
+    /// the vectorized scan. Starts with the current tuple; afterwards the
+    /// iterator is positioned on the first unconsumed tuple (or AtEnd()).
+    /// Returns the number appended (0 at end of stream).
+    Result<size_t> FillBatch(size_t max_rows, std::vector<Row>* out);
+
+    /// \brief Column-pruned FillBatch feeding the vectorized scan directly.
+    ///
+    /// Decodes only the columns named by `wanted` (strictly ascending
+    /// positions), appending one value per consumed tuple to each matching
+    /// `cols[k]` vector — no intermediate Row and no allocation for skipped
+    /// columns (see TupleCodec::DeserializeColumns). Advances exactly like
+    /// FillBatch and returns the number of tuples consumed.
+    Result<size_t> FillBatchColumns(size_t max_rows, const std::vector<size_t>& wanted,
+                                    const std::vector<std::vector<Value>*>& cols);
+
    private:
     friend class TableHeap;
     Iterator(const TableHeap* heap) : heap_(heap) {}

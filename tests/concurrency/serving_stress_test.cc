@@ -56,11 +56,12 @@ class LockdepCleanScope {
   }
 };
 
-/// Rewrites + executes `query` on `schema` over `db`. BindError (the query
-/// is not servable on this intermediate schema) comes back as nullopt; any
-/// other failure sets `*hard_error`.
+/// Rewrites + executes `query` on `schema` over `db` through the engine
+/// `eo` selects. BindError (the query is not servable on this intermediate
+/// schema) comes back as nullopt; any other failure sets `*hard_error`.
 std::optional<std::vector<Row>> TryRun(Database* db, const LogicalQuery& query,
-                                       const PhysicalSchema& schema, bool* hard_error) {
+                                       const PhysicalSchema& schema, bool* hard_error,
+                                       const ExecOptions& eo = ExecOptions{}) {
   Result<BoundQuery> bound = RewriteQuery(query, schema);
   if (!bound.ok()) {
     if (!bound.status().IsBindError()) *hard_error = true;
@@ -72,7 +73,7 @@ std::optional<std::vector<Row>> TryRun(Database* db, const LogicalQuery& query,
     *hard_error = true;
     return std::nullopt;
   }
-  auto rows = ExecutePlan(**plan, db);
+  auto rows = ExecutePlan(**plan, db, eo);
   if (!rows.ok()) {
     *hard_error = true;
     return std::nullopt;
@@ -80,7 +81,11 @@ std::optional<std::vector<Row>> TryRun(Database* db, const LogicalQuery& query,
   return SortRows(std::move(*rows));
 }
 
-class ServingStressTest : public ::testing::Test {
+/// Every scenario runs once per engine: param false = row iterators, true =
+/// the vectorized batch engine (whose per-batch table latches must stay
+/// clean under lockdep and TSAN while the migration latches the same
+/// tables).
+class ServingStressTest : public ::testing::TestWithParam<bool> {
  protected:
   void SetUp() override {
     bs_ = Bookstore::Make();
@@ -132,9 +137,11 @@ class ServingStressTest : public ::testing::Test {
   OperatorSet opset_;
 };
 
-TEST_F(ServingStressTest, ReadersMatchSerialOracleDuringMigration) {
+TEST_P(ServingStressTest, ReadersMatchSerialOracleDuringMigration) {
   constexpr size_t kReaders = 4;
   LockdepCleanScope lockdep;
+  ExecOptions eo;
+  eo.vectorized = GetParam();
 
   Database db(1024);
   ASSERT_TRUE(data_->Materialize(&db, bs_->source).ok());
@@ -182,7 +189,7 @@ TEST_F(ServingStressTest, ReadersMatchSerialOracleDuringMigration) {
       std::shared_lock<SharedMutex> schema_lock(db.schema_latch());
       std::shared_ptr<const PhysicalSchema> snapshot = serving.Get();
       bool hard = false;
-      auto rows = TryRun(&db, queries_[q].query, *snapshot, &hard);
+      auto rows = TryRun(&db, queries_[q].query, *snapshot, &hard, eo);
       if (hard) {
         ++t.hard_errors;
         continue;
@@ -209,13 +216,13 @@ TEST_F(ServingStressTest, ReadersMatchSerialOracleDuringMigration) {
   ASSERT_TRUE(db.AnalyzeAll().ok());
   for (size_t q = 0; q < queries_.size(); ++q) {
     bool hard = false;
-    auto rows = TryRun(&db, queries_[q].query, current, &hard);
+    auto rows = TryRun(&db, queries_[q].query, current, &hard, eo);
     ASSERT_TRUE(rows.has_value() && !hard) << queries_[q].query.name;
     EXPECT_TRUE(SameRows(*rows, oracle_[q])) << queries_[q].query.name;
   }
 }
 
-TEST_F(ServingStressTest, ServeHarnessReportsCleanMetrics) {
+TEST_P(ServingStressTest, ServeHarnessReportsCleanMetrics) {
   LockdepCleanScope lockdep;
   Database db(1024);
   ASSERT_TRUE(data_->Materialize(&db, bs_->source).ok());
@@ -235,6 +242,7 @@ TEST_F(ServingStressTest, ServeHarnessReportsCleanMetrics) {
   ServeOptions serve;
   serve.sessions = 4;
   serve.min_queries_per_lane = 8;
+  serve.vectorized = GetParam();
   std::vector<double> freqs = {10, 10, 5};
   auto metrics = ServeDuringMigration(&db, &serving, queries_, freqs, serve, [&]() -> Status {
     for (int op : *topo) {
@@ -251,7 +259,7 @@ TEST_F(ServingStressTest, ServeHarnessReportsCleanMetrics) {
   EXPECT_LE(metrics->p95_ms, metrics->p99_ms);
 }
 
-TEST_F(ServingStressTest, WritersDoNotStarveBehindAReaderStream) {
+TEST_P(ServingStressTest, WritersDoNotStarveBehindAReaderStream) {
   // Regression for the glibc shared_mutex starvation that motivated
   // common/rw_latch.h: a tight release/re-acquire reader loop must not keep
   // an exclusive acquisition (the migration's quiesce) waiting forever.
@@ -275,6 +283,11 @@ TEST_F(ServingStressTest, WritersDoNotStarveBehindAReaderStream) {
   });
   EXPECT_EQ(exclusive_grants.load(), 50u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Engines, ServingStressTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "vectorized" : "row";
+                         });
 
 }  // namespace
 }  // namespace pse

@@ -197,8 +197,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialProperty, ::testing::Values(1, 17, 2
 // rewritten onto the current intermediate schema, executed, and compared
 // row for row.
 
-/// Rewrites + executes `query` on `schema` over `db`; unservable (BindError)
-/// comes back as std::nullopt, any other failure is a test failure.
+/// Rewrites + executes `query` on `schema` over `db` through BOTH engines
+/// (row iterators and the vectorized batch engine), asserting they agree row
+/// for row before returning the result; unservable (BindError) comes back as
+/// std::nullopt, any other failure is a test failure.
 std::optional<std::vector<Row>> RunOnSchema(Database* db, const LogicalQuery& query,
                                             const PhysicalSchema& schema) {
   Result<BoundQuery> bound = RewriteQuery(query, schema);
@@ -211,10 +213,23 @@ std::optional<std::vector<Row>> RunOnSchema(Database* db, const LogicalQuery& qu
   auto plan = PlanQuery(*bound, view);
   EXPECT_TRUE(plan.ok()) << query.name << ": " << plan.status().ToString();
   if (!plan.ok()) return std::nullopt;
-  auto rows = ExecutePlan(**plan, db);
+  ExecOptions row_engine;
+  row_engine.vectorized = false;
+  auto rows = ExecutePlan(**plan, db, row_engine);
   EXPECT_TRUE(rows.ok()) << query.name << ": " << rows.status().ToString();
   if (!rows.ok()) return std::nullopt;
-  return SortRows(std::move(*rows));
+  ExecOptions vec_engine;
+  vec_engine.vectorized = true;
+  auto vec_rows = ExecutePlan(**plan, db, vec_engine);
+  EXPECT_TRUE(vec_rows.ok()) << query.name << " (vectorized): "
+                             << vec_rows.status().ToString();
+  if (!vec_rows.ok()) return std::nullopt;
+  std::vector<Row> sorted = SortRows(std::move(*rows));
+  std::vector<Row> vec_sorted = SortRows(std::move(*vec_rows));
+  EXPECT_TRUE(SameRows(sorted, vec_sorted))
+      << query.name << ": vectorized engine diverges from the row engine ("
+      << vec_sorted.size() << " vs " << sorted.size() << " rows)";
+  return sorted;
 }
 
 TEST(CrossSchemaOracle, TpcwWorkloadRowEqualOnEveryLaaIntermediate) {
