@@ -24,6 +24,8 @@
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
 #include "core/mapping.h"
+#include "core/migration_executor.h"
+#include "core/serving.h"
 #include "core/simulation.h"
 #include "engine/cost_cache.h"
 
@@ -265,6 +267,127 @@ int RunServe(std::vector<ServeRow>* out) {
   return 0;
 }
 
+/// One (session count, engine) measurement of mixed read/write serving:
+/// lanes issue the query mix plus random DML from both version eras through
+/// the DmlRouter while the executor migrates (writes landing on a live copy
+/// frontier dual-apply into the in-flight targets).
+struct MixedRwRow {
+  size_t sessions = 0;
+  double write_fraction = 0;
+  bool vectorized = false;
+  uint64_t queries = 0;            ///< foreground reads answered
+  uint64_t writes = 0;             ///< foreground statements applied
+  uint64_t unservable = 0;         ///< reads+writes skipped on the intermediate
+  uint64_t unservable_writes = 0;  ///< the write share of `unservable`
+  uint64_t errors = 0;             ///< non-bind failures (must stay 0)
+  uint64_t fragment_writes = 0;    ///< physical row writes the fan-out did
+  uint64_t dual_applied = 0;       ///< statements also applied to live targets
+  double wall_ms = 0;
+  double throughput_qps = 0;  ///< (queries + writes) / wall seconds
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+/// Runs the full migration under a mixed read/write foreground load for each
+/// (session count, engine) pair, routing every write through RewriteDml.
+int RunMixedRw(std::vector<MixedRwRow>* out) {
+  for (bool vectorized : {false, true}) {
+    for (size_t sessions : {4u, 8u}) {
+      Synthetic s = MakeIndependent(4);
+      FillData(&s, 512);
+      Database db(2048);
+      if (!s.data->Materialize(&db, s.source).ok() || !db.AnalyzeAll().ok()) {
+        std::fprintf(stderr, "mixed-rw: materialize failed\n");
+        return 1;
+      }
+      PhysicalSchema current = s.source;
+      ServingSchema serving(current);
+      DmlRouter router(&db);
+
+      MigrationExecutor exec(&db, s.data.get());
+      MigrationOptions mopts;
+      mopts.batch_rows = 64;
+      mopts.dml_router = &router;
+      mopts.on_publish = [&](const PhysicalSchema& sch) { serving.Publish(sch); };
+      exec.set_options(std::move(mopts));
+
+      auto opset = ComputeOperatorSet(s.source, s.object);
+      if (!opset.ok()) {
+        std::fprintf(stderr, "mixed-rw opset: %s\n", opset.status().ToString().c_str());
+        return 1;
+      }
+      auto topo = opset->TopologicalOrder();
+      if (!topo.ok()) {
+        std::fprintf(stderr, "mixed-rw topo: %s\n", topo.status().ToString().c_str());
+        return 1;
+      }
+
+      std::vector<VersionTable> tables = VersionTablesOf(s.source);
+      {
+        std::vector<VersionTable> object_tables = VersionTablesOf(s.object);
+        tables.insert(tables.end(), object_tables.begin(), object_tables.end());
+      }
+      const LogicalSchema* lg = s.logical.get();
+      ServeOptions serve;
+      serve.sessions = sessions;
+      serve.min_queries_per_lane = 32;
+      serve.vectorized = vectorized;
+      serve.router = &router;
+      serve.write_fraction = 0.3;
+      serve.make_write = [&tables, lg](uint64_t i, std::mt19937_64& rng) {
+        LogicalDml dml;
+        dml.table = tables[rng() % tables.size()];
+        uint64_t roll = rng() % 10;
+        dml.kind = roll < 5 ? DmlKind::kInsert : roll < 8 ? DmlKind::kUpdate : DmlKind::kDelete;
+        // Early statements hit seeded rows (both sides of a copy frontier);
+        // later ones append fresh keys.
+        dml.key = static_cast<int64_t>(i < 16 ? rng() % 512 : 10000 + rng() % 4096);
+        if (dml.kind != DmlKind::kDelete) {
+          for (AttrId a : dml.table.attrs) {
+            if (rng() % 2 != 0) continue;
+            dml.set_attrs.push_back(a);
+            dml.set_values.push_back(
+                Value::Varchar(lg->attr(a).name + "-w" + std::to_string(rng() % 1000)));
+          }
+        }
+        return dml;
+      };
+
+      std::vector<double> freqs(s.queries.size(), 10.0);
+      auto metrics = ServeDuringMigration(&db, &serving, s.queries, freqs, serve,
+                                          [&]() -> Status {
+                                            for (int op : *topo) {
+                                              auto io = exec.Apply(
+                                                  opset->ops[static_cast<size_t>(op)], &current);
+                                              if (!io.ok()) return io.status();
+                                            }
+                                            return Status::OK();
+                                          });
+      if (!metrics.ok()) {
+        std::fprintf(stderr, "mixed-rw serve: %s\n", metrics.status().ToString().c_str());
+        return 1;
+      }
+      MixedRwRow row;
+      row.sessions = sessions;
+      row.write_fraction = serve.write_fraction;
+      row.vectorized = vectorized;
+      row.queries = metrics->queries;
+      row.writes = metrics->writes;
+      row.unservable = metrics->unservable;
+      row.unservable_writes = metrics->unservable_writes;
+      row.errors = metrics->errors;
+      row.fragment_writes = router.stats().fragment_writes;
+      row.dual_applied = router.stats().dual_applied;
+      row.wall_ms = metrics->wall_ms;
+      row.throughput_qps = metrics->throughput_qps;
+      row.p50_ms = metrics->p50_ms;
+      row.p95_ms = metrics->p95_ms;
+      row.p99_ms = metrics->p99_ms;
+      out->push_back(row);
+    }
+  }
+  return 0;
+}
+
 struct BenchRow {
   std::string family;
   size_t m = 0;
@@ -420,8 +543,28 @@ void PrintServe(const std::vector<ServeRow>& rows) {
   }
 }
 
+void PrintMixedRw(const std::vector<MixedRwRow>& rows) {
+  std::printf(
+      "\n=== mixed read/write serving (Pro-Schema, m=4 independent, 512 rows/entity) ===\n"
+      "%-8s %-6s %-10s %8s %7s %10s %8s %7s %9s %10s %8s %8s %8s\n",
+      "sessions", "w-frac", "engine", "queries", "writes", "unservable", "unsrv-w", "errors",
+      "wall-ms", "thr-qps", "p50-ms", "p95-ms", "p99-ms");
+  for (const MixedRwRow& r : rows) {
+    std::printf("%-8zu %-6.2f %-10s %8llu %7llu %10llu %8llu %7llu %9.1f %10.1f %8.2f %8.2f "
+                "%8.2f\n",
+                r.sessions, r.write_fraction, r.vectorized ? "vectorized" : "row",
+                static_cast<unsigned long long>(r.queries),
+                static_cast<unsigned long long>(r.writes),
+                static_cast<unsigned long long>(r.unservable),
+                static_cast<unsigned long long>(r.unservable_writes),
+                static_cast<unsigned long long>(r.errors), r.wall_ms, r.throughput_qps, r.p50_ms,
+                r.p95_ms, r.p99_ms);
+  }
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
-               const std::vector<OnlineRow>& online, const std::vector<ServeRow>& serve) {
+               const std::vector<OnlineRow>& online, const std::vector<ServeRow>& serve,
+               const std::vector<MixedRwRow>& mixed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -482,6 +625,25 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
                  r.p50_ms, r.p95_ms, r.p99_ms, r.vectorized ? "true" : "false",
                  i + 1 < serve.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"mixed_rw_serving\": [\n");
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    const MixedRwRow& r = mixed[i];
+    std::fprintf(f,
+                 "    {\"sessions\": %zu, \"write_fraction\": %.2f, \"queries\": %llu, "
+                 "\"writes\": %llu, \"unservable\": %llu, \"unservable_writes\": %llu, "
+                 "\"errors\": %llu, \"fragment_writes\": %llu, \"dual_applied\": %llu, "
+                 "\"wall_ms\": %.2f, \"throughput_qps\": %.2f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"vectorized\": %s}%s\n",
+                 r.sessions, r.write_fraction, static_cast<unsigned long long>(r.queries),
+                 static_cast<unsigned long long>(r.writes),
+                 static_cast<unsigned long long>(r.unservable),
+                 static_cast<unsigned long long>(r.unservable_writes),
+                 static_cast<unsigned long long>(r.errors),
+                 static_cast<unsigned long long>(r.fragment_writes),
+                 static_cast<unsigned long long>(r.dual_applied), r.wall_ms, r.throughput_qps,
+                 r.p50_ms, r.p95_ms, r.p99_ms, r.vectorized ? "true" : "false",
+                 i + 1 < mixed.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
@@ -541,6 +703,14 @@ int main(int argc, char** argv) {
       "\nConcurrent serving runs real SQL sessions against live schema snapshots while\n"
       "the executor migrates; unservable counts new-version queries that bind only after\n"
       "their attributes materialize. Latency quantiles are per answered query.\n");
-  if (!json_path.empty()) WriteJson(json_path, rows, online, serve);
+  std::vector<MixedRwRow> mixed;
+  rc |= RunMixedRw(&mixed);
+  PrintMixedRw(mixed);
+  std::printf(
+      "\nMixed read/write serving adds writer traffic to the same window: each lane's\n"
+      "iterations issue random DML from both version eras through the write rewriter\n"
+      "(RewriteDml), dual-applying onto live copy frontiers. An unservable write window\n"
+      "counts under unservable (unsrv-w), never errors.\n");
+  if (!json_path.empty()) WriteJson(json_path, rows, online, serve, mixed);
   return rc;
 }

@@ -90,6 +90,24 @@ if [ "${vec_peak_qps:-0}" -lt 1000 ]; then
   exit 1
 fi
 echo "== bench: peak vectorized serving throughput ${vec_peak_qps} qps (floor 1000) =="
+# The mixed read/write section must be present, the writer lanes must have
+# applied real statements through the write rewriter, and no row may report
+# a non-bind failure (unservable write windows are counted, never errors).
+for key in '"mixed_rw_serving"' '"write_fraction"' '"unservable_writes"' '"fragment_writes"' \
+  '"dual_applied"'; do
+  grep -q "$key" BENCH_laa_scaling.json || {
+    echo "bench JSON is missing the mixed-rw key $key" >&2
+    exit 1
+  }
+done
+grep -Eq '"writes": [1-9]' BENCH_laa_scaling.json || {
+  echo "mixed read/write serving applied no writes in any row" >&2
+  exit 1
+}
+if sed -n '/"mixed_rw_serving"/,$p' BENCH_laa_scaling.json | grep -Eq '"errors": [1-9]'; then
+  echo "mixed read/write serving reported write-path errors" >&2
+  exit 1
+fi
 
 echo "== bench: engine micro (row vs vectorized execution) =="
 "$build_dir"/bench/bench_engine_micro --json=BENCH_engine_micro.json

@@ -111,17 +111,22 @@ if command -v clang-tidy >/dev/null 2>&1; then
     ':!src/analysis/*.cc' ':!src/common/thread_pool.cc' ':!src/common/lock_registry.cc' \
     ':!src/engine/cost_cache.cc' ':!src/core/cost_estimator.cc' \
     ':!src/core/migration_executor.cc' ':!src/storage/migration_journal.cc' \
+    ':!src/core/rewriter_dml.cc' \
     ':!src/engine/tuple_batch.cc' ':!src/engine/expr_vec.cc' ':!src/engine/vec_executor.cc')
   clang-tidy -p "$build_dir" --quiet "${tidy_files[@]}"
   # The analysis module and the concurrency/costing/online-migration targets
   # — plus the vectorized engine, whose per-batch latching rides the same
   # discipline — are held to a stricter bar: any enabled check firing there
   # fails the gate outright.
-  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ + concurrency + migration + vectorized-engine targets =="
+  # (the write rewriter, src/core/rewriter_dml.cc, rides the strict set too:
+  # its fan-out writes and frontier dual-apply share the migration executor's
+  # latching discipline)
+  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ + concurrency + migration + write-rewriter + vectorized-engine targets =="
   mapfile -t strict_files < <(git ls-files 'src/analysis/*.cc' \
     'src/common/thread_pool.cc' 'src/common/lock_registry.cc' \
     'src/engine/cost_cache.cc' 'src/core/cost_estimator.cc' \
     'src/core/migration_executor.cc' 'src/storage/migration_journal.cc' \
+    'src/core/rewriter_dml.cc' \
     'src/engine/tuple_batch.cc' 'src/engine/expr_vec.cc' 'src/engine/vec_executor.cc')
   clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${strict_files[@]}"
 else

@@ -8,7 +8,8 @@
 # The report covers src/core + src/storage (the online-migration execution
 # path), src/analysis (the static verification stack), and the vectorized
 # engine core; the floor gates src/core/migration_executor.cc,
-# src/analysis/writability.cc, and src/engine/vec_executor.cc. With gcovr
+# src/core/rewriter_dml.cc (the write rewriter), src/analysis/writability.cc,
+# and src/engine/vec_executor.cc. With gcovr
 # installed, writes coverage.xml (Cobertura) and coverage.txt into the build
 # dir for CI to upload; without it, falls back to plain gcov for the floor
 # check and skips the report artifact.
@@ -36,6 +37,7 @@ echo "== coverage: running the test suite =="
 
 target_files=(
   "src/core/migration_executor.cc"
+  "src/core/rewriter_dml.cc"
   "src/analysis/writability.cc"
   "src/engine/vec_executor.cc"
 )

@@ -53,6 +53,8 @@ namespace pse {
 enum LockRank : int {
   kLockRankCatalog = 10,     // Database::schema_latch()
   kLockRankServing = 20,     // ServingSchema snapshot mutex (no I/O allowed)
+  kLockRankDmlRouter = 25,   // DmlRouter write mutex (statement/batch scope)
+  kLockRankProvenance = 26,  // ProvenanceStore map mutex (no I/O allowed)
   kLockRankTable = 30,       // per-TableInfo latches, sorted-name order
   kLockRankBufferPool = 40,  // BufferPool mutex (leaf; I/O on miss path)
 };

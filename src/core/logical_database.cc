@@ -45,6 +45,64 @@ Status LogicalDatabase::AddRow(EntityId entity, Row row) {
   return Status::OK();
 }
 
+Status LogicalDatabase::UpdateRow(EntityId entity, int64_t key,
+                                  const std::vector<AttrId>& attrs,
+                                  const std::vector<Value>& values) {
+  if (attrs.size() != values.size()) {
+    return Status::InvalidArgument("UpdateRow attr/value arity mismatch");
+  }
+  const LogicalEntity& e = logical_->entity(entity);
+  auto it = key_index_[entity].find(key);
+  if (it == key_index_[entity].end()) {
+    return Status::NotFound("no row with key " + std::to_string(key) + " in entity '" + e.name +
+                            "'");
+  }
+  Row& row = rows_[entity][it->second];
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == e.key) {
+      return Status::InvalidArgument("cannot update the key of entity '" + e.name + "'");
+    }
+    bool found = false;
+    for (size_t pos = 0; pos < e.attributes.size(); ++pos) {
+      if (e.attributes[pos] == attrs[i]) {
+        row[pos] = values[i];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("attr '" + logical_->attr(attrs[i]).name +
+                                     "' does not belong to entity '" + e.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status LogicalDatabase::DeleteRow(EntityId entity, int64_t key) {
+  const LogicalEntity& e = logical_->entity(entity);
+  auto it = key_index_[entity].find(key);
+  if (it == key_index_[entity].end()) {
+    return Status::NotFound("no row with key " + std::to_string(key) + " in entity '" + e.name +
+                            "'");
+  }
+  // Swap-pop: move the tail row into the vacated slot and repoint its index
+  // entry, so deletion stays O(1) and other rows keep their positions.
+  size_t pos = it->second;
+  key_index_[entity].erase(it);
+  std::vector<Row>& rows = rows_[entity];
+  size_t last = rows.size() - 1;
+  if (pos != last) {
+    rows[pos] = std::move(rows[last]);
+    size_t key_pos = 0;
+    for (size_t i = 0; i < e.attributes.size(); ++i) {
+      if (e.attributes[i] == e.key) key_pos = i;
+    }
+    key_index_[entity][rows[pos][key_pos].AsInt()] = pos;
+  }
+  rows.pop_back();
+  return Status::OK();
+}
+
 const Row* LogicalDatabase::FindByKey(EntityId entity, int64_t key) const {
   auto it = key_index_[entity].find(key);
   if (it == key_index_[entity].end()) return nullptr;

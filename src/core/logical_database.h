@@ -41,6 +41,18 @@ class LogicalDatabase {
   /// Row of `entity` with the given key, or nullptr.
   const Row* FindByKey(EntityId entity, int64_t key) const;
 
+  /// Sets `attrs[i] := values[i]` on the row of `entity` with `key`.
+  /// Rewriting the key attribute itself is rejected; a missing key is
+  /// NotFound (callers mirroring idempotent DML treat that as a no-op).
+  Status UpdateRow(EntityId entity, int64_t key,
+                   const std::vector<AttrId>& attrs,
+                   const std::vector<Value>& values);
+
+  /// Removes the row of `entity` with `key`; NotFound if absent. Dangling
+  /// FKs in other entities are left as-is — resolution treats them as NULL,
+  /// matching the physical rewriter's fan-clear semantics.
+  Status DeleteRow(EntityId entity, int64_t key);
+
   /// Value of `attr` within an entity row (attr must belong to the entity).
   Result<Value> AttrOfRow(EntityId entity, const Row& row, AttrId attr) const;
 

@@ -1,5 +1,6 @@
 #include "core/migration_executor.h"
 
+#include <algorithm>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
@@ -7,6 +8,7 @@
 
 #include "common/lock_registry.h"
 #include "common/string_util.h"
+#include "core/rewriter_dml.h"
 #include "engine/tuple_batch.h"
 
 namespace pse {
@@ -194,11 +196,28 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
   const OpPlan::Target& t = plan.targets[target_idx];
   MigrationJournal* j = db_->mutable_migration_journal();
 
+  // A completed target was checkpointed after its last batch; nothing left
+  // to copy. Resume can land here when the crash hit after that final
+  // commit but before the one that advances target_pos — the frontier is
+  // stale then (it marks the *last* batch's start, never end-of-source), so
+  // re-entering the copy loop would re-copy the final batch.
+  if (j->targets[target_idx].completed) return Status::OK();
+
+  // Foreground write co-operation (DESIGN.md §19): with a router attached,
+  // the per-target key set shared with its dual-apply replaces the private
+  // dedup state, every batch runs under the router's write mutex, and the
+  // scan re-seeks from the journal frontier instead of trusting a live
+  // iterator across batches (the router may relocate or delete rows in the
+  // windows between them).
+  DmlRouter* router = options_.dml_router;
+  DmlRouter::TargetState* ts =
+      router != nullptr && router->attached() ? router->FindTarget(t.schema.name()) : nullptr;
+
   // Rebuild transient copy state from the durable cursor. All of it is a
   // deterministic function of (sources, cursor), which is what makes the
   // cursor a sufficient resume point.
   std::unordered_set<Value, ValueHash, ValueEq> seen_keys;
-  if (t.dedup && j->targets[target_idx].dest_rows > 0) {
+  if (t.dedup && ts == nullptr && j->targets[target_idx].dest_rows > 0) {
     // The destination holds exactly the first-seen keys inserted so far;
     // its column 0 is the dedup key.
     PSE_ASSIGN_OR_RETURN(TableInfo * dest, db_->GetTable(t.schema.name()));
@@ -209,10 +228,11 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
   }
 
   std::unordered_map<Value, Row, ValueHash, ValueEq> right_rows;
-  if (t.source == OpPlan::Source::kJoin) {
+  if (t.source == OpPlan::Source::kJoin && ts == nullptr) {
     // Hash the parent side by its join key (unique: it is the key). The
     // right table outlives the whole copy phase, so a resume can always
-    // rebuild this.
+    // rebuild this. With a router attached the hash is rebuilt per batch
+    // instead — a foreground write may change the parent side mid-copy.
     PSE_ASSIGN_OR_RETURN(TableInfo * right_info, db_->GetTable(t.right_table));
     std::shared_lock<SharedMutex> right_lock(right_info->latch);
     for (auto it = right_info->heap->Begin(); !it.AtEnd();) {
@@ -222,29 +242,67 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
     }
   }
 
-  // Position the source at the cursor. Heap scans have no random access, so
-  // a resume re-reads (but does not re-copy) the first src_cursor rows once.
+  // Position the source. The frontier (first unconsumed rid) is the
+  // authoritative resume point: rids are tail-append-monotone, so it stays
+  // correct when concurrent DML shifts row *counts* under the cursor. The
+  // count-skip is the fallback for pre-frontier journals and the very first
+  // batch. Heap scans have no random access, so a resume re-reads (but does
+  // not re-copy) the skipped prefix once.
   uint64_t cursor = j->targets[target_idx].src_cursor;
   const std::vector<Row>* entity_rows = nullptr;
   TableHeap::Iterator it;
   TableInfo* src_info = nullptr;  // scanned source; content-latched per batch
+  auto seek = [&]() -> Status {
+    it = src_info->heap->Begin();
+    if (j->targets[target_idx].frontier_valid) {
+      const uint64_t frontier = j->targets[target_idx].frontier;
+      while (!it.AtEnd() && it.rid().Pack() < frontier) {
+        PSE_RETURN_NOT_OK(it.Next());
+      }
+      return Status::OK();
+    }
+    for (uint64_t skipped = 0; skipped < cursor && !it.AtEnd(); ++skipped) {
+      PSE_RETURN_NOT_OK(it.Next());
+    }
+    return Status::OK();
+  };
   if (t.source == OpPlan::Source::kEntity) {
     entity_rows = &data_->Rows(t.entity);
   } else {
     const std::string& src = t.source == OpPlan::Source::kScan ? t.scan_table : t.left_table;
     PSE_ASSIGN_OR_RETURN(src_info, db_->GetTable(src));
-    std::shared_lock<SharedMutex> skip_lock(src_info->latch);
-    it = src_info->heap->Begin();
-    for (uint64_t skipped = 0; skipped < cursor && !it.AtEnd(); ++skipped) {
-      PSE_RETURN_NOT_OK(it.Next());
+    if (ts == nullptr) {
+      std::shared_lock<SharedMutex> skip_lock(src_info->latch);
+      PSE_RETURN_NOT_OK(seek());
     }
   }
 
+  bool src_exhausted = false;  // router path: refreshed at every batch end
   auto exhausted = [&]() {
-    return t.source == OpPlan::Source::kEntity ? cursor >= t.entity_limit : it.AtEnd();
+    if (t.source == OpPlan::Source::kEntity) return cursor >= t.entity_limit;
+    return ts != nullptr ? src_exhausted : it.AtEnd();
   };
 
   while (!exhausted()) {
+    // With a router attached, the whole batch — scan through journal commit —
+    // serializes against foreground statements on the router's write mutex
+    // (rank kLockRankDmlRouter, below every table latch taken here), so the
+    // shared key sets and the frontier stay consistent with dual-applies.
+    std::unique_lock<Mutex> router_lock;
+    if (ts != nullptr) {
+      router_lock = std::unique_lock<Mutex>(router->write_mutex());
+      if (t.source == OpPlan::Source::kJoin) {
+        right_rows.clear();
+        PSE_ASSIGN_OR_RETURN(TableInfo * right_info, db_->GetTable(t.right_table));
+        std::shared_lock<SharedMutex> right_lock(right_info->latch);
+        for (auto rit = right_info->heap->Begin(); !rit.AtEnd();) {
+          const Value& k = rit.row()[t.right_join_pos];
+          if (!k.is_null()) right_rows.emplace(k, rit.row());
+          PSE_RETURN_NOT_OK(rit.Next());
+        }
+      }
+    }
+
     // --- scan-batch: pull raw source rows. The shared content latch on the
     // scanned source covers the batch only — released before the transform,
     // the commit, and the hook so foreground statements (and the hook's own
@@ -258,6 +316,7 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
       }
     } else {
       std::shared_lock<SharedMutex> batch_lock(src_info->latch);
+      if (ts != nullptr) PSE_RETURN_NOT_OK(seek());
       if (options_.batch_io_budget == 0) {
         // One page pin per heap page instead of one per tuple.
         PSE_RETURN_NOT_OK(it.FillBatch(options_.batch_rows, &scanned).status());
@@ -270,6 +329,14 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
           PSE_RETURN_NOT_OK(it.Next());
         }
       }
+      // FillBatch leaves the iterator on the first unconsumed tuple: that
+      // rid is the new frontier. At end-of-source the completed flag below
+      // is the durable end-state instead.
+      if (!it.AtEnd()) {
+        j->targets[target_idx].frontier = it.rid().Pack();
+        j->targets[target_idx].frontier_valid = true;
+      }
+      src_exhausted = it.AtEnd();
     }
     const size_t batch_rows = scanned.size();
 
@@ -302,11 +369,15 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
         }
         dst_batch.SetNumRows(batch_rows);
         if (t.dedup) {
+          // With a router attached the shared key set replaces the private
+          // one, so keys the dual-apply already put in the destination are
+          // deduped exactly like keys this loop copied itself.
+          auto& key_set = ts != nullptr ? ts->keys : seen_keys;
           std::vector<uint32_t> sel;
           const std::vector<Value>& keys = dst_batch.col(0);
           for (uint32_t i = 0; i < batch_rows; ++i) {
             if (keys[i].is_null()) continue;  // dangling/unknown parent
-            if (seen_keys.insert(keys[i]).second) sel.push_back(i);
+            if (key_set.insert(keys[i]).second) sel.push_back(i);
           }
           dst_batch.SetSel(std::move(sel));
         }
@@ -360,13 +431,27 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
     // sorted-name order whenever the destination sorts before the source
     // (lockdep regression: CopyBatchHoldsOneTableLatchAtATime).
     for (Row& dst : staged) {
+      if (ts != nullptr && !t.dedup) {
+        // Non-dedup target: a key already in the shared set was dual-applied
+        // by the router (on whichever side of the frontier the write landed);
+        // re-inserting it here would be the double-insert this set exists to
+        // prevent. Dedup targets filtered through the set above already.
+        const Value& k = dst[ts->key_col];
+        if (!k.is_null()) {
+          if (ts->keys.count(k) > 0) continue;
+          ts->keys.insert(k);
+        }
+      }
       PSE_RETURN_NOT_OK(db_->Insert(t.schema.name(), dst).status());
       ++j->targets[target_idx].dest_rows;
     }
 
-    // Commit point: data + journal cursor become durable together. A crash
-    // after this survives with the cursor; a crash before it re-runs the
-    // batch (detected by the dest-row count disagreeing with the journal).
+    // Commit point: data + journal cursor + frontier become durable
+    // together. A crash after this survives with the cursor; a crash before
+    // it re-runs the batch (detected by the dest-row count disagreeing with
+    // the journal). The router lock (when held) covers the commit too, so
+    // the checkpoint never races a dual-apply's journal bookkeeping — only
+    // the hook runs outside it (it may execute foreground DML itself).
     j->targets[target_idx].src_cursor = cursor;
     if (exhausted()) j->targets[target_idx].completed = true;
     PSE_RETURN_NOT_OK(CommitBatch());
@@ -374,6 +459,7 @@ Status MigrationExecutor::CopyTarget(const OpPlan& plan, size_t target_idx) {
 
     uint64_t rows_copied = 0;
     for (const auto& jt : j->targets) rows_copied += jt.dest_rows;
+    if (router_lock.owns_lock()) router_lock.unlock();
     PSE_RETURN_NOT_OK(FireHook(rows_copied));
   }
   if (!j->targets[target_idx].completed) {
@@ -425,6 +511,8 @@ Status MigrationExecutor::RecoverTargets(const OpPlan& plan) {
     PSE_RETURN_NOT_OK(EnsureSecondaryIndexes(db_, *plan.after, plan.targets[i].after_idx));
     j->targets[i].src_cursor = 0;
     j->targets[i].dest_rows = 0;
+    j->targets[i].frontier = 0;
+    j->targets[i].frontier_valid = false;
   }
   return CommitBatch();
 }
@@ -451,8 +539,16 @@ Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
     PSE_RETURN_NOT_OK(CommitBatch());
   }
 
+  DmlRouter* router = options_.dml_router;
   if (j->phase == MigrationJournal::Phase::kCopy) {
-    if (resume) PSE_RETURN_NOT_OK(RecoverTargets(plan));
+    if (resume) {
+      PSE_RETURN_NOT_OK(RecoverTargets(plan));
+      // Recovery may have nuked a torn target back to empty: the router's
+      // shared key sets must match the heaps again before any dual-apply.
+      if (router != nullptr && router->attached()) {
+        PSE_RETURN_NOT_OK(router->RebuildKeys());
+      }
+    }
     while (j->target_pos < j->targets.size()) {
       PSE_RETURN_NOT_OK(CopyTarget(plan, j->target_pos));
       ++j->target_pos;
@@ -479,6 +575,15 @@ Status MigrationExecutor::RunPhases(const OpPlan& plan, bool resume) {
     }
     j->phase = MigrationJournal::Phase::kFinalize;
     PSE_RETURN_NOT_OK(CommitBatch());
+  }
+
+  if (router != nullptr && router->attached()) {
+    // Last write window before publish: materialize parent rows that exist
+    // only as provenance (every covering source row deleted mid-copy), then
+    // detach — from here the post-op schema is the single serving truth and
+    // statements apply to it directly, no dual writes.
+    PSE_RETURN_NOT_OK(router->BackfillProvenance());
+    router->DetachOp();
   }
 
   for (const auto& t : plan.targets) {
@@ -549,9 +654,31 @@ Result<uint64_t> MigrationExecutor::Run(const MigrationOperator& op, PhysicalSch
     }
   }
 
+  DmlRouter* router = options_.dml_router;
+  if (router != nullptr) {
+    // Attach the operator so foreground DML dual-applies onto the targets
+    // from the very first batch. On the fresh path the targets don't exist
+    // yet (empty key sets — correct, they're created empty); on resume the
+    // sets rebuild from whatever the torn heaps hold, and RunPhases rebuilds
+    // them again after recovery repairs.
+    std::vector<DmlRouter::TargetState> target_states;
+    target_states.reserve(plan.targets.size());
+    for (size_t i = 0; i < plan.targets.size(); ++i) {
+      DmlRouter::TargetState ts;
+      ts.table = plan.targets[i].schema.name();
+      ts.after_idx = plan.targets[i].after_idx;
+      ts.journal_idx = i;
+      // ToTableSchema emits the anchor key as column 0 on every table.
+      ts.key_col = 0;
+      target_states.push_back(std::move(ts));
+    }
+    PSE_RETURN_NOT_OK(router->AttachOp(&after, std::move(target_states)));
+  }
+
   io_start_ = db_->TotalIo();
   hook_io_ = 0;
   Status s = RunPhases(plan, resume);
+  if (router != nullptr) router->DetachOp();  // no-op after the publish window
   if (!s.ok()) {
     uint64_t io_spent = db_->TotalIo() - io_start_ - hook_io_;
     if (options_.rollback_on_error && j->phase < MigrationJournal::Phase::kDropSources) {

@@ -32,6 +32,8 @@
 
 namespace pse {
 
+class DmlRouter;  // core/rewriter_dml.h
+
 /// Snapshot handed to MigrationOptions::on_batch after every committed batch.
 struct MigrationBatchEvent {
   int op_id = 0;                ///< id of the in-flight operator
@@ -72,6 +74,14 @@ struct MigrationOptions {
   /// the journal before returning (the atomicity guarantee). Crash tests
   /// set this to false so the torn state survives for Resume().
   bool rollback_on_error = true;
+  /// Foreground write router to co-operate with (DESIGN.md §19). When set,
+  /// the executor attaches the in-flight operator to it so concurrent DML
+  /// dual-applies onto the copy targets: each copy batch runs under the
+  /// router's write mutex, consults the shared per-target key sets instead
+  /// of private dedup state, and the pre-publish quiesce backfills
+  /// provenance-only rows before detaching. The router must outlive the
+  /// Apply/Resume call; the same router must serve every foreground writer.
+  DmlRouter* dml_router = nullptr;
 };
 
 /// Progress accumulated by ApplyAll, reported even when a mid-sequence

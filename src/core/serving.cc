@@ -36,8 +36,10 @@ double Percentile(const std::vector<double>& sorted, double q) {
 
 /// Per-lane tallies, merged serially after the join.
 struct LaneResult {
-  std::vector<double> latencies_ms;
+  std::vector<double> latencies_ms;  // reads and writes together
+  uint64_t writes = 0;
   uint64_t unservable = 0;
+  uint64_t unservable_writes = 0;
   uint64_t errors = 0;
   Status first_error;  // kept for the returned status message
 };
@@ -84,19 +86,60 @@ Result<ServeMetrics> ServeDuringMigration(Database* db, ServingSchema* serving,
       return;
     }
     LaneResult& r = results[lane];
-    if (active.empty()) return;
+    const bool writes_on =
+        options.router != nullptr && options.write_fraction > 0 && options.make_write;
+    if (active.empty() && !writes_on) return;
     std::mt19937_64 rng(options.seed + lane);
-    std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+    std::discrete_distribution<size_t> pick;
+    if (!active.empty()) {
+      pick = std::discrete_distribution<size_t>(weights.begin(), weights.end());
+    }
+    std::bernoulli_distribution write_coin(writes_on ? options.write_fraction : 0.0);
+    uint64_t lane_writes = 0;
     // The floor counts *attempts*, not successes: a phase whose every active
-    // query is still unservable must not spin a lane forever.
+    // statement is still unservable must not spin a lane forever.
     uint64_t attempts = 0;
     while (!stop.load(std::memory_order_acquire) ||
            attempts < options.min_queries_per_lane) {
       ++attempts;
-      const LogicalQuery& query = queries[active[pick(rng)]].query;
+      const bool do_write = writes_on && (active.empty() || write_coin(rng));
       Clock::time_point t0 = Clock::now();
       Status failed;
       bool ran = false;
+      if (do_write) {
+        LogicalDml dml = options.make_write(lane_writes++, rng);
+        PSE_LOCKDEP_SCOPE("ServeDuringMigration::writer");
+        // Same latch discipline as the read path, then the router's write
+        // mutex (rank 25) and table latches (rank 30) underneath — the
+        // canonical ascending order.
+        std::shared_lock<SharedMutex> schema_lock(db->schema_latch());
+        std::shared_ptr<const PhysicalSchema> schema = serving->Get();
+        DmlExecOptions dml_opts;
+        dml_opts.vectorized = exec_options.vectorized;
+        Status s = options.router->Execute(dml, *schema, dml_opts);
+        if (!s.ok()) {
+          if (s.IsBindError()) {
+            // A planned write-unsafe window (writability cell kUnservable):
+            // the statement is skipped, not failed — accounting parity with
+            // unservable reads.
+            ++r.unservable;
+            ++r.unservable_writes;
+            continue;
+          }
+          failed = s;
+        } else {
+          ran = true;
+        }
+        if (!ran) {
+          ++r.errors;
+          if (r.first_error.ok()) r.first_error = failed;
+          continue;
+        }
+        ++r.writes;
+        r.latencies_ms.push_back(MsSince(t0));
+        continue;
+      }
+      const LogicalQuery& query = queries[active[pick(rng)]].query;
       {
         PSE_LOCKDEP_SCOPE("ServeDuringMigration::lane");
         // Catalog latch shared across rewrite+plan+execute; the snapshot is
@@ -140,13 +183,17 @@ Result<ServeMetrics> ServeDuringMigration(Database* db, ServingSchema* serving,
   std::vector<double> all;
   Status first_error;
   for (const LaneResult& r : results) {
-    m.queries += r.latencies_ms.size();
+    m.queries += r.latencies_ms.size() - r.writes;
+    m.writes += r.writes;
     m.unservable += r.unservable;
+    m.unservable_writes += r.unservable_writes;
     m.errors += r.errors;
     if (first_error.ok() && !r.first_error.ok()) first_error = r.first_error;
     all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
   }
-  if (m.wall_ms > 0) m.throughput_qps = static_cast<double>(m.queries) / (m.wall_ms / 1000.0);
+  if (m.wall_ms > 0) {
+    m.throughput_qps = static_cast<double>(m.queries + m.writes) / (m.wall_ms / 1000.0);
+  }
   if (!all.empty()) {
     std::sort(all.begin(), all.end());
     m.p50_ms = Percentile(all, 0.50);

@@ -18,11 +18,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <vector>
 
 #include "common/lock_registry.h"
 #include "common/status.h"
 #include "core/physical_schema.h"
+#include "core/rewriter_dml.h"
 #include "core/workload.h"
 #include "storage/database.h"
 
@@ -43,16 +45,33 @@ struct ServeOptions {
   /// of the row-at-a-time iterators. Either engine serves every rewritten
   /// query; the PSE_VECTORIZED environment variable forces this on.
   bool vectorized = false;
+
+  // -- writer lanes (the write half of the serve mix; DESIGN.md §19) --
+
+  /// Router the writer share of the mix executes through. Null keeps the
+  /// window read-only (write_fraction is then ignored). Wire the same router
+  /// into MigrationOptions::dml_router so live-frontier writes dual-apply.
+  DmlRouter* router = nullptr;
+  /// Probability a lane iteration issues a write instead of a query.
+  double write_fraction = 0.0;
+  /// Produces the i-th write of a lane (i counts that lane's writes; rng is
+  /// the lane's own, so the workload stays reproducible per (seed, lane)).
+  std::function<LogicalDml(uint64_t, std::mt19937_64&)> make_write;
 };
 
-/// What happened during one serve window.
+/// What happened during one serve window. An unservable *write* window (the
+/// writability cell for the statement's DML kind is kUnservable on the live
+/// intermediate — a planned write-unsafe phase) counts under `unservable`
+/// exactly like an unservable read, never under `errors`.
 struct ServeMetrics {
   uint64_t queries = 0;      ///< successfully executed foreground queries
+  uint64_t writes = 0;       ///< successfully executed foreground writes
   uint64_t unservable = 0;   ///< skipped: not yet servable on the live schema
+  uint64_t unservable_writes = 0;  ///< the write share of `unservable`
   uint64_t errors = 0;       ///< non-bind failures (must stay 0)
   double wall_ms = 0;        ///< window duration (migration + drain)
-  double throughput_qps = 0; ///< queries / wall
-  double p50_ms = 0;         ///< median query latency
+  double throughput_qps = 0; ///< (queries + writes) / wall
+  double p50_ms = 0;         ///< median statement latency
   double p95_ms = 0;
   double p99_ms = 0;
 };

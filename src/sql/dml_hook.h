@@ -1,0 +1,40 @@
+// SessionDmlHook: an interception point for parsed DML statements.
+//
+// A Session normally executes INSERT/UPDATE/DELETE directly against the
+// physical table the statement names. Multi-version serving needs a
+// different route: the statement names a *version table* (the logical table
+// one application version sees — analysis/writability.h), which may be
+// fanned out across several physical fragments of the current intermediate
+// schema by the write rewriter (core/rewriter_dml.h). The hook lets the
+// core layer claim such statements without the sql layer depending on it:
+// sql sees only this interface; core implements it (SqlDmlBridge).
+//
+// Contract: each handler returns whether it handled the statement. On
+// `false` the session falls through to its default physical-table path
+// (how raw-table DDL/DML in tests and loaders keeps working); on `true`
+// the session reports `*affected` and executes nothing itself. Handlers
+// run under the session's shared catalog latch, so they may acquire latches
+// ranked above it (DmlRouter's write mutex, table latches) but must not
+// take the catalog latch again.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pse {
+
+struct InsertStmt;
+struct UpdateStmt;
+struct DeleteStmt;
+
+class SessionDmlHook {
+ public:
+  virtual ~SessionDmlHook() = default;
+
+  virtual Result<bool> OnInsert(const InsertStmt& stmt, uint64_t* affected) = 0;
+  virtual Result<bool> OnUpdate(const UpdateStmt& stmt, uint64_t* affected) = 0;
+  virtual Result<bool> OnDelete(const DeleteStmt& stmt, uint64_t* affected) = 0;
+};
+
+}  // namespace pse

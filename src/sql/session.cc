@@ -98,6 +98,11 @@ Result<ExecResult> Session::ExecuteSelect(const BoundQuery& q) {
 }
 
 Result<ExecResult> Session::ExecuteInsert(const InsertStmt& stmt) {
+  if (dml_hook_ != nullptr) {
+    ExecResult out;
+    PSE_ASSIGN_OR_RETURN(bool handled, dml_hook_->OnInsert(stmt, &out.affected));
+    if (handled) return out;
+  }
   PSE_ASSIGN_OR_RETURN(TableInfo * t, db_->GetTable(stmt.table));
   const TableSchema& schema = *t->schema;
   // Map provided columns to schema positions.
@@ -168,6 +173,11 @@ Status CollectMatches(TableInfo* t, const Expr* where,
 }  // namespace
 
 Result<ExecResult> Session::ExecuteUpdate(const UpdateStmt& stmt) {
+  if (dml_hook_ != nullptr) {
+    ExecResult out;
+    PSE_ASSIGN_OR_RETURN(bool handled, dml_hook_->OnUpdate(stmt, &out.affected));
+    if (handled) return out;
+  }
   PSE_ASSIGN_OR_RETURN(TableInfo * t, db_->GetTable(stmt.table));
   const TableSchema& schema = *t->schema;
   // Resolve assignment expressions against the table row.
@@ -198,6 +208,11 @@ Result<ExecResult> Session::ExecuteUpdate(const UpdateStmt& stmt) {
 }
 
 Result<ExecResult> Session::ExecuteDelete(const DeleteStmt& stmt) {
+  if (dml_hook_ != nullptr) {
+    ExecResult out;
+    PSE_ASSIGN_OR_RETURN(bool handled, dml_hook_->OnDelete(stmt, &out.affected));
+    if (handled) return out;
+  }
   PSE_ASSIGN_OR_RETURN(TableInfo * t, db_->GetTable(stmt.table));
   std::vector<std::pair<Rid, Row>> matches;
   PSE_RETURN_NOT_OK(CollectMatches(t, stmt.where.get(), &matches));

@@ -8,6 +8,7 @@
 #include "engine/bound_query.h"
 #include "engine/catalog_view.h"
 #include "engine/plan.h"
+#include "sql/dml_hook.h"
 #include "storage/database.h"
 
 namespace pse {
@@ -37,6 +38,12 @@ class Session {
   Database* db() { return db_; }
   const DatabaseCatalogView& catalog_view() const { return view_; }
 
+  /// Intercepts parsed DML before the default physical-table path — the
+  /// write rewriter's entry point (dml_hook.h). Null disables interception.
+  /// The hook must outlive the session (or be reset first).
+  void set_dml_hook(SessionDmlHook* hook) { dml_hook_ = hook; }
+  SessionDmlHook* dml_hook() const { return dml_hook_; }
+
  private:
   Result<ExecResult> ExecuteSelect(const BoundQuery& q);
   Result<ExecResult> ExecuteInsert(const struct InsertStmt& stmt);
@@ -45,6 +52,7 @@ class Session {
 
   Database* db_;
   DatabaseCatalogView view_;
+  SessionDmlHook* dml_hook_ = nullptr;
 };
 
 }  // namespace pse

@@ -32,9 +32,23 @@ struct MigrationJournal {
   /// Copy progress of one destination table.
   struct Target {
     std::string table;
-    bool completed = false;   ///< fully copied and made durable
-    uint64_t src_cursor = 0;  ///< source rows consumed (scan order = insert order)
-    uint64_t dest_rows = 0;   ///< rows inserted (== cursor unless deduplicating)
+    bool completed = false;  ///< fully copied and made durable
+    /// Source rows consumed, as a *count*. Sufficient on its own only while
+    /// the source is frozen: scan order is insert order (heap tail-append),
+    /// but concurrent DML makes a count ambiguous — a delete behind the
+    /// cursor shifts later rows under it, and an insert behind it would be
+    /// skipped. Kept as the resume fallback for journals without a frontier.
+    uint64_t src_cursor = 0;
+    uint64_t dest_rows = 0;  ///< rows inserted (== cursor unless deduplicating)
+    /// Copy frontier: packed Rid (rid.Pack()) of the first source row NOT
+    /// yet consumed. Resume semantics: re-scan the source and consume every
+    /// row with rid.Pack() >= frontier. Rids are tail-append-monotone, so
+    /// rows *behind* the frontier were all scanned, whatever concurrent DML
+    /// did to the count — an insert behind an already-valid frontier must be
+    /// propagated by the writer itself (the DmlRouter's dual-apply), never
+    /// by the copy loop.
+    uint64_t frontier = 0;
+    bool frontier_valid = false;  ///< false on pre-frontier journals (use src_cursor)
   };
 
   bool active = false;

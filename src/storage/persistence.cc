@@ -19,9 +19,11 @@ namespace pse {
 namespace {
 
 constexpr uint32_t kMagic = 0x50534543;  // "PSEC"
-// v1: tables only; v2 appends the migration-journal section. v1 files are
-// still readable (journal defaults to inactive).
-constexpr uint32_t kVersion = 2;
+// v1: tables only; v2 appends the migration-journal section; v3 appends the
+// per-target copy frontier (migration_journal.h) to each journal target.
+// Older files are still readable (journal defaults to inactive; frontier
+// defaults to invalid, falling back to src_cursor count-skip on resume).
+constexpr uint32_t kVersion = 3;
 constexpr size_t kChainHeader = 8;
 constexpr size_t kChainPayload = kPageSize - kChainHeader;
 
@@ -163,6 +165,8 @@ Status Database::WriteSuperblock() {
       w.U8(t.completed ? 1 : 0);
       w.U64(t.src_cursor);
       w.U64(t.dest_rows);
+      w.U64(t.frontier);
+      w.U8(t.frontier_valid ? 1 : 0);
     }
     w.U32(journal_.target_pos);
     w.U64(journal_.batches_committed);
@@ -298,6 +302,11 @@ Status Database::LoadSuperblock() {
         t.completed = completed != 0;
         PSE_ASSIGN_OR_RETURN(t.src_cursor, r.U64());
         PSE_ASSIGN_OR_RETURN(t.dest_rows, r.U64());
+        if (version >= 3) {
+          PSE_ASSIGN_OR_RETURN(t.frontier, r.U64());
+          PSE_ASSIGN_OR_RETURN(uint8_t frontier_valid, r.U8());
+          t.frontier_valid = frontier_valid != 0;
+        }
         journal_.targets.push_back(std::move(t));
       }
       PSE_ASSIGN_OR_RETURN(journal_.target_pos, r.U32());

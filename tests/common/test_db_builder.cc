@@ -122,5 +122,143 @@ std::unique_ptr<LogicalDatabase> Bookstore::MakeData(int authors, int books_per_
   return data;
 }
 
+Row FullEntityRow(const LogicalSchema& lg, EntityId e, int64_t key,
+                  const std::vector<AttrId>& attrs, const std::vector<Value>& values) {
+  const LogicalEntity& ent = lg.entity(e);
+  Row row;
+  for (AttrId a : ent.attributes) {
+    if (a == ent.key) {
+      row.push_back(Value::Int(key));
+      continue;
+    }
+    Value v = Value::Null(lg.attr(a).type);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == a) v = values[i];
+    }
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+std::optional<int64_t> MirrorChainKey(const LogicalDatabase& mirror, EntityId from,
+                                      int64_t from_key, EntityId to,
+                                      const std::map<AttrId, Value>& overrides) {
+  const LogicalSchema& lg = mirror.logical();
+  if (from == to) return from_key;
+  auto path = lg.FkPath(from, to);
+  if (!path.ok()) return std::nullopt;
+  EntityId cur = from;
+  int64_t cur_key = from_key;
+  for (AttrId fk : *path) {
+    Value v;
+    auto ov = overrides.find(fk);
+    if (ov != overrides.end()) {
+      v = ov->second;
+    } else {
+      const Row* r = mirror.FindByKey(cur, cur_key);
+      if (r == nullptr) return std::nullopt;
+      auto got = mirror.AttrOfRow(cur, *r, fk);
+      if (!got.ok()) return std::nullopt;
+      v = *got;
+    }
+    if (v.is_null() || v.type() != TypeId::kInt64) return std::nullopt;
+    cur = *lg.attr(fk).references;
+    cur_key = v.AsInt();
+  }
+  return cur_key;
+}
+
+void MirrorApply(LogicalDatabase* mirror, const LogicalDml& dml) {
+  const LogicalSchema& lg = mirror->logical();
+  EntityId anchor = dml.table.anchor;
+  bool exists = mirror->FindByKey(anchor, dml.key) != nullptr;
+  std::map<AttrId, Value> provided;
+  for (size_t i = 0; i < dml.set_attrs.size(); ++i) provided[dml.set_attrs[i]] = dml.set_values[i];
+
+  switch (dml.kind) {
+    case DmlKind::kInsert: {
+      if (exists) return;
+      std::vector<EntityId> parents;
+      for (AttrId a : dml.set_attrs) {
+        EntityId e = lg.attr(a).entity;
+        if (e == anchor) continue;
+        if (std::find(parents.begin(), parents.end(), e) == parents.end()) parents.push_back(e);
+      }
+      for (EntityId e : parents) {
+        auto pk = MirrorChainKey(*mirror, anchor, dml.key, e, provided);
+        if (!pk.has_value() || mirror->FindByKey(e, *pk) != nullptr) continue;
+        ASSERT_TRUE(
+            mirror->AddRow(e, FullEntityRow(lg, e, *pk, dml.set_attrs, dml.set_values)).ok());
+      }
+      ASSERT_TRUE(
+          mirror->AddRow(anchor, FullEntityRow(lg, anchor, dml.key, dml.set_attrs, dml.set_values))
+              .ok());
+      return;
+    }
+    case DmlKind::kUpdate: {
+      if (!exists) return;
+      std::vector<AttrId> own_attrs;
+      std::vector<Value> own_values;
+      std::vector<EntityId> parents;
+      for (size_t i = 0; i < dml.set_attrs.size(); ++i) {
+        EntityId e = lg.attr(dml.set_attrs[i]).entity;
+        if (e == anchor) {
+          own_attrs.push_back(dml.set_attrs[i]);
+          own_values.push_back(dml.set_values[i]);
+        } else if (std::find(parents.begin(), parents.end(), e) == parents.end()) {
+          parents.push_back(e);
+        }
+      }
+      // Anchor first: parent rows are located through the updated FKs.
+      ASSERT_TRUE(mirror->UpdateRow(anchor, dml.key, own_attrs, own_values).ok());
+      for (EntityId e : parents) {
+        auto pk = MirrorChainKey(*mirror, anchor, dml.key, e, provided);
+        if (!pk.has_value() || mirror->FindByKey(e, *pk) == nullptr) continue;
+        std::vector<AttrId> attrs;
+        std::vector<Value> values;
+        for (size_t i = 0; i < dml.set_attrs.size(); ++i) {
+          if (lg.attr(dml.set_attrs[i]).entity != e) continue;
+          attrs.push_back(dml.set_attrs[i]);
+          values.push_back(dml.set_values[i]);
+        }
+        ASSERT_TRUE(mirror->UpdateRow(e, *pk, attrs, values).ok());
+      }
+      return;
+    }
+    case DmlKind::kDelete: {
+      if (!exists) return;
+      ASSERT_TRUE(mirror->DeleteRow(anchor, dml.key).ok());
+      return;
+    }
+    case DmlKind::kSelect:
+      FAIL() << "SELECT is not DML";
+  }
+}
+
+void ExpectStateMatchesMirror(Database* db, const LogicalDatabase& mirror,
+                              const PhysicalSchema& schema, const std::string& where) {
+  Database scratch(1024);
+  ASSERT_TRUE(mirror.Materialize(&scratch, schema).ok()) << where;
+  for (const PhysicalTable& t : schema.tables()) {
+    std::vector<Row> got = SortRows(TableRows(db, t.name));
+    std::vector<Row> want = SortRows(TableRows(&scratch, t.name));
+    if (SameRows(got, want)) continue;
+    auto dump = [](const std::vector<Row>& rows) {
+      std::string out;
+      for (const Row& r : rows) {
+        out += "  [";
+        for (size_t i = 0; i < r.size(); ++i) out += (i ? ", " : "") + r[i].ToString();
+        out += "]\n";
+      }
+      return out;
+    };
+    ADD_FAILURE() << where << ": table '" << t.name
+                  << "' diverges from the entity-level mirror\nrouter (" << got.size()
+                  << " rows):\n"
+                  << dump(got) << "mirror (" << want.size() << " rows):\n"
+                  << dump(want);
+  }
+}
+
 }  // namespace testutil
 }  // namespace pse

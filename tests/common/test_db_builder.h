@@ -8,7 +8,9 @@
 // shim for the historical include path.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "core/logical_database.h"
 #include "core/logical_schema.h"
 #include "core/physical_schema.h"
+#include "core/rewriter_dml.h"
 #include "storage/database.h"
 
 namespace pse {
@@ -74,6 +77,37 @@ struct Bookstore {
   std::unique_ptr<LogicalDatabase> MakeData(int authors = 10, int books_per_author = 20,
                                             int users = 50) const;
 };
+
+// --- entity-level DML mirror (write-side differential oracles) ---
+//
+// Reference semantics of one LogicalDml applied directly to a
+// LogicalDatabase, matching the DmlRouter's documented entity-level
+// behavior: idempotent INSERT (existing parents win, bare parents created),
+// no-op UPDATE/DELETE of absent rows, anchor assignments before parent
+// assignments. A physical database driven through the router must equal a
+// fresh materialization of the mirror after any statement sequence.
+
+/// Full entity row for `e`: key at the key position, provided attributes at
+/// theirs, typed NULL elsewhere. Attributes not belonging to `e` are
+/// ignored, so a version table carrying parent attributes can share one
+/// provided list.
+Row FullEntityRow(const LogicalSchema& lg, EntityId e, int64_t key,
+                  const std::vector<AttrId>& attrs, const std::vector<Value>& values);
+
+/// Key of entity `to` reachable from (from, from_key) by the FK chain;
+/// values come from `overrides` first (the statement's assignments), then
+/// the mirror's stored rows. nullopt when any hop is NULL or dangling.
+std::optional<int64_t> MirrorChainKey(const LogicalDatabase& mirror, EntityId from,
+                                      int64_t from_key, EntityId to,
+                                      const std::map<AttrId, Value>& overrides);
+
+/// Applies `dml` to the mirror (reports gtest failures on mirror errors).
+void MirrorApply(LogicalDatabase* mirror, const LogicalDml& dml);
+
+/// Every table of `schema` in `db` must equal a fresh materialization of the
+/// mirror, row for row; divergence dumps both sides as a gtest failure.
+void ExpectStateMatchesMirror(Database* db, const LogicalDatabase& mirror,
+                              const PhysicalSchema& schema, const std::string& where);
 
 }  // namespace testutil
 }  // namespace pse

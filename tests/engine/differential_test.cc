@@ -320,5 +320,203 @@ TEST(CrossSchemaOracle, TpcwWorkloadRowEqualOnEveryLaaIntermediate) {
   }
 }
 
+// --- mixed read/write differential oracle ---
+//
+// The write-side extension of the invariant above: random DML from BOTH
+// application versions flows through the DmlRouter on every LAA
+// intermediate — including mid-copy, on both sides of a live frontier — and
+// is mirrored on the entity-level LogicalDatabase. After every burst the
+// physical tables must equal a fresh materialization of the mirror, and
+// every servable read (executed through BOTH engines) must equal the same
+// query answered on the fully-migrated object schema built from the mirror.
+
+TEST(MixedRwCrossSchemaOracle, DmlFromBothVersionsAgreesOnEveryLaaIntermediate) {
+  auto bs = testutil::Bookstore::Make();
+  const LogicalSchema& lg = bs->logical;
+  // The mirror doubles as the executor's entity source (kCreateTable rows),
+  // which is exactly the shared-truth semantics: rows written before the
+  // create op must appear in the created fragment too. DML therefore pauses
+  // while an entity-sourced copy is in flight (the row vector must not move
+  // under the scan); scan/join-sourced ops take live writes every batch.
+  auto mirror = bs->MakeData(5, 4, 40);
+
+  std::vector<VersionTable> tables = VersionTablesOf(bs->source);
+  {
+    std::vector<VersionTable> object_tables = VersionTablesOf(bs->object);
+    tables.insert(tables.end(), object_tables.begin(), object_tables.end());
+  }
+
+  // Read workload: one query per version era (the new one needs b_abstract,
+  // unservable until its create op lands), reused as the LAA's predicted
+  // workload.
+  std::vector<WorkloadQuery> queries;
+  {
+    LogicalQuery book;
+    book.name = "old-book-author";
+    book.anchor = bs->book;
+    book.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+    book.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+    queries.emplace_back(std::move(book), /*is_old=*/true);
+    LogicalQuery user;
+    user.name = "old-user";
+    user.anchor = bs->user;
+    user.select.emplace_back(Col("u_name"), AggFunc::kNone, "n");
+    user.select.emplace_back(Col("u_addr"), AggFunc::kNone, "ad");
+    queries.emplace_back(std::move(user), /*is_old=*/true);
+    LogicalQuery abstract_q;
+    abstract_q.name = "new-abstract";
+    abstract_q.anchor = bs->book;
+    abstract_q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+    abstract_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "ab");
+    queries.emplace_back(std::move(abstract_q), /*is_old=*/false);
+  }
+
+  Database db(4096);
+  ASSERT_TRUE(mirror->Materialize(&db, bs->source).ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  PhysicalSchema current = bs->source;
+  DmlRouter router(&db);
+  Rng rng(20260808);
+
+  // The workload keeps the instance COVERING (every FK names a live author):
+  // FKs always reference a seed author, INSERTs must provide them, and
+  // author rows are never deleted. Reads rewrite parent joins as inner
+  // joins, so the join layout and the denormalized layout only answer alike
+  // on covering data — the uncovered cases (dangling/NULL FK) are state-
+  // checked by the RewriteDmlOracle suite instead.
+  auto random_statement = [&]() {
+    const VersionTable& vt = tables[rng.Index(tables.size())];
+    LogicalDml dml;
+    double roll = rng.UniformDouble();
+    dml.kind = roll < 0.5 ? DmlKind::kInsert : roll < 0.8 ? DmlKind::kUpdate : DmlKind::kDelete;
+    if (dml.kind == DmlKind::kDelete && vt.anchor == bs->author) dml.kind = DmlKind::kUpdate;
+    dml.table = vt;
+    // Keys straddle the MakeData ranges so hits, misses, and rows on both
+    // sides of a mid-copy frontier all occur.
+    dml.key = rng.UniformInt(0, 45);
+    if (dml.kind != DmlKind::kDelete) {
+      for (AttrId a : vt.attrs) {
+        const LogicalAttribute& attr = lg.attr(a);
+        if (attr.references.has_value()) {
+          if (dml.kind == DmlKind::kInsert || rng.Bernoulli(0.6)) {
+            dml.set_attrs.push_back(a);
+            dml.set_values.push_back(Value::Int(rng.UniformInt(0, 4)));
+          }
+          continue;
+        }
+        if (!rng.Bernoulli(0.6)) continue;
+        dml.set_attrs.push_back(a);
+        if (attr.type == TypeId::kInt64) {
+          dml.set_values.push_back(Value::Int(rng.UniformInt(-5, 40)));
+        } else if (attr.type == TypeId::kDouble) {
+          dml.set_values.push_back(Value::Double(static_cast<double>(rng.UniformInt(0, 99)) / 4.0));
+        } else {
+          dml.set_values.push_back(Value::Varchar("w" + std::to_string(rng.UniformInt(0, 999))));
+        }
+      }
+    }
+    return dml;
+  };
+
+  uint64_t applied_writes = 0;
+  auto write_one = [&]() -> Status {
+    LogicalDml dml = random_statement();
+    Status s = router.Execute(dml, current);
+    if (s.IsBindError()) return Status::OK();  // unservable here: skipped
+    if (!s.ok()) return s;
+    testutil::MirrorApply(mirror.get(), dml);
+    ++applied_writes;
+    return Status::OK();
+  };
+
+  size_t checked_intermediates = 0;
+  auto check_all = [&](const std::string& where) {
+    ++checked_intermediates;
+    ASSERT_TRUE(db.AnalyzeAll().ok());
+    testutil::ExpectStateMatchesMirror(&db, *mirror, current, where);
+    // Read side: the object-schema answer from the mirror is the oracle.
+    Database scratch(4096);
+    ASSERT_TRUE(mirror->Materialize(&scratch, bs->object).ok());
+    ASSERT_TRUE(scratch.AnalyzeAll().ok());
+    for (const WorkloadQuery& wq : queries) {
+      auto want = RunOnSchema(&scratch, wq.query, bs->object);
+      ASSERT_TRUE(want.has_value()) << wq.query.name << " " << where;
+      auto got = RunOnSchema(&db, wq.query, current);
+      if (!got.has_value()) continue;  // unservable on this intermediate
+      EXPECT_TRUE(SameRows(*got, *want))
+          << wq.query.name << " diverges from the mirror oracle " << where << " ("
+          << got->size() << " vs " << want->size() << " rows)";
+    }
+  };
+
+  auto opset = ComputeOperatorSet(bs->source, bs->object);
+  ASSERT_TRUE(opset.ok()) << opset.status().ToString();
+  MigrationExecutor exec(&db, mirror.get());
+
+  auto apply_with_live_writes = [&](const MigrationOperator& op) {
+    MigrationOptions opts;
+    opts.batch_rows = 8;  // several batches per target: a real frontier
+    opts.dml_router = &router;
+    // Entity-sourced creates read the mirror's row vectors directly; live
+    // statements would mutate them mid-scan. Scan/join ops write every batch.
+    if (op.kind != OperatorKind::kCreateTable) {
+      opts.on_batch = [&](const MigrationBatchEvent&) -> Status {
+        PSE_RETURN_NOT_OK(write_one());
+        return write_one();
+      };
+    }
+    exec.set_options(std::move(opts));
+    auto io = exec.Apply(op, &current);
+    ASSERT_TRUE(io.ok()) << "op#" << op.id << ": " << io.status().ToString();
+    ASSERT_FALSE(router.attached()) << "op#" << op.id << " left the router attached";
+  };
+
+  std::vector<std::vector<double>> phase_freqs = {{10, 10, 5}};
+  std::vector<LogicalStats> phase_stats = {mirror->ComputeStats()};
+  MigrationContext ctx;
+  ctx.object = &bs->object;
+  ctx.opset = &*opset;
+  ctx.applied.assign(opset->size(), false);
+  ctx.phase_freqs = &phase_freqs;
+  ctx.phase_stats = &phase_stats;
+  ctx.queries = &queries;
+
+  // Burst on the source schema first, then after every operator the LAA
+  // trajectory publishes (cost-picked ops first, the remainder in topo
+  // order — the same walk MigrationSimulation takes).
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(write_one().ok());
+  check_all("on the source schema");
+
+  auto run_op = [&](int op) {
+    apply_with_live_writes(opset->ops[static_cast<size_t>(op)]);
+    ctx.applied[static_cast<size_t>(op)] = true;
+    for (int i = 0; i < 15; ++i) ASSERT_TRUE(write_one().ok());
+    check_all("after op#" + std::to_string(opset->ops[static_cast<size_t>(op)].id));
+  };
+  ctx.current = &current;
+  auto laa = SelectOpsLaa(ctx, 0);
+  ASSERT_TRUE(laa.ok()) << laa.status().ToString();
+  for (int op : laa->ops_to_apply) run_op(op);
+  auto topo = opset->TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  for (int op : *topo) {
+    if (!ctx.applied[static_cast<size_t>(op)]) run_op(op);
+  }
+
+  EXPECT_GT(checked_intermediates, 2u);
+  EXPECT_GT(applied_writes, 0u);
+  EXPECT_GT(router.stats().dual_applied, 0u) << "no write ever landed on a live frontier";
+  // Post-migration, every version table of both eras must accept writes.
+  for (const VersionTable& vt : tables) {
+    LogicalDml probe;
+    probe.kind = DmlKind::kInsert;
+    probe.table = vt;
+    probe.key = 9000 + static_cast<int64_t>(&vt - tables.data());
+    EXPECT_TRUE(router.Execute(probe, current).ok()) << vt.name;
+    testutil::MirrorApply(mirror.get(), probe);
+  }
+  testutil::ExpectStateMatchesMirror(&db, *mirror, current, "after the post-migration probes");
+}
+
 }  // namespace
 }  // namespace pse
