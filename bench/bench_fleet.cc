@@ -1,0 +1,249 @@
+// Fleet-scale bench: a thousand-plus tenant shards walk the shared
+// bookstore trajectory under one FleetScheduler while serve lanes drive
+// mixed-version reads and writes across the fleet. Reports end-to-end
+// rollout wall time, fleet-wide foreground throughput with latency
+// quantiles, I/O-budget adherence, and SharedPlanCache amortization —
+// including a dedicated same-step measurement pass where N tenants at one
+// step must hit (N-1)/N.
+//
+// --json=PATH emits the machine-readable section (BENCH_fleet.json in CI;
+// scripts/bench.sh gates on it). --tenants=N overrides the fleet size.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/writability.h"
+#include "fleet/plan_cache.h"
+#include "fleet/schedule.h"
+#include "fleet/scheduler.h"
+#include "fleet/tenant_shard.h"
+#include "tests/common/test_db_builder.h"
+
+namespace pse {
+namespace {
+
+using testutil::Bookstore;
+
+std::vector<WorkloadQuery> MakeQueries(const Bookstore& bs) {
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery book;
+  book.name = "old-book-author";
+  book.anchor = bs.book;
+  book.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  book.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+  queries.emplace_back(std::move(book), /*is_old=*/true);
+  LogicalQuery user;
+  user.name = "old-user";
+  user.anchor = bs.user;
+  user.select.emplace_back(Col("u_name"), AggFunc::kNone, "n");
+  user.select.emplace_back(Col("u_addr"), AggFunc::kNone, "ad");
+  queries.emplace_back(std::move(user), /*is_old=*/true);
+  LogicalQuery abstract_q;
+  abstract_q.name = "new-abstract";
+  abstract_q.anchor = bs.book;
+  abstract_q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  abstract_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "ab");
+  queries.emplace_back(std::move(abstract_q), /*is_old=*/false);
+  return queries;
+}
+
+struct SameStepRow {
+  size_t tenants = 0;
+  size_t queries = 0;
+  PlanCacheStats stats;
+};
+
+/// The amortization pass: every tenant parked at `step` issues the whole
+/// read workload once against a fresh cache.
+SameStepRow MeasureSameStep(size_t tenants, size_t step, const PhysicalSchema& schema,
+                            const std::vector<WorkloadQuery>& queries) {
+  SharedPlanCache cache;
+  SameStepRow row;
+  row.tenants = tenants;
+  row.queries = queries.size();
+  for (size_t t = 0; t < tenants; ++t) {
+    for (const WorkloadQuery& wq : queries) {
+      Result<BoundQuery> bound = cache.GetOrRewrite(step, wq.query, schema);
+      if (!bound.ok() && !bound.status().IsBindError()) {
+        std::fprintf(stderr, "same-step rewrite failed: %s\n",
+                     bound.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  row.stats = cache.Snapshot();
+  return row;
+}
+
+void WriteJson(const std::string& path, const FleetMetrics& m, size_t steps,
+               const char* policy, const SameStepRow& same_step) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fleet\",\n");
+  std::fprintf(f, "  \"fleet\": {\"tenants\": %zu, \"tenants_migrated\": %zu, ", m.tenants,
+               m.tenants_migrated);
+  std::fprintf(f, "\"policy\": \"%s\", \"steps\": %zu, \"ops_applied\": %llu, ", policy, steps,
+               static_cast<unsigned long long>(m.ops_applied));
+  std::fprintf(f, "\"batches\": %llu, \"migration_io\": %llu, ",
+               static_cast<unsigned long long>(m.batches),
+               static_cast<unsigned long long>(m.migration_io));
+  std::fprintf(f, "\"io_capacity\": %llu, \"io_peak_outstanding\": %llu, ",
+               static_cast<unsigned long long>(m.io_capacity),
+               static_cast<unsigned long long>(m.io_peak_outstanding));
+  std::fprintf(f, "\"wall_ms\": %.2f, \"queries\": %llu, \"writes\": %llu, ", m.wall_ms,
+               static_cast<unsigned long long>(m.queries),
+               static_cast<unsigned long long>(m.writes));
+  std::fprintf(f, "\"unservable\": %llu, \"unservable_writes\": %llu, \"errors\": %llu, ",
+               static_cast<unsigned long long>(m.unservable),
+               static_cast<unsigned long long>(m.unservable_writes),
+               static_cast<unsigned long long>(m.errors));
+  std::fprintf(f, "\"throughput_qps\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+               "\"p99_ms\": %.4f, ",
+               m.throughput_qps, m.p50_ms, m.p95_ms, m.p99_ms);
+  std::fprintf(f, "\"plan_cache_hits\": %llu, \"plan_cache_misses\": %llu, "
+               "\"plan_cache_hit_pct\": %.2f},\n",
+               static_cast<unsigned long long>(m.plan_cache.hits),
+               static_cast<unsigned long long>(m.plan_cache.misses), m.plan_cache.hit_pct());
+  std::fprintf(f, "  \"same_step_plan_cache\": {\"tenants\": %zu, \"queries\": %zu, "
+               "\"lookups\": %llu, \"hits\": %llu, \"misses\": %llu, "
+               "\"same_step_hit_pct\": %.2f}\n}\n",
+               same_step.tenants, same_step.queries,
+               static_cast<unsigned long long>(same_step.stats.lookups()),
+               static_cast<unsigned long long>(same_step.stats.hits),
+               static_cast<unsigned long long>(same_step.stats.misses),
+               same_step.stats.hit_pct());
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace pse
+
+int main(int argc, char** argv) {
+  using namespace pse;
+  std::string json_path;
+  size_t tenants = 1024;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg.rfind("--tenants=", 0) == 0) tenants = std::stoul(arg.substr(10));
+  }
+
+  auto bs = Bookstore::Make();
+  std::vector<WorkloadQuery> queries = MakeQueries(*bs);
+  std::vector<double> freqs = {10, 10, 5};
+
+  // A handful of distinct tenant instances shared read-only across the
+  // fleet (shards never mutate their entity source).
+  std::vector<std::unique_ptr<LogicalDatabase>> instances;
+  for (int v = 0; v < 8; ++v) instances.push_back(bs->MakeData(3, 2, 8 + 2 * v));
+  LogicalStats stats = instances[0]->ComputeStats();
+
+  // The shared trajectory, LAA-ordered against the predicted workload; the
+  // candidate costings memoize in the fleet cache's QueryCostCache.
+  SharedPlanCache cache;
+  std::vector<std::vector<double>> phase_freqs = {freqs};
+  FleetScheduleInputs inputs;
+  inputs.queries = &queries;
+  inputs.phase_freqs = &phase_freqs;
+  inputs.stats = &stats;
+  auto schedule = PlanFleetSchedule(bs->source, bs->object, inputs, cache.cost_cache());
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "schedule: %s\n", schedule.status().ToString().c_str());
+    return 1;
+  }
+
+  FleetScheduler fleet(*schedule, &cache);
+  for (size_t t = 0; t < tenants; ++t) {
+    ShardOptions options;
+    options.pool_pages = 64;  // frames allocate lazily; tiny tenants stay tiny
+    auto shard =
+        TenantShard::Create(t, bs->source, instances[t % instances.size()].get(),
+                            std::move(options));
+    if (!shard.ok()) {
+      std::fprintf(stderr, "shard %zu: %s\n", t, shard.status().ToString().c_str());
+      return 1;
+    }
+    fleet.AddShard(std::move(*shard));
+  }
+
+  // Mixed-version writes over the user-era tables of both schema versions.
+  std::vector<VersionTable> write_tables;
+  for (const VersionTable& vt : VersionTablesOf(bs->source)) {
+    if (vt.anchor == bs->user) write_tables.push_back(vt);
+  }
+  for (const VersionTable& vt : VersionTablesOf(bs->object)) {
+    if (vt.anchor == bs->user) write_tables.push_back(vt);
+  }
+
+  FleetOptions options;
+  options.policy = FleetPolicy::kRoundRobin;
+  options.migration_lanes = 2;
+  options.serve_lanes = 2;
+  options.io_tokens = 8;
+  options.min_queries_per_lane = 500;
+  options.seed = 20260808;
+  options.write_fraction = 0.2;
+  options.migration.batch_rows = 64;
+  options.make_write = [&](size_t shard, uint64_t, std::mt19937_64& rng) {
+    const VersionTable& vt = write_tables[rng() % write_tables.size()];
+    LogicalDml dml;
+    uint64_t roll = rng() % 10;
+    dml.kind = roll < 6 ? DmlKind::kInsert : roll < 9 ? DmlKind::kUpdate : DmlKind::kDelete;
+    dml.table = vt;
+    dml.key = static_cast<int64_t>(100 * shard + rng() % 30);
+    if (dml.kind != DmlKind::kDelete) {
+      for (AttrId a : vt.attrs) {
+        if (rng() % 10 >= 6) continue;
+        dml.set_attrs.push_back(a);
+        const LogicalAttribute& attr = bs->logical.attr(a);
+        dml.set_values.push_back(attr.type == TypeId::kInt64
+                                     ? Value::Int(static_cast<int64_t>(rng() % 1000))
+                                     : Value::Varchar("w" + std::to_string(rng() % 100)));
+      }
+    }
+    return dml;
+  };
+
+  std::printf("=== fleet rollout: %zu tenants x %zu steps, policy %s ===\n", tenants,
+              schedule->steps(), FleetPolicyName(options.policy));
+  auto metrics = fleet.Run(queries, freqs, options);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "fleet run: %s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+  const FleetMetrics& m = *metrics;
+  std::printf("tenants migrated  %zu/%zu (ops %llu, batches %llu, migration-io %llu)\n",
+              m.tenants_migrated, m.tenants, static_cast<unsigned long long>(m.ops_applied),
+              static_cast<unsigned long long>(m.batches),
+              static_cast<unsigned long long>(m.migration_io));
+  std::printf("wall              %.1f ms (io budget %llu, peak outstanding %llu)\n", m.wall_ms,
+              static_cast<unsigned long long>(m.io_capacity),
+              static_cast<unsigned long long>(m.io_peak_outstanding));
+  std::printf("foreground        %llu reads + %llu writes, %llu unservable, %llu errors\n",
+              static_cast<unsigned long long>(m.queries),
+              static_cast<unsigned long long>(m.writes),
+              static_cast<unsigned long long>(m.unservable),
+              static_cast<unsigned long long>(m.errors));
+  std::printf("throughput        %.0f qps   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms\n",
+              m.throughput_qps, m.p50_ms, m.p95_ms, m.p99_ms);
+  std::printf("plan cache        %llu hits / %llu misses (%.1f%% hit rate during rollout)\n",
+              static_cast<unsigned long long>(m.plan_cache.hits),
+              static_cast<unsigned long long>(m.plan_cache.misses), m.plan_cache.hit_pct());
+
+  SameStepRow same_step =
+      MeasureSameStep(tenants, schedule->steps(), schedule->at(schedule->steps()), queries);
+  std::printf("same-step cache   %zu tenants x %zu queries -> %.2f%% hits (want >= %.2f%%)\n",
+              same_step.tenants, same_step.queries, same_step.stats.hit_pct(),
+              100.0 * static_cast<double>(tenants - 1) / static_cast<double>(tenants));
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, m, schedule->steps(), FleetPolicyName(options.policy), same_step);
+  }
+  return 0;
+}

@@ -15,7 +15,7 @@ cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 echo "== bench: building =="
 cmake --build "$build_dir" -j "$jobs" --target bench_laa_scaling --target bench_engine_micro \
-  >/dev/null
+  --target bench_fleet >/dev/null
 
 echo "== bench: LAA scaling (pruned vs brute force vs cached vs GAA) =="
 "$build_dir"/bench/bench_laa_scaling --json=BENCH_laa_scaling.json
@@ -140,5 +140,43 @@ if ! awk -v s="${zc_speedup:-0}" 'BEGIN { exit !(s >= 1.0) }'; then
   exit 1
 fi
 echo "== bench: zero-copy projection fast path ${zc_speedup}x =="
+
+echo "== bench: fleet (1024 tenant shards under one scheduler) =="
+"$build_dir"/bench/bench_fleet --json=BENCH_fleet.json
+
+echo "== bench: validating BENCH_fleet.json =="
+for key in '"fleet"' '"tenants_migrated"' '"throughput_qps"' '"p50_ms"' '"p95_ms"' \
+  '"p99_ms"' '"io_peak_outstanding"' '"same_step_plan_cache"'; do
+  grep -q "$key" BENCH_fleet.json || {
+    echo "fleet JSON is missing the key $key" >&2
+    exit 1
+  }
+done
+# The acceptance floor: at least 1000 tenants migrated end to end.
+fleet_migrated="$(grep -o '"tenants_migrated": [0-9]*' BENCH_fleet.json | awk '{print $2}')"
+if [ "${fleet_migrated:-0}" -lt 1000 ]; then
+  echo "fleet migrated only ${fleet_migrated} tenants (floor 1000)" >&2
+  exit 1
+fi
+# Zero non-bind foreground errors across the whole rollout window
+# (unservable statements are counted separately, never as errors).
+grep -q '"errors": 0,' BENCH_fleet.json || {
+  echo "fleet serving reported foreground errors" >&2
+  exit 1
+}
+# The global migration-I/O budget must hold exactly.
+io_cap="$(grep -o '"io_capacity": [0-9]*' BENCH_fleet.json | awk '{print $2}')"
+io_peak="$(grep -o '"io_peak_outstanding": [0-9]*' BENCH_fleet.json | awk '{print $2}')"
+if [ "${io_peak:-0}" -gt "${io_cap:-0}" ]; then
+  echo "fleet exceeded its I/O budget (peak ${io_peak} > capacity ${io_cap})" >&2
+  exit 1
+fi
+# Same-step tenants must amortize planning to >= 90% shared-cache hits.
+fleet_hit_pct="$(grep -o '"same_step_hit_pct": [0-9.]*' BENCH_fleet.json | awk '{print $2}')"
+if ! awk -v h="${fleet_hit_pct:-0}" 'BEGIN { exit !(h >= 90.0) }'; then
+  echo "same-step plan-cache hit rate ${fleet_hit_pct}% is below the 90% floor" >&2
+  exit 1
+fi
+echo "== bench: fleet migrated ${fleet_migrated} tenants, same-step hit rate ${fleet_hit_pct}% =="
 
 echo "== bench: OK =="

@@ -75,11 +75,12 @@ if [ "$tsan" -eq 1 ]; then
 
   echo "== check: building concurrency + fault-injection suites =="
   cmake --build "$build_dir" -j "$jobs" \
-    --target common_test engine_test core_test analysis_test storage_test concurrency_test
+    --target common_test engine_test core_test analysis_test storage_test concurrency_test \
+    --target fleet_test
 
   echo "== check: running concurrency + fault-injection suites under TSan =="
   (cd "$build_dir" && ctest --output-on-failure -j "$jobs" \
-    -R '^(common_test|engine_test|core_test|analysis_test|storage_test|concurrency_test)$')
+    -R '^(common_test|engine_test|core_test|analysis_test|storage_test|concurrency_test|fleet_test)$')
 
   echo "== check: OK (tsan) =="
   exit 0
@@ -111,7 +112,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
     ':!src/analysis/*.cc' ':!src/common/thread_pool.cc' ':!src/common/lock_registry.cc' \
     ':!src/engine/cost_cache.cc' ':!src/core/cost_estimator.cc' \
     ':!src/core/migration_executor.cc' ':!src/storage/migration_journal.cc' \
-    ':!src/core/rewriter_dml.cc' \
+    ':!src/core/rewriter_dml.cc' ':!src/fleet/*.cc' \
     ':!src/engine/tuple_batch.cc' ':!src/engine/expr_vec.cc' ':!src/engine/vec_executor.cc')
   clang-tidy -p "$build_dir" --quiet "${tidy_files[@]}"
   # The analysis module and the concurrency/costing/online-migration targets
@@ -120,13 +121,14 @@ if command -v clang-tidy >/dev/null 2>&1; then
   # fails the gate outright.
   # (the write rewriter, src/core/rewriter_dml.cc, rides the strict set too:
   # its fan-out writes and frontier dual-apply share the migration executor's
-  # latching discipline)
-  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ + concurrency + migration + write-rewriter + vectorized-engine targets =="
+  # latching discipline, as does the whole fleet layer — scheduler lanes,
+  # shard advance, the shared plan cache)
+  echo "== check: clang-tidy (strict, warnings-as-errors) over src/analysis/ + concurrency + migration + write-rewriter + vectorized-engine + fleet targets =="
   mapfile -t strict_files < <(git ls-files 'src/analysis/*.cc' \
     'src/common/thread_pool.cc' 'src/common/lock_registry.cc' \
     'src/engine/cost_cache.cc' 'src/core/cost_estimator.cc' \
     'src/core/migration_executor.cc' 'src/storage/migration_journal.cc' \
-    'src/core/rewriter_dml.cc' \
+    'src/core/rewriter_dml.cc' 'src/fleet/*.cc' \
     'src/engine/tuple_batch.cc' 'src/engine/expr_vec.cc' 'src/engine/vec_executor.cc')
   clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${strict_files[@]}"
 else

@@ -6,10 +6,11 @@
 #                                  # line coverage drops below N percent
 #
 # The report covers src/core + src/storage (the online-migration execution
-# path), src/analysis (the static verification stack), and the vectorized
-# engine core; the floor gates src/core/migration_executor.cc,
-# src/core/rewriter_dml.cc (the write rewriter), src/analysis/writability.cc,
-# and src/engine/vec_executor.cc. With gcovr
+# path), src/analysis (the static verification stack), the vectorized
+# engine core, and the multi-tenant fleet layer; the floor gates
+# src/core/migration_executor.cc, src/core/rewriter_dml.cc (the write
+# rewriter), src/analysis/writability.cc, src/engine/vec_executor.cc, and
+# src/fleet/scheduler.cc (the fleet scheduler). With gcovr
 # installed, writes coverage.xml (Cobertura) and coverage.txt into the build
 # dir for CI to upload; without it, falls back to plain gcov for the floor
 # check and skips the report artifact.
@@ -40,13 +41,14 @@ target_files=(
   "src/core/rewriter_dml.cc"
   "src/analysis/writability.cc"
   "src/engine/vec_executor.cc"
+  "src/fleet/scheduler.cc"
 )
 
 if command -v gcovr >/dev/null 2>&1; then
-  echo "== coverage: gcovr report over src/core + src/storage + src/analysis + vec engine =="
+  echo "== coverage: gcovr report over src/core + src/storage + src/analysis + vec engine + fleet =="
   gcovr --root . --object-directory "$build_dir" \
     --filter 'src/core/.*' --filter 'src/storage/.*' --filter 'src/analysis/.*' \
-    --filter 'src/engine/vec_executor\.cc' \
+    --filter 'src/engine/vec_executor\.cc' --filter 'src/fleet/.*' \
     --xml "$build_dir/coverage.xml" \
     --txt "$build_dir/coverage.txt" \
     --print-summary

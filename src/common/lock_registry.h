@@ -51,10 +51,14 @@ namespace pse {
 /// (rank, class-name) order; ties within kLockRankTable are broken by the
 /// sorted table name, which is why ExecutePlan sorts its latch set.
 enum LockRank : int {
+  kLockRankFleet = 4,        // FleetScheduler pick/busy state (pre-catalog)
+  kLockRankShard = 6,        // TenantShard trajectory state ("shard:<id>")
+  kLockRankFleetIo = 8,      // IoTokenBucket global migration-I/O budget
   kLockRankCatalog = 10,     // Database::schema_latch()
   kLockRankServing = 20,     // ServingSchema snapshot mutex (no I/O allowed)
   kLockRankDmlRouter = 25,   // DmlRouter write mutex (statement/batch scope)
   kLockRankProvenance = 26,  // ProvenanceStore map mutex (no I/O allowed)
+  kLockRankPlanCache = 28,   // SharedPlanCache map mutex (no I/O allowed)
   kLockRankTable = 30,       // per-TableInfo latches, sorted-name order
   kLockRankBufferPool = 40,  // BufferPool mutex (leaf; I/O on miss path)
 };

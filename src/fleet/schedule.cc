@@ -1,0 +1,79 @@
+#include "fleet/schedule.h"
+
+#include <utility>
+
+#include "analysis/interaction.h"
+#include "core/mapping.h"
+#include "core/migration_planner.h"
+
+namespace pse {
+
+Result<FleetSchedule> PlanFleetSchedule(const PhysicalSchema& source,
+                                        const PhysicalSchema& object,
+                                        const FleetScheduleInputs& inputs,
+                                        QueryCostCache* cost_cache) {
+  Result<OperatorSet> opset = ComputeOperatorSet(source, object);
+  if (!opset.ok()) return opset.status();
+
+  FleetSchedule schedule;
+  schedule.source = source;
+  schedule.object = object;
+
+  std::vector<bool> applied(opset->ops.size(), false);
+  PhysicalSchema current = source;
+
+  const bool planned = inputs.queries != nullptr && inputs.phase_freqs != nullptr &&
+                       inputs.stats != nullptr && !inputs.phase_freqs->empty();
+  if (planned) {
+    // LAA at every phase boundary, clairvoyant (the fleet schedules the
+    // rollout ahead of time, so the upcoming phase's workload is the right
+    // scoring target). Each phase's winning subset arrives topo-ordered.
+    std::vector<LogicalStats> phase_stats{*inputs.stats};
+    AnalysisOptions analysis;
+    analysis.cost_cache = cost_cache;
+    for (size_t p = 0; p < inputs.phase_freqs->size(); ++p) {
+      MigrationContext ctx;
+      ctx.current = &current;
+      ctx.object = &object;
+      ctx.opset = &*opset;
+      ctx.applied = applied;
+      ctx.phase_freqs = inputs.phase_freqs;
+      ctx.phase_stats = &phase_stats;
+      ctx.queries = inputs.queries;
+      Result<LaaResult> laa = SelectOpsLaa(ctx, p, p, /*max_ops=*/30, analysis);
+      if (!laa.ok()) return laa.status();
+      for (int op : laa->ops_to_apply) {
+        schedule.ops.push_back(opset->ops[static_cast<size_t>(op)]);
+        Status s = ApplyOperator(schedule.ops.back(), &current);
+        if (!s.ok()) return s;
+        applied[static_cast<size_t>(op)] = true;
+      }
+    }
+  }
+
+  // Whatever no phase claimed (or everything, unplanned) rides in dependency
+  // order at the tail — the trajectory must always end at the object schema.
+  Result<std::vector<int>> topo = opset->TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  for (int op : *topo) {
+    if (applied[static_cast<size_t>(op)]) continue;
+    schedule.ops.push_back(opset->ops[static_cast<size_t>(op)]);
+    Status s = ApplyOperator(schedule.ops.back(), &current);
+    if (!s.ok()) return s;
+    applied[static_cast<size_t>(op)] = true;
+  }
+
+  // Precompute every intermediate so shards can be positioned anywhere on
+  // the trajectory structurally (no executor, no data movement).
+  schedule.schemas.reserve(schedule.ops.size() + 1);
+  schedule.schemas.push_back(source);
+  for (const MigrationOperator& op : schedule.ops) {
+    PhysicalSchema next = schedule.schemas.back();
+    Status s = ApplyOperator(op, &next);
+    if (!s.ok()) return s;
+    schedule.schemas.push_back(std::move(next));
+  }
+  return schedule;
+}
+
+}  // namespace pse

@@ -1,0 +1,62 @@
+// FleetSchedule: the one migration trajectory every tenant shard walks.
+//
+// The paper's SaaS premise is that tenants share the schema story — the same
+// source schema, the same object schema, the same operator sequence — and
+// differ only in *when* each one moves (and in their data). The fleet plans
+// that sequence once: LAA walks the predicted phases (memoizing candidate
+// costings in the fleet-shared QueryCostCache, so planning cost is paid once
+// for thousands of tenants), and every per-step intermediate schema is
+// precomputed structurally so shards can be (re)positioned anywhere on the
+// trajectory without touching an executor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/operators.h"
+#include "core/physical_schema.h"
+#include "core/workload.h"
+#include "engine/cost_cache.h"
+
+namespace pse {
+
+/// \brief The shared trajectory: one operator per step, all intermediate
+/// schemas precomputed. A shard "at step s" has applied ops[0..s).
+struct FleetSchedule {
+  PhysicalSchema source;
+  PhysicalSchema object;
+  /// Dependency-ordered operator sequence (one step each).
+  std::vector<MigrationOperator> ops;
+  /// schemas[s] = schema after s steps; size() == ops.size() + 1,
+  /// schemas.front() == source, schemas.back() == the fully-migrated layout.
+  std::vector<PhysicalSchema> schemas;
+
+  size_t steps() const { return ops.size(); }
+  const PhysicalSchema& at(size_t step) const { return schemas[step]; }
+};
+
+/// Optional workload inputs for LAA-ordered planning. All three must be set
+/// together; without them the schedule falls back to plain dependency
+/// (topological) order.
+struct FleetScheduleInputs {
+  const std::vector<WorkloadQuery>* queries = nullptr;
+  /// phase_freqs[p][q] — predicted per-phase frequencies over `queries`.
+  const std::vector<std::vector<double>>* phase_freqs = nullptr;
+  const LogicalStats* stats = nullptr;
+};
+
+/// \brief Plans the fleet's shared trajectory from source to object.
+///
+/// With workload inputs, LAA runs at every phase boundary (clairvoyant —
+/// the fleet plans ahead of the rollout) and orders the opset by when each
+/// operator pays off, memoizing candidate costings in `cost_cache` (pass
+/// SharedPlanCache::cost_cache() to share the memo across replans);
+/// operators no phase wants are appended in dependency order. Without
+/// inputs the sequence is simply the opset's topological order.
+Result<FleetSchedule> PlanFleetSchedule(const PhysicalSchema& source,
+                                        const PhysicalSchema& object,
+                                        const FleetScheduleInputs& inputs = {},
+                                        QueryCostCache* cost_cache = nullptr);
+
+}  // namespace pse

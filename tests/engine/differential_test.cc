@@ -15,6 +15,8 @@
 #include "engine/catalog_view.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
+#include "fleet/schedule.h"
+#include "fleet/tenant_shard.h"
 #include "sql/session.h"
 #include "tests/common/test_db_builder.h"
 #include "tpcw/datagen.h"
@@ -516,6 +518,169 @@ TEST(MixedRwCrossSchemaOracle, DmlFromBothVersionsAgreesOnEveryLaaIntermediate) 
     testutil::MirrorApply(mirror.get(), probe);
   }
   testutil::ExpectStateMatchesMirror(&db, *mirror, current, "after the post-migration probes");
+}
+
+// --- multi-tenant mixed R/W differential oracle ---
+//
+// The fleet-wide extension: three tenant shards with distinct data walk the
+// SAME FleetSchedule but stop at DIFFERENT positions, with random DML from
+// both application versions flowing through every shard's own DmlRouter
+// between operators. Each tenant must keep matching its OWN single-tenant
+// oracle (its entity-level mirror materialized fresh), proving tenants are
+// truly shared-nothing: a neighbor's writes, provenance, or trajectory
+// position never bleed into another shard's answers.
+
+TEST(FleetDifferentialOracle, TenantsAtDifferentStepsEachMatchTheirOwnOracle) {
+  auto bs = testutil::Bookstore::Make();
+  const LogicalSchema& lg = bs->logical;
+  auto schedule = PlanFleetSchedule(bs->source, bs->object);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  const size_t steps = schedule->steps();
+  ASSERT_GE(steps, 3u) << "the bookstore trajectory must have several steps";
+  // Tenant 0 barely starts, tenant 1 parks mid-trajectory, tenant 2
+  // finishes — three different serving schemas under one schedule.
+  const size_t positions[3] = {1, 2, steps};
+
+  std::vector<VersionTable> tables = VersionTablesOf(bs->source);
+  {
+    std::vector<VersionTable> object_tables = VersionTablesOf(bs->object);
+    tables.insert(tables.end(), object_tables.begin(), object_tables.end());
+  }
+
+  std::vector<WorkloadQuery> queries;
+  {
+    LogicalQuery book;
+    book.name = "old-book-author";
+    book.anchor = bs->book;
+    book.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+    book.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+    queries.emplace_back(std::move(book), /*is_old=*/true);
+    LogicalQuery user;
+    user.name = "old-user";
+    user.anchor = bs->user;
+    user.select.emplace_back(Col("u_name"), AggFunc::kNone, "n");
+    user.select.emplace_back(Col("u_addr"), AggFunc::kNone, "ad");
+    queries.emplace_back(std::move(user), /*is_old=*/true);
+    LogicalQuery abstract_q;
+    abstract_q.name = "new-abstract";
+    abstract_q.anchor = bs->book;
+    abstract_q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+    abstract_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "ab");
+    queries.emplace_back(std::move(abstract_q), /*is_old=*/false);
+  }
+
+  // Per-tenant mirror + shard. The mirror doubles as the shard's entity
+  // source (the MixedRwCrossSchemaOracle shared-truth semantics); writes
+  // happen only between operators here, so entity-sourced creates never
+  // scan a mirror mid-mutation.
+  std::unique_ptr<LogicalDatabase> mirrors[3];
+  std::unique_ptr<TenantShard> shards[3];
+  for (size_t t = 0; t < 3; ++t) {
+    mirrors[t] = bs->MakeData(4 + static_cast<int>(t), 3, 25 + 5 * static_cast<int>(t));
+    auto shard = TenantShard::Create(t, bs->source, mirrors[t].get());
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    shards[t] = std::move(*shard);
+  }
+
+  Rng rng(20260808);
+  // Covering-data discipline as in MixedRwCrossSchemaOracle: FKs always
+  // reference a seed author (every tenant has >= 4), authors never deleted.
+  auto random_statement = [&]() {
+    const VersionTable& vt = tables[rng.Index(tables.size())];
+    LogicalDml dml;
+    double roll = rng.UniformDouble();
+    dml.kind = roll < 0.5 ? DmlKind::kInsert : roll < 0.8 ? DmlKind::kUpdate : DmlKind::kDelete;
+    if (dml.kind == DmlKind::kDelete && vt.anchor == bs->author) dml.kind = DmlKind::kUpdate;
+    dml.table = vt;
+    dml.key = rng.UniformInt(0, 40);
+    if (dml.kind != DmlKind::kDelete) {
+      for (AttrId a : vt.attrs) {
+        const LogicalAttribute& attr = lg.attr(a);
+        if (attr.references.has_value()) {
+          if (dml.kind == DmlKind::kInsert || rng.Bernoulli(0.6)) {
+            dml.set_attrs.push_back(a);
+            dml.set_values.push_back(Value::Int(rng.UniformInt(0, 3)));
+          }
+          continue;
+        }
+        if (!rng.Bernoulli(0.6)) continue;
+        dml.set_attrs.push_back(a);
+        if (attr.type == TypeId::kInt64) {
+          dml.set_values.push_back(Value::Int(rng.UniformInt(-5, 40)));
+        } else if (attr.type == TypeId::kDouble) {
+          dml.set_values.push_back(Value::Double(static_cast<double>(rng.UniformInt(0, 99)) / 4.0));
+        } else {
+          dml.set_values.push_back(Value::Varchar("w" + std::to_string(rng.UniformInt(0, 999))));
+        }
+      }
+    }
+    return dml;
+  };
+
+  uint64_t applied_writes = 0;
+  auto write_one = [&](size_t t) -> Status {
+    LogicalDml dml = random_statement();
+    Status s = shards[t]->router()->Execute(dml, shards[t]->CurrentSchema());
+    if (s.IsBindError()) return Status::OK();  // unservable on this tenant's step
+    if (!s.ok()) return s;
+    testutil::MirrorApply(mirrors[t].get(), dml);
+    ++applied_writes;
+    return Status::OK();
+  };
+
+  // Each tenant's oracle is its OWN mirror: physical state must equal a
+  // fresh materialization, and every servable read must equal the same
+  // query answered on the object schema built from that mirror alone.
+  auto check_tenant = [&](size_t t, const std::string& where) {
+    ASSERT_TRUE(shards[t]->db()->AnalyzeAll().ok());
+    PhysicalSchema current = shards[t]->CurrentSchema();
+    testutil::ExpectStateMatchesMirror(shards[t]->db(), *mirrors[t], current,
+                                       "tenant " + std::to_string(t) + " " + where);
+    Database scratch(4096);
+    ASSERT_TRUE(mirrors[t]->Materialize(&scratch, bs->object).ok());
+    ASSERT_TRUE(scratch.AnalyzeAll().ok());
+    for (const WorkloadQuery& wq : queries) {
+      auto want = RunOnSchema(&scratch, wq.query, bs->object);
+      ASSERT_TRUE(want.has_value()) << wq.query.name;
+      auto got = RunOnSchema(shards[t]->db(), wq.query, current);
+      if (!got.has_value()) continue;  // unservable at this tenant's step
+      EXPECT_TRUE(SameRows(*got, *want))
+          << "tenant " << t << ": " << wq.query.name << " diverges from its own oracle "
+          << where << " (" << got->size() << " vs " << want->size() << " rows)";
+    }
+  };
+
+  MigrationOptions options;
+  options.batch_rows = 8;  // several batches per target: a real frontier
+  for (size_t s = 1; s <= steps; ++s) {
+    // Writes land on EVERY tenant before each rollout wave, so a migrating
+    // tenant's neighbors are mid-write exactly when cross-shard state could
+    // bleed.
+    for (size_t t = 0; t < 3; ++t) {
+      for (int i = 0; i < 6; ++i) ASSERT_TRUE(write_one(t).ok());
+    }
+    for (size_t t = 0; t < 3; ++t) {
+      if (positions[t] < s) continue;  // this tenant parked earlier
+      ASSERT_EQ(shards[t]->step(), s - 1);
+      Status st = shards[t]->AdvanceOneOp(*schedule, options);
+      ASSERT_TRUE(st.ok()) << "tenant " << t << " step " << s << ": " << st.ToString();
+    }
+    for (size_t t = 0; t < 3; ++t) {
+      check_tenant(t, "after rollout wave " + std::to_string(s));
+    }
+  }
+
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(shards[t]->step(), positions[t]) << "tenant " << t;
+    EXPECT_TRUE(shards[t]->CurrentSchema().EquivalentTo(schedule->at(positions[t])));
+  }
+  EXPECT_GT(applied_writes, 0u);
+  // A final burst on the parked tenants: intermediate schemas keep taking
+  // writes after the fleet's rollout wave has passed them by.
+  for (size_t t = 0; t < 3; ++t) {
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(write_one(t).ok());
+    check_tenant(t, "after the post-rollout burst");
+  }
 }
 
 }  // namespace

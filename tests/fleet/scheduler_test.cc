@@ -1,0 +1,338 @@
+// FleetScheduler invariants: the global I/O token budget is never exceeded,
+// every staggering policy drains the whole fleet (deferral reorders, never
+// starves), pick order matches each policy's contract, and the
+// SharedPlanCache amortizes rewrites to (N-1)/N hits across same-step
+// tenants while returning rewrites identical to a direct RewriteQuery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rewriter.h"
+#include "engine/catalog_view.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "fleet/plan_cache.h"
+#include "fleet/schedule.h"
+#include "fleet/scheduler.h"
+#include "fleet/tenant_shard.h"
+#include "tests/common/test_db_builder.h"
+
+namespace pse {
+namespace {
+
+using testutil::Bookstore;
+using testutil::SameRows;
+using testutil::SortRows;
+
+std::vector<WorkloadQuery> MakeQueries(const Bookstore& bs) {
+  std::vector<WorkloadQuery> queries;
+  LogicalQuery book;
+  book.name = "old-book-author";
+  book.anchor = bs.book;
+  book.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  book.select.emplace_back(Col("a_name"), AggFunc::kNone, "a");
+  queries.emplace_back(std::move(book), /*is_old=*/true);
+  LogicalQuery user;
+  user.name = "old-user";
+  user.anchor = bs.user;
+  user.select.emplace_back(Col("u_name"), AggFunc::kNone, "n");
+  user.select.emplace_back(Col("u_addr"), AggFunc::kNone, "ad");
+  queries.emplace_back(std::move(user), /*is_old=*/true);
+  LogicalQuery abstract_q;
+  abstract_q.name = "new-abstract";
+  abstract_q.anchor = bs.book;
+  abstract_q.select.emplace_back(Col("b_title"), AggFunc::kNone, "t");
+  abstract_q.select.emplace_back(Col("b_abstract"), AggFunc::kNone, "ab");
+  queries.emplace_back(std::move(abstract_q), /*is_old=*/false);
+  return queries;
+}
+
+class FleetSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bs_ = Bookstore::Make();
+    auto schedule = PlanFleetSchedule(bs_->source, bs_->object);
+    ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+    schedule_ = std::make_unique<FleetSchedule>(std::move(*schedule));
+    queries_ = MakeQueries(*bs_);
+    freqs_ = {10, 10, 5};
+  }
+
+  /// Builds a scheduler over `n` fresh in-memory tenants (distinct sizes).
+  std::unique_ptr<FleetScheduler> MakeFleet(size_t n) {
+    auto scheduler = std::make_unique<FleetScheduler>(*schedule_, &cache_);
+    for (size_t t = 0; t < n; ++t) {
+      data_.push_back(bs_->MakeData(2, 2, 8 + static_cast<int>(t)));
+      auto shard = TenantShard::Create(t, bs_->source, data_.back().get());
+      if (!shard.ok()) {
+        ADD_FAILURE() << shard.status().ToString();
+        continue;
+      }
+      scheduler->AddShard(std::move(*shard));
+    }
+    return scheduler;
+  }
+
+  std::unique_ptr<Bookstore> bs_;
+  std::unique_ptr<FleetSchedule> schedule_;
+  SharedPlanCache cache_;
+  std::vector<std::unique_ptr<LogicalDatabase>> data_;
+  std::vector<WorkloadQuery> queries_;
+  std::vector<double> freqs_;
+};
+
+TEST_F(FleetSchedulerTest, IoTokenBucketTracksOutstandingAndPeak) {
+  IoTokenBucket bucket(3);
+  EXPECT_EQ(bucket.capacity(), 3u);
+  bucket.Acquire();
+  bucket.Acquire();
+  EXPECT_EQ(bucket.outstanding(), 2u);
+  EXPECT_EQ(bucket.peak_outstanding(), 2u);
+  bucket.Release();
+  EXPECT_EQ(bucket.outstanding(), 1u);
+  EXPECT_EQ(bucket.peak_outstanding(), 2u);  // high-water mark sticks
+  bucket.Release();
+  EXPECT_EQ(bucket.total_acquired(), 2u);
+  // Capacity 0 would deadlock the first Acquire; it clamps to 1.
+  IoTokenBucket degenerate(0);
+  EXPECT_EQ(degenerate.capacity(), 1u);
+}
+
+TEST_F(FleetSchedulerTest, RunValidatesItsInputs) {
+  FleetScheduler empty(*schedule_, &cache_);
+  EXPECT_FALSE(empty.Run(queries_, freqs_, FleetOptions{}).ok());
+
+  auto fleet = MakeFleet(2);
+  std::vector<double> bad_freqs = {1.0};
+  EXPECT_FALSE(fleet->Run(queries_, bad_freqs, FleetOptions{}).ok());
+  FleetOptions bad_hotness;
+  bad_hotness.hotness = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(fleet->Run(queries_, freqs_, bad_hotness).ok());
+}
+
+// More migration lanes than tokens: the bucket, not the lane count, bounds
+// concurrent migration I/O. peak <= capacity is exact (tracked under the
+// bucket mutex at every Acquire).
+TEST_F(FleetSchedulerTest, IoBudgetNeverExceeded) {
+  auto fleet = MakeFleet(6);
+  FleetOptions options;
+  options.migration_lanes = 4;
+  options.serve_lanes = 1;
+  options.io_tokens = 2;
+  options.min_queries_per_lane = 8;
+  options.migration.batch_rows = 8;
+  auto metrics = fleet->Run(queries_, freqs_, options);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->io_capacity, 2u);
+  EXPECT_GE(metrics->io_peak_outstanding, 1u);
+  EXPECT_LE(metrics->io_peak_outstanding, 2u);
+  EXPECT_EQ(metrics->tenants_migrated, 6u);
+  EXPECT_EQ(metrics->errors, 0u);
+  EXPECT_GT(metrics->batches, 0u);
+}
+
+TEST_F(FleetSchedulerTest, EveryPolicyDrainsTheWholeFleet) {
+  for (FleetPolicy policy : {FleetPolicy::kRoundRobin, FleetPolicy::kLaggardFirst,
+                             FleetPolicy::kHotTenantDeferred}) {
+    SCOPED_TRACE(FleetPolicyName(policy));
+    auto fleet = MakeFleet(5);
+    FleetOptions options;
+    options.policy = policy;
+    options.migration_lanes = 2;
+    options.serve_lanes = 2;
+    options.io_tokens = 2;
+    options.min_queries_per_lane = 8;
+    options.migration.batch_rows = 16;
+    options.hotness = {1.0, 3.0, 1.0, 5.0, 1.0};
+    auto metrics = fleet->Run(queries_, freqs_, options);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    EXPECT_EQ(metrics->tenants, 5u);
+    EXPECT_EQ(metrics->tenants_migrated, 5u);
+    EXPECT_EQ(metrics->ops_applied, 5u * schedule_->steps());
+    EXPECT_EQ(metrics->errors, 0u);
+    for (size_t i = 0; i < fleet->size(); ++i) {
+      EXPECT_TRUE(fleet->shard(i)->done(*schedule_)) << "shard " << i;
+      EXPECT_EQ(fleet->shard(i)->published_step(), schedule_->steps()) << "shard " << i;
+    }
+  }
+}
+
+// One migration lane makes the pick order deterministic; on_shard_op runs
+// outside all fleet locks and reconstructs it.
+TEST_F(FleetSchedulerTest, RoundRobinCyclesDistinctShards) {
+  constexpr size_t kTenants = 4;
+  auto fleet = MakeFleet(kTenants);
+  std::mutex order_mu;
+  std::vector<size_t> order;
+  FleetOptions options;
+  options.policy = FleetPolicy::kRoundRobin;
+  options.migration_lanes = 1;
+  options.serve_lanes = 0;
+  options.on_shard_op = [&](size_t shard, size_t) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(shard);
+  };
+  auto metrics = fleet->Run(queries_, freqs_, options);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(order.size(), kTenants * schedule_->steps());
+  // Every window of kTenants consecutive picks touches every shard once.
+  for (size_t w = 0; w + kTenants <= order.size(); w += kTenants) {
+    std::set<size_t> window(order.begin() + static_cast<long>(w),
+                            order.begin() + static_cast<long>(w + kTenants));
+    EXPECT_EQ(window.size(), kTenants) << "window at " << w << " revisited a shard";
+  }
+}
+
+TEST_F(FleetSchedulerTest, LaggardFirstClosesTheTrajectorySpread) {
+  constexpr size_t kTenants = 4;
+  auto fleet = MakeFleet(kTenants);
+  // Spread the fleet: shard 0 two ops ahead, shard 1 one op ahead.
+  MigrationOptions clean;
+  ASSERT_TRUE(fleet->shard(0)->AdvanceOneOp(*schedule_, clean).ok());
+  ASSERT_TRUE(fleet->shard(0)->AdvanceOneOp(*schedule_, clean).ok());
+  ASSERT_TRUE(fleet->shard(1)->AdvanceOneOp(*schedule_, clean).ok());
+
+  std::mutex order_mu;
+  std::vector<std::pair<size_t, size_t>> order;  // (shard, new step)
+  FleetOptions options;
+  options.policy = FleetPolicy::kLaggardFirst;
+  options.migration_lanes = 1;
+  options.serve_lanes = 0;
+  options.on_shard_op = [&](size_t shard, size_t step) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.emplace_back(shard, step);
+  };
+  auto metrics = fleet->Run(queries_, freqs_, options);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_FALSE(order.empty());
+
+  // The laggards (step 0) migrate before the shards that were ahead ever
+  // advance again: with one lane the pre-op step sequence is non-decreasing.
+  size_t last_pre_step = 0;
+  for (const auto& [shard, step] : order) {
+    size_t pre_step = step - 1;
+    EXPECT_GE(pre_step, last_pre_step)
+        << "shard " << shard << " advanced from step " << pre_step
+        << " while a laggard at step " << last_pre_step << " was eligible";
+    last_pre_step = pre_step;
+  }
+  EXPECT_EQ(order.front().first, 2u) << "first pick must be the lowest-id laggard";
+  EXPECT_EQ(metrics->tenants_migrated, kTenants);
+}
+
+TEST_F(FleetSchedulerTest, HotTenantDeferredMigratesTheHotTenantLast) {
+  constexpr size_t kTenants = 4;
+  constexpr size_t kHot = 2;
+  auto fleet = MakeFleet(kTenants);
+  std::mutex order_mu;
+  std::vector<size_t> order;
+  FleetOptions options;
+  options.policy = FleetPolicy::kHotTenantDeferred;
+  options.migration_lanes = 1;
+  options.serve_lanes = 0;
+  options.hotness = {1.0, 1.0, 8.0, 1.0};
+  options.on_shard_op = [&](size_t shard, size_t) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(shard);
+  };
+  auto metrics = fleet->Run(queries_, freqs_, options);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(order.size(), kTenants * schedule_->steps());
+  // Deferral: the hot tenant's ops are exactly the tail of the order —
+  // every cold tenant finished first, and the hot one still completed.
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < order.size() - schedule_->steps()) {
+      EXPECT_NE(order[i], kHot) << "hot tenant migrated at position " << i;
+    } else {
+      EXPECT_EQ(order[i], kHot) << "tail position " << i << " is not the hot tenant";
+    }
+  }
+  EXPECT_TRUE(fleet->shard(kHot)->done(*schedule_)) << "deferral must not starve";
+}
+
+// N tenants parked at one step issue the same workload: the first lookup
+// per (step, query) misses, the other N-1 hit — including the unservable
+// query, whose BindError is itself a property of the step and is cached.
+TEST_F(FleetSchedulerTest, SharedPlanCacheAmortizesAcrossSameStepTenants) {
+  constexpr size_t kTenants = 8;
+  SharedPlanCache cache;
+  const PhysicalSchema& source = schedule_->at(0);
+
+  PlanCacheStats before = cache.Snapshot();
+  uint64_t unservable = 0;
+  for (size_t t = 0; t < kTenants; ++t) {
+    for (const WorkloadQuery& wq : queries_) {
+      Result<BoundQuery> bound = cache.GetOrRewrite(0, wq.query, source);
+      if (!bound.ok()) {
+        ASSERT_TRUE(bound.status().IsBindError()) << bound.status().ToString();
+        ++unservable;
+      }
+    }
+  }
+  PlanCacheStats delta = cache.Snapshot();
+  delta.hits -= before.hits;
+  delta.misses -= before.misses;
+  EXPECT_EQ(delta.misses, queries_.size());
+  EXPECT_EQ(delta.hits, (kTenants - 1) * queries_.size());
+  double expected_pct = 100.0 * static_cast<double>(kTenants - 1) / kTenants;
+  EXPECT_GE(delta.hit_pct(), expected_pct - 1e-9);
+  // new-abstract is unservable on the source schema for every tenant.
+  EXPECT_EQ(unservable, kTenants);
+  EXPECT_EQ(cache.size(), queries_.size());
+
+  // A different step is a different key: no false sharing across steps.
+  for (const WorkloadQuery& wq : queries_) {
+    auto bound = cache.GetOrRewrite(schedule_->steps(), wq.query, schedule_->object);
+    EXPECT_TRUE(bound.ok()) << wq.query.name << " must be servable on the object schema";
+  }
+  EXPECT_EQ(cache.size(), 2 * queries_.size());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// The cached rewrite must be indistinguishable from a direct RewriteQuery:
+// same rows when planned and executed against a real shard.
+TEST_F(FleetSchedulerTest, CachedRewriteExecutesIdenticallyToDirectRewrite) {
+  SharedPlanCache cache;
+  auto data = bs_->MakeData(3, 3, 12);
+  auto shard = TenantShard::Create(0, bs_->source, data.get());
+  ASSERT_TRUE(shard.ok());
+  MigrationOptions clean;
+  while (!(*shard)->done(*schedule_)) {
+    ASSERT_TRUE((*shard)->AdvanceOneOp(*schedule_, clean).ok());
+  }
+  const PhysicalSchema schema = (*shard)->CurrentSchema();
+  Database* db = (*shard)->db();
+  ASSERT_TRUE(db->AnalyzeAll().ok());
+
+  for (const WorkloadQuery& wq : queries_) {
+    SCOPED_TRACE(wq.query.name);
+    // Warm the cache, then take the cloned hit path.
+    ASSERT_TRUE(cache.GetOrRewrite(schedule_->steps(), wq.query, schema).ok());
+    Result<BoundQuery> cached = cache.GetOrRewrite(schedule_->steps(), wq.query, schema);
+    Result<BoundQuery> direct = RewriteQuery(wq.query, schema);
+    ASSERT_TRUE(cached.ok() && direct.ok());
+
+    DatabaseCatalogView view(db);
+    auto run = [&](const BoundQuery& bound) {
+      auto plan = PlanQuery(bound, view);
+      EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+      auto rows = ExecutePlan(**plan, db);
+      EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+      return SortRows(std::move(*rows));
+    };
+    std::vector<Row> from_cache = run(*cached);
+    std::vector<Row> from_direct = run(*direct);
+    EXPECT_TRUE(SameRows(from_cache, from_direct))
+        << "cached rewrite diverges (" << from_cache.size() << " vs " << from_direct.size()
+        << " rows)";
+  }
+}
+
+}  // namespace
+}  // namespace pse
